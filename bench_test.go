@@ -1,0 +1,357 @@
+// Benchmark harness regenerating the paper's evaluation artifacts:
+//
+//	BenchmarkTable2SensingTraining  — Table II rows (avg/max ms per rate)
+//	BenchmarkTable3SensingPredicting — Table III rows
+//	BenchmarkLatencyVsRate           — the Section V-C latency-vs-rate trend
+//	BenchmarkAblation*               — the DESIGN.md ablation studies
+//	Benchmark<substrate>             — microbenchmarks of the substrates
+//
+// Each table bench reports the measured average and maximum latency in
+// milliseconds via b.ReportMetric, so `go test -bench` output can be read
+// directly against the paper's tables (also printed by cmd/ifot-bench).
+package ifot_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot"
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/device"
+	"github.com/ifot-middleware/ifot/internal/experiment"
+	"github.com/ifot-middleware/ifot/internal/feature"
+	"github.com/ifot-middleware/ifot/internal/metrics"
+	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// benchDuration is the virtual duration per experiment run inside
+// benchmarks (shorter than the paper's full run; the DES makes results
+// duration-stable once the queues reach steady state).
+const benchDuration = 15 * time.Second
+
+func reportRun(b *testing.B, r experiment.Result, which experiment.Table) {
+	var s metrics.Summary
+	if which == experiment.Table2SensingTraining {
+		s = r.Training
+	} else {
+		s = r.Predicting
+	}
+	b.ReportMetric(metrics.Millis(s.Mean), "avg-ms")
+	b.ReportMetric(metrics.Millis(s.Max), "max-ms")
+}
+
+func benchTable(b *testing.B, which experiment.Table, mutate func(*experiment.Config)) {
+	for _, rate := range experiment.PaperRates {
+		rate := rate
+		b.Run(fmt.Sprintf("rate=%.0fHz", rate), func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(rate)
+				cfg.Duration = benchDuration
+				if mutate != nil {
+					mutate(&cfg)
+				}
+				last = experiment.Run(cfg)
+			}
+			reportRun(b, last, which)
+		})
+	}
+}
+
+// BenchmarkTable2SensingTraining regenerates Table II: sensing→training
+// delay at 5/10/20/40/80 Hz on the Fig. 9 topology.
+func BenchmarkTable2SensingTraining(b *testing.B) {
+	benchTable(b, experiment.Table2SensingTraining, nil)
+}
+
+// BenchmarkTable3SensingPredicting regenerates Table III: sensing→
+// predicting delay at 5/10/20/40/80 Hz.
+func BenchmarkTable3SensingPredicting(b *testing.B) {
+	benchTable(b, experiment.Table3SensingPredict, nil)
+}
+
+// BenchmarkLatencyVsRate sweeps the full rate axis (the Section V-C trend
+// "figure"), reporting both paths per rate.
+func BenchmarkLatencyVsRate(b *testing.B) {
+	for _, rate := range experiment.PaperRates {
+		rate := rate
+		b.Run(fmt.Sprintf("rate=%.0fHz", rate), func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(rate)
+				cfg.Duration = benchDuration
+				last = experiment.Run(cfg)
+			}
+			b.ReportMetric(metrics.Millis(last.Training.Mean), "train-avg-ms")
+			b.ReportMetric(metrics.Millis(last.Predicting.Mean), "predict-avg-ms")
+			b.ReportMetric(float64(last.TrainDropped), "train-dropped")
+		})
+	}
+}
+
+// BenchmarkAblationCloudVsLocal compares the PO3 architecture with the
+// Fig. 1 cloud-centric baseline (sensing→decision-at-edge latency).
+func BenchmarkAblationCloudVsLocal(b *testing.B) {
+	for _, placement := range []struct {
+		name string
+		p    experiment.Placement
+	}{{"local", experiment.PlaceLocal}, {"cloud", experiment.PlaceCloud}} {
+		for _, rate := range []float64{5, 20, 80} {
+			rate := rate
+			placement := placement
+			b.Run(fmt.Sprintf("%s/rate=%.0fHz", placement.name, rate), func(b *testing.B) {
+				var last experiment.Result
+				for i := 0; i < b.N; i++ {
+					cfg := experiment.DefaultConfig(rate)
+					cfg.Duration = benchDuration
+					cfg.Placement = placement.p
+					last = experiment.Run(cfg)
+				}
+				b.ReportMetric(metrics.Millis(last.Predicting.Mean), "predict-avg-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBrokerPlacement compares a dedicated broker module with
+// a broker co-located on the training module.
+func BenchmarkAblationBrokerPlacement(b *testing.B) {
+	for _, co := range []bool{false, true} {
+		name := "dedicated"
+		if co {
+			name = "colocated"
+		}
+		co := co
+		b.Run(name+"/rate=80Hz", func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(80)
+				cfg.Duration = benchDuration
+				cfg.BrokerOnTrainer = co
+				last = experiment.Run(cfg)
+			}
+			b.ReportMetric(metrics.Millis(last.Predicting.Mean), "predict-avg-ms")
+		})
+	}
+}
+
+// BenchmarkAblationParallelTraining shards training across modules (the
+// paper's future-work parallelization).
+func BenchmarkAblationParallelTraining(b *testing.B) {
+	for _, shards := range []int{1, 2, 3} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d/rate=40Hz", shards), func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(40)
+				cfg.Duration = benchDuration
+				cfg.TrainShards = shards
+				last = experiment.Run(cfg)
+			}
+			b.ReportMetric(metrics.Millis(last.Training.Mean), "train-avg-ms")
+		})
+	}
+}
+
+// BenchmarkAblationQoS compares QoS 0 and QoS 1 flow distribution.
+func BenchmarkAblationQoS(b *testing.B) {
+	for _, qos1 := range []bool{false, true} {
+		name := "qos0"
+		if qos1 {
+			name = "qos1"
+		}
+		qos1 := qos1
+		b.Run(name+"/rate=40Hz", func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(40)
+				cfg.Duration = benchDuration
+				cfg.QoS1 = qos1
+				last = experiment.Run(cfg)
+			}
+			b.ReportMetric(metrics.Millis(last.Training.Mean), "train-avg-ms")
+		})
+	}
+}
+
+// BenchmarkAblationScale grows the sensor population (the paper's
+// future-work scalability question).
+func BenchmarkAblationScale(b *testing.B) {
+	for _, n := range []int{3, 12, 48} {
+		n := n
+		b.Run(fmt.Sprintf("sensors=%d/rate=10Hz", n), func(b *testing.B) {
+			var last experiment.Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(10)
+				cfg.Duration = benchDuration
+				cfg.SensorCount = n
+				last = experiment.Run(cfg)
+			}
+			b.ReportMetric(metrics.Millis(last.Training.Mean), "train-avg-ms")
+		})
+	}
+}
+
+// BenchmarkAblationHardware swaps the neuron boards for Raspberry Pi 3s
+// (the paper's "improve real-time processing performance" future work).
+func BenchmarkAblationHardware(b *testing.B) {
+	profiles := []struct {
+		name    string
+		profile device.Profile
+	}{
+		{"pi2", device.RaspberryPi2()},
+		{"pi3", device.RaspberryPi3()},
+	}
+	for _, p := range profiles {
+		for _, rate := range []float64{20, 40, 80} {
+			p := p
+			rate := rate
+			b.Run(fmt.Sprintf("%s/rate=%.0fHz", p.name, rate), func(b *testing.B) {
+				var last experiment.Result
+				for i := 0; i < b.N; i++ {
+					cfg := experiment.DefaultConfig(rate)
+					cfg.Duration = benchDuration
+					cfg.NeuronProfile = p.profile
+					last = experiment.Run(cfg)
+				}
+				b.ReportMetric(metrics.Millis(last.Training.Mean), "train-avg-ms")
+			})
+		}
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkWirePublishRoundTrip measures MQTT PUBLISH encode+decode of a
+// 32-byte sensor sample.
+func BenchmarkWirePublishRoundTrip(b *testing.B) {
+	payload := make([]byte, sensor.SampleSize)
+	pub := &wire.PublishPacket{Topic: "ifot/sensor/a", Payload: payload, QoS: wire.QoS1, PacketID: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := wire.Encode(pub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(wire.PUBLISH, 0x2, data[2:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleCodec measures the 32-byte sample codec.
+func BenchmarkSampleCodec(b *testing.B) {
+	s := sensor.Sample{SensorIndex: 1, Kind: sensor.Accelerometer, Seq: 9, Timestamp: time.Now()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensor.DecodeSample(s.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchCodec measures the joined-batch codec (3 samples as in the
+// experiment).
+func BenchmarkBatchCodec(b *testing.B) {
+	batch := []sensor.Sample{
+		{SensorIndex: 1, Seq: 4, Timestamp: time.Now()},
+		{SensorIndex: 2, Seq: 4, Timestamp: time.Now()},
+		{SensorIndex: 3, Seq: 4, Timestamp: time.Now()},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecodeBatch(core.EncodeBatch(batch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLTrainPA measures one PA-I training step on experiment-sized
+// feature vectors (9 features: 3 sensors × 3 channels).
+func BenchmarkMLTrainPA(b *testing.B) {
+	clf := ml.NewPassiveAggressive(1)
+	v := feature.Vector{
+		"s1.c0@num": 1, "s1.c1@num": -1, "s1.c2@num": 0.5,
+		"s2.c0@num": 2, "s2.c1@num": -2, "s2.c2@num": 0.1,
+		"s3.c0@num": 3, "s3.c1@num": -3, "s3.c2@num": 0.9,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		label := "pos"
+		if i%2 == 1 {
+			label = "neg"
+		}
+		clf.Train(v, label)
+	}
+}
+
+// BenchmarkMLPredictPA measures one classification step.
+func BenchmarkMLPredictPA(b *testing.B) {
+	clf := ml.NewPassiveAggressive(1)
+	v := feature.Vector{"x@num": 1, "y@num": -2, "z@num": 0.5}
+	clf.Train(v, "pos")
+	clf.Train(feature.Vector{"x@num": -1, "y@num": 2, "z@num": -0.5}, "neg")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := clf.Classify(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnomalyZScore measures streaming anomaly scoring.
+func BenchmarkAnomalyZScore(b *testing.B) {
+	d := ml.NewZScoreDetector()
+	v := feature.Vector{"t@num": 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Add(v)
+	}
+}
+
+// BenchmarkBrokerEndToEnd measures real (non-simulated) middleware message
+// throughput: publisher → broker → subscriber over in-memory transports.
+func BenchmarkBrokerEndToEnd(b *testing.B) {
+	testbed := ifot.NewTestbed()
+	defer testbed.Close()
+
+	subConn, err := testbed.Dial()()
+	if err != nil {
+		b.Fatal(err)
+	}
+	received := make(chan struct{}, 1024)
+	sub, err := mqttclient.Connect(subConn, mqttclient.NewOptions("bench-sub"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Subscribe("bench/t", wire.QoS0, func(mqttclient.Message) {
+		received <- struct{}{}
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	pubConn, err := testbed.Dial()()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := mqttclient.Connect(pubConn, mqttclient.NewOptions("bench-pub"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+
+	payload := make([]byte, sensor.SampleSize)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish("bench/t", payload, wire.QoS0, false); err != nil {
+			b.Fatal(err)
+		}
+		<-received
+	}
+}

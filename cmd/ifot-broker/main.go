@@ -1,0 +1,116 @@
+// Command ifot-broker runs the IFoT flow-distribution broker: an MQTT 3.1.1
+// server (the role Mosquitto played in the paper's prototype).
+//
+// Usage:
+//
+//	ifot-broker [-addr :1883] [-max-qos 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/bridge"
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ifot-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":1883", "TCP listen address")
+		maxQoS    = flag.Int("max-qos", 1, "maximum QoS granted to subscriptions (0 or 1)")
+		verbose   = flag.Bool("v", false, "log connection events")
+		stats     = flag.Duration("stats", 0, "print broker stats at this interval (0 = off)")
+		bridgeTo  = flag.String("bridge", "", "remote broker address to bridge with")
+		bridgeOut stringsFlag
+		bridgeIn  stringsFlag
+	)
+	flag.Var(&bridgeOut, "bridge-out", "topic filter forwarded to the remote broker (repeatable)")
+	flag.Var(&bridgeIn, "bridge-in", "topic filter pulled from the remote broker (repeatable)")
+	flag.Parse()
+
+	opts := broker.Options{MaxQoS: wire.QoS(*maxQoS)}
+	if *verbose {
+		opts.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	b := broker.New(opts)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ifot-broker listening on %s (max QoS %d)", l.Addr(), *maxQoS)
+
+	if *stats > 0 {
+		// Publish Mosquitto-style $SYS/broker/# statistics and log them.
+		stop := make(chan struct{})
+		defer close(stop)
+		b.PublishSysStats(*stats, stop)
+		go func() {
+			for range time.Tick(*stats) {
+				s := b.Stats()
+				log.Printf("stats: clients=%d sessions=%d subs=%d retained=%d in=%d out=%d dropped=%d",
+					s.ConnectedClients, s.Sessions, s.Subscriptions, s.RetainedMessages,
+					s.MessagesReceived, s.MessagesDelivered, s.MessagesDropped)
+			}
+		}()
+	}
+
+	if *bridgeTo != "" {
+		routes := make([]bridge.Route, 0, len(bridgeOut)+len(bridgeIn))
+		for _, f := range bridgeOut {
+			routes = append(routes, bridge.Route{Filter: f, Direction: bridge.Out, QoS: wire.QoS1})
+		}
+		for _, f := range bridgeIn {
+			routes = append(routes, bridge.Route{Filter: f, Direction: bridge.In, QoS: wire.QoS1})
+		}
+		localAddr := l.Addr().String()
+		remoteAddr := *bridgeTo
+		br, err := bridge.NewBridge(bridge.Config{
+			Name:       "bridge-" + localAddr,
+			DialLocal:  func() (net.Conn, error) { return net.Dial("tcp", localAddr) },
+			DialRemote: func() (net.Conn, error) { return net.Dial("tcp", remoteAddr) },
+			Routes:     routes,
+		})
+		if err != nil {
+			return err
+		}
+		defer br.Close()
+		log.Printf("bridging with %s (%d routes)", remoteAddr, len(routes))
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down")
+		_ = b.Close()
+	}()
+
+	if err := b.Serve(l); err != nil && err != broker.ErrClosed {
+		return err
+	}
+	return nil
+}
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringsFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -1,0 +1,188 @@
+// Command ifot-neuron runs one IFoT neuron module: it connects to the
+// flow-distribution broker, announces its sensors/actuators and capacity,
+// and executes subtasks assigned by the management node.
+//
+// Usage:
+//
+//	ifot-neuron -id moduleA -broker localhost:1883 \
+//	    -sensor acc1:accelerometer:20 -sensor lux1:illuminance:5 \
+//	    -actuator light -capacity 1000
+//
+// Sensor specs are name:kind:rateHz where kind is one of accelerometer,
+// illuminance, sound, motion, temperature, humidity. Virtual sensors emit
+// synthetic waveforms (the reproduction's stand-in for physical hardware).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string { return strings.Join(*s, ",") }
+
+func (s *stringsFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ifot-neuron:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "", "module identity (required)")
+		brokerStr = flag.String("broker", "localhost:1883", "broker address")
+		capacity  = flag.Float64("capacity", 1000, "advertised processing capacity (ops/s)")
+		verbose   = flag.Bool("v", false, "log middleware events")
+		sensors   stringsFlag
+		actuators stringsFlag
+		caps      stringsFlag
+	)
+	flag.Var(&sensors, "sensor", "virtual sensor spec name:kind:rateHz (repeatable)")
+	flag.Var(&actuators, "actuator", "virtual actuator name (repeatable)")
+	flag.Var(&caps, "capability", "extra advertised capability (repeatable)")
+	flag.Parse()
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	cfg := core.Config{
+		ID:           *id,
+		CapacityOps:  *capacity,
+		Capabilities: caps,
+		Dial: func() (net.Conn, error) {
+			return net.Dial("tcp", *brokerStr)
+		},
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+		cfg.Observer = core.Observer{
+			OnTrain: func(ev core.TrainEvent) {
+				log.Printf("trained %s/%s seq=%d examples=%d latency=%v",
+					ev.Recipe, ev.TaskID, ev.Seq, ev.Examples, ev.At.Sub(ev.SensedAt))
+			},
+			OnDecision: func(d core.Decision) {
+				log.Printf("decision %s/%s %s label=%q score=%.3f latency=%v",
+					d.Recipe, d.TaskID, d.Kind, d.Label, d.Score, d.At.Sub(d.SensedAt))
+			},
+		}
+	}
+	m := core.NewModule(cfg)
+
+	var sensorIndex uint16
+	for _, spec := range sensors {
+		s, err := parseSensor(spec, sensorIndex)
+		if err != nil {
+			return err
+		}
+		sensorIndex++
+		m.RegisterSensor(s)
+	}
+	for _, name := range actuators {
+		m.RegisterActuator(sensor.NewVirtualActuator(name))
+	}
+
+	if err := m.Start(); err != nil {
+		return err
+	}
+	log.Printf("neuron %s connected to %s (%d sensors, %d actuators)",
+		*id, *brokerStr, len(sensors), len(actuators))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	return m.Close()
+}
+
+func parseSensor(spec string, index uint16) (*sensor.Sensor, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, fmt.Errorf("sensor spec %q: want name:kind:rateHz[:trace.csv]", spec)
+	}
+	kind, err := parseKind(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	rate, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || rate <= 0 {
+		return nil, fmt.Errorf("sensor spec %q: bad rate %q", spec, parts[2])
+	}
+	var gen sensor.Generator
+	if len(parts) == 4 {
+		data, err := os.ReadFile(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("sensor spec %q: %w", spec, err)
+		}
+		values, err := sensor.LoadTraceCSV(data)
+		if err != nil {
+			return nil, fmt.Errorf("sensor spec %q: %w", spec, err)
+		}
+		gen = sensor.Trace(values)
+	} else {
+		gen = generatorFor(kind, index)
+	}
+	return &sensor.Sensor{
+		ID:     parts[0],
+		Index:  index,
+		Kind:   kind,
+		RateHz: rate,
+		Gen:    gen,
+	}, nil
+}
+
+func parseKind(name string) (sensor.Type, error) {
+	switch strings.ToLower(name) {
+	case "accelerometer", "acc":
+		return sensor.Accelerometer, nil
+	case "illuminance", "lux":
+		return sensor.Illuminance, nil
+	case "sound", "mic":
+		return sensor.Sound, nil
+	case "motion", "pir":
+		return sensor.Motion, nil
+	case "temperature", "temp":
+		return sensor.Temperature, nil
+	case "humidity":
+		return sensor.Humidity, nil
+	default:
+		return 0, fmt.Errorf("unknown sensor kind %q", name)
+	}
+}
+
+// generatorFor picks a plausible synthetic waveform per modality.
+func generatorFor(kind sensor.Type, seed uint16) sensor.Generator {
+	s := uint64(seed) + 1
+	switch kind {
+	case sensor.Accelerometer:
+		return sensor.GaussianNoise(0, 1, s)
+	case sensor.Illuminance:
+		return sensor.RandomWalk(400, 20, 0, 1000, s)
+	case sensor.Sound:
+		return sensor.GaussianNoise(40, 8, s)
+	case sensor.Motion:
+		return sensor.SpikeInjector(sensor.Constant(0, 0, 0), 17, 1)
+	case sensor.Temperature:
+		return sensor.RandomWalk(22, 0.1, 10, 35, s)
+	case sensor.Humidity:
+		return sensor.RandomWalk(50, 0.5, 20, 90, s)
+	default:
+		return sensor.Constant(0, 0, 0)
+	}
+}

@@ -1,0 +1,138 @@
+package ifot_test
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds the four command-line tools and drives a
+// full deployment over real TCP: broker daemon, two neuron daemons, and
+// the management CLI deploying examples/recipes/monitoring.json.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binaries")
+	}
+	binDir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(binDir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if output, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, output)
+		}
+		return out
+	}
+	brokerBin := build("ifot-broker")
+	neuronBin := build("ifot-neuron")
+	mgmtBin := build("ifot-mgmt")
+	benchBin := build("ifot-bench")
+
+	// The bench CLI must print the topology and a table against the paper.
+	benchOut, err := exec.Command(benchBin, "-topology", "-table", "2", "-duration", "2s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ifot-bench: %v\n%s", err, benchOut)
+	}
+	for _, want := range []string{"Fig. 7", "TABLE II", "58.969"} {
+		if !strings.Contains(string(benchOut), want) {
+			t.Fatalf("bench output missing %q:\n%s", want, benchOut)
+		}
+	}
+
+	// Pick a free port.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(name, args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+			if t.Failed() {
+				t.Logf("%s output:\n%s", filepath.Base(name), buf.String())
+			}
+		})
+		return cmd
+	}
+
+	start(brokerBin, "-addr", addr)
+	waitForPort(t, addr)
+
+	start(neuronBin, "-id", "moduleA", "-broker", addr,
+		"-sensor", "acc1:accelerometer:20")
+	start(neuronBin, "-id", "moduleB", "-broker", addr,
+		"-actuator", "light")
+
+	// Give the neurons a moment to connect, then deploy and inspect.
+	deadline := time.Now().Add(30 * time.Second)
+	var out []byte
+	for {
+		cmd := exec.Command(mgmtBin, "-broker", addr, "-settle", "1s",
+			"modules", "deploy", "examples/recipes/monitoring.json", "streams")
+		out, err = cmd.CombinedOutput()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mgmt deploy failed: %v\n%s", err, out)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"moduleA", "moduleB", // module listing
+		"all subtasks running", // deployment confirmed
+		"demo/alerts",          // stream registry
+		"monitoring/sense",     // assignment echo
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("mgmt output missing %q:\n%s", want, text)
+		}
+	}
+	// Placement: the sense task must be on moduleA (sensor host), the
+	// alert actuation on moduleB (actuator host).
+	if !strings.Contains(text, "monitoring/sense") || !assignedTo(text, "monitoring/sense", "moduleA") {
+		t.Fatalf("sense not on moduleA:\n%s", text)
+	}
+	if !assignedTo(text, "monitoring/alert", "moduleB") {
+		t.Fatalf("alert not on moduleB:\n%s", text)
+	}
+}
+
+func assignedTo(output, subtask, module string) bool {
+	for _, line := range strings.Split(output, "\n") {
+		if strings.Contains(line, subtask) && strings.Contains(line, "-> "+module) {
+			return true
+		}
+	}
+	return false
+}
+
+func waitForPort(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("broker never listened on %s", addr)
+}

@@ -1,0 +1,177 @@
+// Context-aware home appliance control (paper §III-A2).
+//
+// Environmental sensors (illuminance, sound, motion) stream into the
+// middleware; an aggregate stage fuses them; an online clustering stage
+// estimates the room's context (e.g. "active" vs "quiet"); actuation
+// stages drive the ceiling light and the air conditioner from the
+// estimated context. A custom stage additionally maps raw illuminance to
+// a light-brightness command, showing direct sensor→actuator coupling.
+//
+// Run:
+//
+//	go run ./examples/home-automation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/ifot-middleware/ifot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "home-automation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	testbed := ifot.NewTestbed()
+	defer testbed.Close()
+
+	const rate = 20 // Hz
+
+	// Sensor module in the living room. The waveforms alternate between a
+	// "quiet" regime and an "active" regime every 4 seconds, giving the
+	// clustering stage two genuine contexts to find.
+	living := ifot.NewModule(ifot.ModuleConfig{ID: "living-room", CapacityOps: 1000, Dial: testbed.Dial()})
+	living.RegisterSensor(&ifot.Sensor{
+		ID: "lux", Index: 1, Kind: ifot.Illuminance, RateHz: rate,
+		Gen: regimeGenerator(120, 650, 4*time.Second, 10),
+	})
+	living.RegisterSensor(&ifot.Sensor{
+		ID: "mic", Index: 2, Kind: ifot.Sound, RateHz: rate,
+		Gen: regimeGenerator(30, 65, 4*time.Second, 20),
+	})
+	living.RegisterSensor(&ifot.Sensor{
+		ID: "pir", Index: 3, Kind: ifot.Motion, RateHz: rate,
+		Gen: regimeGenerator(0, 1, 4*time.Second, 30),
+	})
+
+	// Appliance module hosting the actuators.
+	light := ifot.NewVirtualActuator("ceiling-light", "set-brightness")
+	aircon := ifot.NewVirtualActuator("aircon", "set-mode")
+	appliances := ifot.NewModule(ifot.ModuleConfig{ID: "appliance-node", CapacityOps: 1000, Dial: testbed.Dial()})
+	appliances.RegisterActuator(light)
+	appliances.RegisterActuator(aircon)
+
+	// Direct illuminance→brightness coupling: below 300 lux, brighten.
+	appliances.RegisterCustom("lux-to-brightness", func(msg ifot.Message, publish func(string, []byte) error) {
+		samples, err := ifot.DecodeSamples(msg.Payload)
+		if err != nil || len(samples) == 0 {
+			return
+		}
+		lux := float64(samples[0].Values[0])
+		brightness := 0.0
+		if lux < 300 {
+			brightness = 1 - lux/300
+		}
+		d := ifot.Decision{Kind: "brightness", Label: "set", Score: brightness, At: time.Now()}
+		_ = publish("home/brightness", ifot.EncodeJSON(d))
+	})
+
+	manager := ifot.NewManager(ifot.ManagerConfig{Dial: testbed.Dial()})
+	if err := manager.Start(); err != nil {
+		return err
+	}
+	defer manager.Close()
+
+	for _, m := range []*ifot.Module{living, appliances} {
+		if err := m.Start(); err != nil {
+			return err
+		}
+		defer m.Close()
+	}
+	for len(manager.Modules()) < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rec := &ifot.Recipe{
+		Name: "home-automation",
+		Tasks: []ifot.Task{
+			{ID: "senseLux", Kind: ifot.KindSense, Output: "home/lux",
+				Params: map[string]string{"sensor": "lux"}},
+			{ID: "senseMic", Kind: ifot.KindSense, Output: "home/mic",
+				Params: map[string]string{"sensor": "mic"}},
+			{ID: "sensePir", Kind: ifot.KindSense, Output: "home/pir",
+				Params: map[string]string{"sensor": "pir"}},
+
+			// Fuse the three environmental streams into one flow.
+			{ID: "fuse", Kind: ifot.KindAggregate, Output: "home/env",
+				Inputs: []string{"task:senseLux", "task:senseMic", "task:sensePir"}},
+
+			// Estimate context by online clustering of the fused stream.
+			{ID: "contextize", Kind: ifot.KindCluster, Output: "home/context",
+				Inputs: []string{"task:fuse"},
+				Params: map[string]string{"k": "2"}},
+
+			// Drive the air conditioner whenever the room is in the
+			// "active" context (cluster 1).
+			{ID: "driveAircon", Kind: ifot.KindActuate,
+				Inputs: []string{"task:contextize"},
+				Params: map[string]string{"actuator": "aircon", "command": "set-mode", "when": "cluster-1"}},
+
+			// Direct illuminance → brightness mapping.
+			{ID: "brightness", Kind: ifot.KindCustom, Output: "home/brightness",
+				Inputs: []string{"task:senseLux"},
+				Params: map[string]string{"handler": "lux-to-brightness"}},
+			{ID: "driveLight", Kind: ifot.KindActuate,
+				Inputs: []string{"task:brightness"},
+				Params: map[string]string{"actuator": "ceiling-light", "command": "set-brightness"}},
+		},
+	}
+	dep, err := manager.Deploy(rec)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := dep.WaitRunning(ctx); err != nil {
+		return err
+	}
+	log.Printf("deployed %q across %d modules", rec.Name, len(manager.Modules()))
+
+	// Let the home run for a few regime switches.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if aircon.CommandCount() >= 20 && light.CommandCount() >= 20 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	brightness, _ := light.State("set-brightness")
+	fmt.Printf("ceiling light: %d brightness commands (current %.2f)\n",
+		light.CommandCount(), brightness)
+	fmt.Printf("air conditioner: %d context-driven commands\n", aircon.CommandCount())
+	if aircon.CommandCount() == 0 || light.CommandCount() == 0 {
+		return fmt.Errorf("appliances not driven (aircon=%d light=%d)",
+			aircon.CommandCount(), light.CommandCount())
+	}
+	fmt.Println("home automation OK: context estimation drove both appliances")
+	return nil
+}
+
+// regimeGenerator alternates between two mean levels every switchEvery,
+// with mild noise — a simple model of a room cycling between quiet and
+// active states.
+func regimeGenerator(quiet, active float64, switchEvery time.Duration, seed uint64) ifot.Generator {
+	noise := ifot.GaussianNoise(0, (active-quiet)*0.03+0.01, seed)
+	start := time.Now()
+	return generatorFunc(func(t time.Time) [3]float32 {
+		level := quiet
+		if int(t.Sub(start)/switchEvery)%2 == 1 {
+			level = active
+		}
+		n := noise.Next(t)
+		return [3]float32{float32(level) + n[0], n[1], n[2]}
+	})
+}
+
+type generatorFunc func(t time.Time) [3]float32
+
+func (f generatorFunc) Next(t time.Time) [3]float32 { return f(t) }

@@ -1,0 +1,293 @@
+// Context-aware mobility support (paper §III-A3).
+//
+// City-deployed sensors estimate the crowdedness of three points of
+// interest while a car-mounted "camera" stage scores their scenic beauty
+// (the paper's SakuraSensor and crowd-sensing substrates, virtualized).
+// A navigator stage fuses both context streams and recommends the PoI
+// with the best scenery-to-crowd ratio, driving a navigation display.
+// The example also exercises the middleware's stream-discovery function
+// (a future-work item of the paper) to enumerate the city's live streams.
+//
+// Run:
+//
+//	go run ./examples/mobility-support
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot"
+)
+
+const poiCount = 3
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mobility-support:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	testbed := ifot.NewTestbed()
+	defer testbed.Close()
+
+	// Ground truth: PoI 0 is crowded but plain, PoI 1 is quiet and scenic
+	// (the one the navigator should pick), PoI 2 is middling.
+	crowdLevels := []float64{80, 10, 45}
+	scenicLevels := []float64{20, 90, 50}
+
+	// --- city sensor modules, one per PoI ---------------------------------
+	var modules []*ifot.Module
+	for i := 0; i < poiCount; i++ {
+		m := ifot.NewModule(ifot.ModuleConfig{
+			ID:          fmt.Sprintf("poi%d-node", i),
+			CapacityOps: 1000,
+			Dial:        testbed.Dial(),
+		})
+		m.RegisterSensor(&ifot.Sensor{
+			ID:     fmt.Sprintf("flow%d", i),
+			Index:  uint16(i + 1),
+			Kind:   ifot.Motion,
+			RateHz: 20,
+			Gen:    ifot.GaussianNoise(crowdLevels[i], 4, uint64(i)+1),
+		})
+		m.RegisterSensor(&ifot.Sensor{
+			ID:     fmt.Sprintf("cam%d", i),
+			Index:  uint16(i + 10),
+			Kind:   ifot.Illuminance, // stand-in channel for camera frames
+			RateHz: 5,
+			Gen:    ifot.GaussianNoise(scenicLevels[i], 3, uint64(i)+100),
+		})
+		modules = append(modules, m)
+	}
+
+	// --- the navigation hub ------------------------------------------------
+	display := ifot.NewVirtualActuator("nav-display", "recommend")
+	hub := ifot.NewModule(ifot.ModuleConfig{ID: "nav-hub", CapacityOps: 2000, Dial: testbed.Dial()})
+	hub.RegisterActuator(display)
+
+	// scenic-scorer plays SakuraSensor: it turns camera frames into a
+	// scenic level per PoI.
+	hub.RegisterCustom("scenic-scorer", func(msg ifot.Message, publish func(string, []byte) error) {
+		samples, err := ifot.DecodeSamples(msg.Payload)
+		if err != nil || len(samples) == 0 {
+			return
+		}
+		poi := int(samples[0].SensorIndex) - 10
+		d := ifot.Decision{
+			Kind:  "scenic",
+			Label: fmt.Sprintf("poi%d", poi),
+			Score: float64(samples[0].Values[0]),
+			At:    time.Now(),
+		}
+		_ = publish(fmt.Sprintf("city/scenic/poi%d", poi), ifot.EncodeJSON(d))
+	})
+
+	// The navigator fuses crowd and scenic decisions and recommends the
+	// best PoI whenever its opinion changes.
+	nav := newNavigator(display)
+	hub.RegisterCustom("navigator", nav.handle)
+
+	// Crowd estimator shared by all PoIs: person-flow samples become
+	// crowdedness context decisions.
+	hub.RegisterCustom("navigator-crowd", func(msg ifot.Message, publish func(string, []byte) error) {
+		samples, err := ifot.DecodeSamples(msg.Payload)
+		if err != nil || len(samples) == 0 {
+			return
+		}
+		poi := int(samples[0].SensorIndex) - 1
+		d := ifot.Decision{
+			Kind:  "crowd",
+			Label: fmt.Sprintf("poi%d", poi),
+			Score: float64(samples[0].Values[0]),
+			At:    time.Now(),
+		}
+		_ = publish(fmt.Sprintf("city/crowd/poi%d", poi), ifot.EncodeJSON(d))
+	})
+
+	manager := ifot.NewManager(ifot.ManagerConfig{Dial: testbed.Dial()})
+	if err := manager.Start(); err != nil {
+		return err
+	}
+	defer manager.Close()
+
+	for _, m := range append(modules, hub) {
+		if err := m.Start(); err != nil {
+			return err
+		}
+		defer m.Close()
+	}
+	for len(manager.Modules()) < poiCount+1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// --- recipe -------------------------------------------------------------
+	var tasksList []ifot.Task
+	for i := 0; i < poiCount; i++ {
+		tasksList = append(tasksList,
+			ifot.Task{
+				ID: fmt.Sprintf("senseFlow%d", i), Kind: ifot.KindSense,
+				Output: fmt.Sprintf("city/flow/poi%d", i),
+				Params: map[string]string{"sensor": fmt.Sprintf("flow%d", i)},
+			},
+			// Crowdedness estimation: anomaly-free windowed aggregation is
+			// overkill here; a cluster stage tags each PoI's flow level.
+			ifot.Task{
+				ID: fmt.Sprintf("crowd%d", i), Kind: ifot.KindCustom,
+				Inputs: []string{fmt.Sprintf("task:senseFlow%d", i)},
+				Output: fmt.Sprintf("city/crowd/poi%d", i),
+				Params: map[string]string{"handler": "navigator-crowd"},
+			},
+			ifot.Task{
+				ID: fmt.Sprintf("senseCam%d", i), Kind: ifot.KindSense,
+				Output: fmt.Sprintf("city/cam/poi%d", i),
+				Params: map[string]string{"sensor": fmt.Sprintf("cam%d", i)},
+			},
+			ifot.Task{
+				ID: fmt.Sprintf("scenic%d", i), Kind: ifot.KindCustom,
+				Inputs: []string{fmt.Sprintf("task:senseCam%d", i)},
+				Output: fmt.Sprintf("city/scenic/poi%d", i),
+				Params: map[string]string{"handler": "scenic-scorer"},
+			},
+		)
+	}
+	// The navigator listens on wildcard filters over both context streams.
+	tasksList = append(tasksList, ifot.Task{
+		ID: "navigate", Kind: ifot.KindCustom,
+		Inputs: []string{"city/crowd/+", "city/scenic/+"},
+		Output: "city/recommendation",
+		Params: map[string]string{"handler": "navigator"},
+	})
+
+	rec := &ifot.Recipe{Name: "mobility-support", Tasks: tasksList}
+	dep, err := manager.Deploy(rec)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := dep.WaitRunning(ctx); err != nil {
+		return err
+	}
+	log.Printf("deployed %q: %d subtasks", rec.Name, len(dep.SubTasks))
+
+	// Stream discovery (paper future work): any module can enumerate the
+	// city's live streams.
+	streams, err := hub.DiscoverStreams("city/#", 5*time.Second)
+	if err != nil {
+		return err
+	}
+	topics := make([]string, 0, len(streams))
+	for _, s := range streams {
+		topics = append(topics, s.Topic)
+	}
+	sort.Strings(topics)
+	fmt.Printf("discovered %d city streams: %s\n", len(topics), strings.Join(topics, " "))
+
+	// Wait for a stable recommendation.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if rec, ok := display.State("recommend"); ok && nav.stable() {
+			fmt.Printf("navigation: recommend PoI %d (utility %.1f)\n", nav.best(), rec)
+			if nav.best() != 1 {
+				return fmt.Errorf("recommended PoI %d, want the quiet scenic PoI 1", nav.best())
+			}
+			fmt.Println("mobility support OK: navigator picked the scenic, uncrowded PoI")
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("no stable recommendation (display commands: %d)", display.CommandCount())
+}
+
+// navigator fuses per-PoI crowd and scenic context and drives the display.
+type navigator struct {
+	display *ifot.VirtualActuator
+
+	mu      sync.Mutex
+	crowd   map[int]float64
+	scenic  map[int]float64
+	current int
+	settled int
+}
+
+func newNavigator(display *ifot.VirtualActuator) *navigator {
+	return &navigator{
+		display: display,
+		crowd:   make(map[int]float64),
+		scenic:  make(map[int]float64),
+		current: -1,
+	}
+}
+
+func (n *navigator) handle(msg ifot.Message, publish func(string, []byte) error) {
+	d, err := ifot.DecodeDecision(msg.Payload)
+	if err != nil {
+		return
+	}
+	var poi int
+	if _, err := fmt.Sscanf(d.Label, "poi%d", &poi); err != nil {
+		return
+	}
+	n.mu.Lock()
+	switch d.Kind {
+	case "crowd":
+		n.crowd[poi] = d.Score
+	case "scenic":
+		n.scenic[poi] = d.Score
+	}
+	best, utility := n.pickLocked()
+	changed := best >= 0 && best != n.current
+	if best >= 0 && best == n.current {
+		n.settled++
+	}
+	if changed {
+		n.current = best
+		n.settled = 0
+	}
+	n.mu.Unlock()
+
+	if changed {
+		rec := ifot.Decision{Kind: "recommendation", Label: fmt.Sprintf("poi%d", best), Score: utility, At: time.Now()}
+		_ = publish("city/recommendation", ifot.EncodeJSON(rec))
+		_ = n.display.Apply(ifot.Command{Name: "recommend", Value: utility, Detail: rec.Label, IssuedAt: time.Now()})
+	}
+}
+
+// pickLocked returns the PoI maximizing scenic - crowd (utility), or -1
+// until every PoI has both context values.
+func (n *navigator) pickLocked() (int, float64) {
+	best, bestScore := -1, 0.0
+	for poi := 0; poi < poiCount; poi++ {
+		c, okC := n.crowd[poi]
+		s, okS := n.scenic[poi]
+		if !okC || !okS {
+			return -1, 0
+		}
+		utility := s - c
+		if best == -1 || utility > bestScore {
+			best, bestScore = poi, utility
+		}
+	}
+	return best, bestScore
+}
+
+func (n *navigator) best() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.current
+}
+
+func (n *navigator) stable() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.current >= 0 && n.settled >= 10
+}

@@ -1,0 +1,3 @@
+module github.com/ifot-middleware/ifot
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package ifot is the public API of the IFoT middleware: a framework for
+// processing IoT data streams in real time, distributed across the IoT
+// devices themselves ("Process On Our Own"), as described in
+// "Design and Implementation of Middleware for IoT Devices toward
+// Real-Time Flow Processing" (ICDCS Workshops 2016).
+//
+// The middleware provides four functions:
+//
+//  1. Task allocation — applications submit a Recipe (a task graph); the
+//     management node splits it into subtasks and assigns them to neuron
+//     modules (Manager.Deploy).
+//  2. Flow distribution — data streams move between modules over MQTT
+//     publish/subscribe (Broker, Module.Publish/Subscribe).
+//  3. Flow analysis — online machine-learning classes train and judge
+//     models over streams (task kinds KindTrain, KindPredict, KindAnomaly,
+//     KindCluster).
+//  4. Sensor/actuator integration — heterogeneous devices appear as
+//     uniform streams and command sinks (Sensor, Actuator).
+//
+// A minimal deployment is: one Broker, one Manager, and a set of Modules
+// hosting sensors and actuators; see examples/quickstart.
+package ifot
+
+import (
+	"net"
+
+	"github.com/ifot-middleware/ifot/internal/bridge"
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/netsim"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Middleware runtime types.
+type (
+	// Module is one IFoT neuron module: it hosts assigned subtasks and
+	// integrates local sensors and actuators.
+	Module = core.Module
+	// ModuleConfig configures a Module.
+	ModuleConfig = core.Config
+	// Manager is the management node: it splits recipes and assigns
+	// subtasks to modules.
+	Manager = core.Manager
+	// ManagerConfig configures a Manager.
+	ManagerConfig = core.ManagerConfig
+	// Deployment tracks a deployed recipe's start-up.
+	Deployment = core.Deployment
+	// Observer receives middleware events (training, decisions).
+	Observer = core.Observer
+	// Decision is the output of the Judging classes.
+	Decision = core.Decision
+	// TrainEvent is the output of the Learning class.
+	TrainEvent = core.TrainEvent
+	// StreamInfo describes a discoverable stream.
+	StreamInfo = core.StreamInfo
+	// CustomFunc is an application-defined stream stage.
+	CustomFunc = core.CustomFunc
+	// Message is a raw MQTT application message.
+	Message = mqttclient.Message
+)
+
+// Recipe types (the task-graph language).
+type (
+	// Recipe is an application's task graph.
+	Recipe = recipe.Recipe
+	// Task is one node of a recipe.
+	Task = recipe.Task
+	// TaskKind selects the middleware class executing a task.
+	TaskKind = recipe.Kind
+	// Placement constrains where a task may run.
+	Placement = recipe.Placement
+	// SubTask is a schedulable unit produced by splitting a recipe.
+	SubTask = recipe.SubTask
+)
+
+// Task kinds.
+const (
+	KindSense     = recipe.KindSense
+	KindWindow    = recipe.KindWindow
+	KindFilter    = recipe.KindFilter
+	KindAggregate = recipe.KindAggregate
+	KindTrain     = recipe.KindTrain
+	KindPredict   = recipe.KindPredict
+	KindAnomaly   = recipe.KindAnomaly
+	KindCluster   = recipe.KindCluster
+	KindActuate   = recipe.KindActuate
+	KindCustom    = recipe.KindCustom
+)
+
+// Device types.
+type (
+	// Sensor is a virtual or physical sensor emitting fixed-size samples.
+	Sensor = sensor.Sensor
+	// Sample is one 32-byte sensor reading.
+	Sample = sensor.Sample
+	// SensorType is a sensor modality.
+	SensorType = sensor.Type
+	// Generator produces synthetic sensor waveforms.
+	Generator = sensor.Generator
+	// Actuator applies commands to the environment.
+	Actuator = sensor.Actuator
+	// VirtualActuator is an in-memory actuator recording its commands.
+	VirtualActuator = sensor.VirtualActuator
+	// Command is an actuator instruction.
+	Command = sensor.Command
+)
+
+// Sensor modalities.
+const (
+	Accelerometer = sensor.Accelerometer
+	Illuminance   = sensor.Illuminance
+	Sound         = sensor.Sound
+	Motion        = sensor.Motion
+	Temperature   = sensor.Temperature
+	Humidity      = sensor.Humidity
+)
+
+// Broker types.
+type (
+	// Broker is the MQTT flow-distribution broker.
+	Broker = broker.Broker
+	// BrokerOptions configures a Broker.
+	BrokerOptions = broker.Options
+	// Bridge forwards selected topics between two brokers (area
+	// federation).
+	Bridge = bridge.Bridge
+	// BridgeConfig configures a Bridge.
+	BridgeConfig = bridge.Config
+	// BridgeRoute is one bridged topic pattern.
+	BridgeRoute = bridge.Route
+	// QoS is an MQTT quality-of-service level.
+	QoS = wire.QoS
+)
+
+// Bridge directions.
+const (
+	BridgeOut = bridge.Out
+	BridgeIn  = bridge.In
+)
+
+// NewBridge connects two brokers and forwards the configured routes.
+func NewBridge(cfg BridgeConfig) (*Bridge, error) { return bridge.NewBridge(cfg) }
+
+// QoS levels.
+const (
+	QoS0 = wire.QoS0
+	QoS1 = wire.QoS1
+)
+
+// Payload helpers re-exported for application stages.
+var (
+	// EncodeJSON marshals control/decision payloads.
+	EncodeJSON = core.EncodeJSON
+	// EncodeBatch serializes a joined sample batch.
+	EncodeBatch = core.EncodeBatch
+	// DecodeBatch parses a joined sample batch.
+	DecodeBatch = core.DecodeBatch
+	// DecodeSample parses one 32-byte sample.
+	DecodeSample = sensor.DecodeSample
+)
+
+// DecodeSamples accepts either a bare 32-byte sample or a batch payload —
+// the two encodings that flow on data topics.
+func DecodeSamples(payload []byte) ([]Sample, error) {
+	if len(payload) == sensor.SampleSize {
+		s, err := sensor.DecodeSample(payload)
+		if err != nil {
+			return nil, err
+		}
+		return []Sample{s}, nil
+	}
+	return core.DecodeBatch(payload)
+}
+
+// DecodeDecision parses a Judging-class decision payload.
+func DecodeDecision(payload []byte) (Decision, error) {
+	var d Decision
+	err := core.DecodeJSON(payload, &d)
+	return d, err
+}
+
+// NewModule creates an unstarted neuron module.
+func NewModule(cfg ModuleConfig) *Module { return core.NewModule(cfg) }
+
+// NewManager creates an unstarted management node.
+func NewManager(cfg ManagerConfig) *Manager { return core.NewManager(cfg) }
+
+// NewBroker creates a flow-distribution broker.
+func NewBroker(opts BrokerOptions) *Broker { return broker.New(opts) }
+
+// ParseRecipe parses and validates a JSON recipe document.
+func ParseRecipe(data []byte) (*Recipe, error) { return recipe.Unmarshal(data) }
+
+// MarshalRecipe renders a recipe as canonical JSON.
+func MarshalRecipe(r *Recipe) ([]byte, error) { return recipe.Marshal(r) }
+
+// Waveform generators for virtual sensors.
+var (
+	// Constant emits fixed channel values.
+	Constant = sensor.Constant
+	// Sine emits a three-phase sine wave.
+	Sine = sensor.Sine
+	// GaussianNoise emits Gaussian noise around a mean.
+	GaussianNoise = sensor.GaussianNoise
+	// RandomWalk emits a bounded random walk on channel 0.
+	RandomWalk = sensor.RandomWalk
+	// SpikeInjector overlays periodic anomalies on a base generator.
+	SpikeInjector = sensor.SpikeInjector
+	// NewVirtualActuator creates an in-memory actuator.
+	NewVirtualActuator = sensor.NewVirtualActuator
+)
+
+// Testbed is an in-process IFoT deployment: a broker on an in-memory (or
+// TCP) transport, ready to attach modules and a manager. It exists so
+// examples and tests can stand up a full system in a few lines.
+type Testbed struct {
+	Broker *Broker
+
+	listener net.Listener
+	pipe     *netsim.PipeListener
+	addr     string
+}
+
+// NewTestbed starts a broker on an in-memory transport.
+func NewTestbed() *Testbed {
+	b := broker.New(broker.Options{})
+	p := netsim.NewPipeListener()
+	go func() { _ = b.Serve(p) }()
+	return &Testbed{Broker: b, pipe: p}
+}
+
+// NewTCPTestbed starts a broker on a local TCP listener (addr may be
+// "127.0.0.1:0" for an ephemeral port).
+func NewTCPTestbed(addr string) (*Testbed, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	b := broker.New(broker.Options{})
+	go func() { _ = b.Serve(l) }()
+	return &Testbed{Broker: b, listener: l, addr: l.Addr().String()}, nil
+}
+
+// Addr reports the broker's TCP address ("" for in-memory testbeds).
+func (tb *Testbed) Addr() string { return tb.addr }
+
+// Dial returns a transport factory usable in ModuleConfig.Dial and
+// ManagerConfig.Dial.
+func (tb *Testbed) Dial() func() (net.Conn, error) {
+	if tb.pipe != nil {
+		return tb.pipe.Dial
+	}
+	addr := tb.addr
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// Close stops the broker and its listener.
+func (tb *Testbed) Close() error {
+	if tb.pipe != nil {
+		_ = tb.pipe.Close()
+	}
+	if tb.listener != nil {
+		_ = tb.listener.Close()
+	}
+	return tb.Broker.Close()
+}

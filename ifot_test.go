@@ -1,0 +1,181 @@
+package ifot_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot"
+)
+
+// TestPublicAPIQuickPipeline drives the full stack through the public
+// facade only: testbed, module, manager, recipe, decisions.
+func TestPublicAPIQuickPipeline(t *testing.T) {
+	testbed := ifot.NewTestbed()
+	defer testbed.Close()
+
+	decisions := make(chan ifot.Decision, 64)
+	module := ifot.NewModule(ifot.ModuleConfig{
+		ID: "api-node", CapacityOps: 500, Dial: testbed.Dial(),
+		Observer: ifot.Observer{OnDecision: func(d ifot.Decision) {
+			select {
+			case decisions <- d:
+			default:
+			}
+		}},
+	})
+	module.RegisterSensor(&ifot.Sensor{
+		ID: "t1", Kind: ifot.Temperature, RateHz: 50,
+		Gen: ifot.GaussianNoise(20, 1, 3),
+	})
+
+	manager := ifot.NewManager(ifot.ManagerConfig{Dial: testbed.Dial()})
+	if err := manager.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer manager.Close()
+	if err := module.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer module.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(manager.Modules()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("module never announced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dep, err := manager.Deploy(&ifot.Recipe{
+		Name: "api-test",
+		Tasks: []ifot.Task{
+			{ID: "sense", Kind: ifot.KindSense, Output: "api/raw",
+				Params: map[string]string{"sensor": "t1"}},
+			{ID: "watch", Kind: ifot.KindAnomaly, Inputs: []string{"task:sense"},
+				Output: "api/alerts"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := dep.WaitRunning(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case d := <-decisions:
+		if d.Recipe != "api-test" || d.Kind != "anomaly" {
+			t.Fatalf("decision = %+v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no decisions through public API")
+	}
+}
+
+// TestTCPTestbed exercises the broker over a real TCP socket through the
+// facade.
+func TestTCPTestbed(t *testing.T) {
+	testbed, err := ifot.NewTCPTestbed("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer testbed.Close()
+	if testbed.Addr() == "" {
+		t.Fatal("TCP testbed has no address")
+	}
+
+	a := ifot.NewModule(ifot.ModuleConfig{ID: "tcp-a", Dial: testbed.Dial()})
+	bm := ifot.NewModule(ifot.ModuleConfig{ID: "tcp-b", Dial: testbed.Dial()})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := bm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Close()
+
+	got := make(chan []byte, 1)
+	if err := bm.Subscribe("tcp/topic", func(msg ifot.Message) {
+		select {
+		case got <- msg.Payload:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish("tcp/topic", []byte("over-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case payload := <-got:
+		if string(payload) != "over-tcp" {
+			t.Fatalf("payload = %q", payload)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery over TCP testbed")
+	}
+}
+
+// TestRecipeJSONRoundTripThroughFacade checks the recipe language entry
+// points.
+func TestRecipeJSONRoundTripThroughFacade(t *testing.T) {
+	rec := &ifot.Recipe{
+		Name:    "json-rt",
+		Version: 3,
+		Tasks: []ifot.Task{
+			{ID: "sense", Kind: ifot.KindSense, Output: "j/raw"},
+			{ID: "window", Kind: ifot.KindWindow, Inputs: []string{"task:sense"},
+				Output: "j/win", Params: map[string]string{"size": "8"}},
+		},
+	}
+	data, err := ifot.MarshalRecipe(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ifot.ParseRecipe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rec.Name || back.Version != 3 || len(back.Tasks) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := ifot.ParseRecipe([]byte(`{"name":"bad","tasks":[]}`)); err == nil {
+		t.Fatal("ParseRecipe accepted invalid recipe")
+	}
+}
+
+// TestPayloadHelpers checks the facade's sample/batch/decision codecs.
+func TestPayloadHelpers(t *testing.T) {
+	s := ifot.Sample{SensorIndex: 2, Kind: ifot.Sound, Seq: 5, Timestamp: time.Unix(9, 0)}
+	single, err := ifot.DecodeSamples(s.Encode())
+	if err != nil || len(single) != 1 || single[0].Seq != 5 {
+		t.Fatalf("DecodeSamples(single) = %v, %v", single, err)
+	}
+	batch, err := ifot.DecodeSamples(ifot.EncodeBatch([]ifot.Sample{s, s}))
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("DecodeSamples(batch) = %v, %v", batch, err)
+	}
+	d := ifot.Decision{Recipe: "r", TaskID: "t", Kind: "anomaly", Label: "normal", Score: 1.5}
+	got, err := ifot.DecodeDecision(ifot.EncodeJSON(d))
+	if err != nil || got.Label != "normal" || got.Score != 1.5 {
+		t.Fatalf("DecodeDecision = %+v, %v", got, err)
+	}
+	if _, err := ifot.DecodeDecision([]byte("{")); err == nil {
+		t.Fatal("DecodeDecision accepted malformed JSON")
+	}
+}
+
+// TestVirtualActuatorFacade checks the re-exported actuator helpers.
+func TestVirtualActuatorFacade(t *testing.T) {
+	act := ifot.NewVirtualActuator("lamp", "on")
+	if err := act.Apply(ifot.Command{Name: "on", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := act.Apply(ifot.Command{Name: "off"}); err == nil {
+		t.Fatal("whitelist not enforced through facade")
+	}
+}

@@ -1,0 +1,232 @@
+package bridge
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/netsim"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// twoBrokers spins up two independent brokers on in-memory listeners.
+func twoBrokers(t *testing.T) (dialA, dialB func() (net.Conn, error)) {
+	t.Helper()
+	mk := func() func() (net.Conn, error) {
+		b := broker.New(broker.Options{})
+		l := netsim.NewPipeListener()
+		go func() { _ = b.Serve(l) }()
+		t.Cleanup(func() { _ = b.Close(); _ = l.Close() })
+		return l.Dial
+	}
+	return mk(), mk()
+}
+
+func bridgeClients(t *testing.T, dialA, dialB func() (net.Conn, error)) (a, b *mqttclient.Client) {
+	t.Helper()
+	connA, err := dialA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = mqttclient.Connect(connA, mqttclient.NewOptions("client-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	connB, err := dialB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = mqttclient.Connect(connB, mqttclient.NewOptions("client-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return a, b
+}
+
+func TestBridgeForwardsOutbound(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	bridge, err := NewBridge(Config{
+		Name:       "area-link",
+		DialLocal:  dialA,
+		DialRemote: dialB,
+		Routes: []Route{
+			{Filter: "city/#", Direction: Out, QoS: wire.QoS1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bridge.Close() })
+
+	clientA, clientB := bridgeClients(t, dialA, dialB)
+	got := make(chan mqttclient.Message, 4)
+	if _, err := clientB.Subscribe("city/#", wire.QoS1, func(m mqttclient.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := clientA.Publish("city/flow/poi1", []byte("42"), wire.QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Topic != "city/flow/poi1" || string(m.Payload) != "42" {
+			t.Fatalf("bridged message = %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("message never crossed the bridge")
+	}
+	// The counter increments after the QoS1 publish is acked, which can
+	// trail the delivery; poll briefly.
+	counterDeadline := time.Now().Add(5 * time.Second)
+	for bridge.Forwarded() == 0 {
+		if time.Now().After(counterDeadline) {
+			t.Fatal("Forwarded counter not incremented")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Non-matching topics stay local.
+	if err := clientA.Publish("private/topic", []byte("x"), wire.QoS0, false); err != nil {
+		t.Fatal(err)
+	}
+	probe := make(chan mqttclient.Message, 1)
+	if _, err := clientB.Subscribe("private/#", wire.QoS0, func(m mqttclient.Message) { probe <- m }); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientA.Publish("private/topic", []byte("y"), wire.QoS0, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-probe:
+		t.Fatalf("unbridged topic leaked: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestInboundDirection(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	bridge, err := NewBridge(Config{
+		Name:       "in-link",
+		DialLocal:  dialA,
+		DialRemote: dialB,
+		Routes:     []Route{{Filter: "alerts/#", Direction: In, QoS: wire.QoS1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bridge.Close() })
+
+	clientA, clientB := bridgeClients(t, dialA, dialB)
+	got := make(chan mqttclient.Message, 4)
+	if _, err := clientA.Subscribe("alerts/#", wire.QoS1, func(m mqttclient.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientB.Publish("alerts/fire", []byte("!"), wire.QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Topic != "alerts/fire" {
+			t.Fatalf("bridged inbound = %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("inbound message never crossed")
+	}
+}
+
+func TestBridgeRejectsLoopingConfig(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	_, err := NewBridge(Config{
+		Name:       "loop",
+		DialLocal:  dialA,
+		DialRemote: dialB,
+		Routes: []Route{
+			{Filter: "x/#", Direction: Out},
+			{Filter: "x/#", Direction: In},
+		},
+	})
+	if !errors.Is(err, ErrLoop) {
+		t.Fatalf("err = %v, want ErrLoop", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	cases := []Config{
+		{DialLocal: dialA, DialRemote: dialB, Routes: []Route{{Filter: "a", Direction: Out}}}, // no name
+		{Name: "x", DialLocal: dialA, DialRemote: dialB},                                      // no routes
+		{Name: "x", DialLocal: dialA, DialRemote: dialB,
+			Routes: []Route{{Filter: "bad/#/f", Direction: Out}}}, // bad filter
+		{Name: "x", DialLocal: dialA, DialRemote: dialB,
+			Routes: []Route{{Filter: "a"}}}, // no direction
+	}
+	for i, cfg := range cases {
+		if _, err := NewBridge(cfg); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBridgeDoesNotForwardRetainedReplays(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	clientA, clientB := bridgeClients(t, dialA, dialB)
+	// Retained message exists before the bridge comes up.
+	if err := clientA.Publish("city/conf", []byte("stale"), wire.QoS1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	bridge, err := NewBridge(Config{
+		Name:       "no-retain",
+		DialLocal:  dialA,
+		DialRemote: dialB,
+		Routes:     []Route{{Filter: "city/#", Direction: Out, QoS: wire.QoS1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bridge.Close() })
+
+	got := make(chan mqttclient.Message, 4)
+	if _, err := clientB.Subscribe("city/#", wire.QoS1, func(m mqttclient.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("stale retained message crossed the bridge: %+v", m)
+	case <-time.After(150 * time.Millisecond):
+	}
+	// Live traffic still flows.
+	if err := clientA.Publish("city/live", []byte("fresh"), wire.QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Topic != "city/live" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live traffic blocked")
+	}
+}
+
+func TestBridgeDoubleCloseSafe(t *testing.T) {
+	dialA, dialB := twoBrokers(t)
+	bridge, err := NewBridge(Config{
+		Name: "c", DialLocal: dialA, DialRemote: dialB,
+		Routes: []Route{{Filter: "a/#", Direction: Out}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

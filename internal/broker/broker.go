@@ -1,0 +1,470 @@
+// Package broker implements an MQTT 3.1.1 message broker. It is the IFoT
+// middleware's Broker class (the paper's prototype used Mosquitto; this is
+// a from-scratch conforming replacement supporting QoS 0/1 subscriptions,
+// QoS 0/1/2 inbound publishes, retained messages, persistent sessions,
+// wills, and `+`/`#` wildcard filters).
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Errors returned by the broker.
+var (
+	ErrClosed = errors.New("broker: closed")
+)
+
+// Authenticator decides whether a CONNECT with the given credentials is
+// accepted. username is empty when the client sent none.
+type Authenticator func(clientID, username string, password []byte) bool
+
+// Options configures a Broker. The zero value is usable.
+type Options struct {
+	// MaxQoS caps the QoS granted to subscriptions (default QoS1).
+	MaxQoS wire.QoS
+	// MaxPacketSize bounds inbound packets in bytes (default 1 MiB).
+	MaxPacketSize int
+	// SessionQueueSize is the per-connection outbound queue length
+	// (default 256).
+	SessionQueueSize int
+	// Authenticator, when set, gates connections.
+	Authenticator Authenticator
+	// Logger receives diagnostic messages; nil silences them.
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQoS == 0 {
+		o.MaxQoS = wire.QoS1
+	}
+	if o.MaxQoS > wire.QoS1 {
+		o.MaxQoS = wire.QoS1 // outbound QoS2 delivery is not implemented
+	}
+	if o.MaxPacketSize <= 0 {
+		o.MaxPacketSize = 1 << 20
+	}
+	if o.SessionQueueSize <= 0 {
+		o.SessionQueueSize = 256
+	}
+	return o
+}
+
+// Stats is a snapshot of broker counters.
+type Stats struct {
+	ConnectedClients  int
+	Sessions          int
+	Subscriptions     int
+	RetainedMessages  int
+	MessagesReceived  int64
+	MessagesDelivered int64
+	MessagesDropped   int64
+}
+
+type retainedMsg struct {
+	payload []byte
+	qos     wire.QoS
+}
+
+// Broker is an MQTT broker. Create one with New, feed it connections with
+// Serve or ServeConn, and stop it with Close.
+type Broker struct {
+	opts Options
+
+	mu        sync.Mutex
+	sessions  map[string]*session // all sessions (connected and parked)
+	conns     map[string]net.Conn // live connection per client ID
+	retained  map[string]retainedMsg
+	listeners []net.Listener
+	closed    bool
+
+	received  int64
+	delivered int64
+
+	trie *subTrie
+	wg   sync.WaitGroup
+}
+
+// New creates a broker with the given options.
+func New(opts Options) *Broker {
+	return &Broker{
+		opts:     opts.withDefaults(),
+		sessions: make(map[string]*session),
+		conns:    make(map[string]net.Conn),
+		retained: make(map[string]retainedMsg),
+		trie:     newSubTrie(),
+	}
+}
+
+// Serve accepts connections from l until the broker or listener is closed.
+func (b *Broker) Serve(l net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.listeners = append(b.listeners, l)
+	b.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("broker accept: %w", err)
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs the MQTT protocol on a single already-accepted connection,
+// returning when the connection ends. It is useful with in-memory pipes.
+func (b *Broker) ServeConn(conn net.Conn) {
+	b.wg.Add(1)
+	defer b.wg.Done()
+	b.handleConn(conn)
+}
+
+// Close stops all listeners, disconnects every client, and waits for the
+// connection handlers to finish.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	listeners := b.listeners
+	conns := make([]net.Conn, 0, len(b.conns))
+	for _, c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var dropped int64
+	for _, s := range b.sessions {
+		dropped += s.dropped()
+	}
+	return Stats{
+		ConnectedClients:  len(b.conns),
+		Sessions:          len(b.sessions),
+		Subscriptions:     b.trie.countSubscriptions(),
+		RetainedMessages:  len(b.retained),
+		MessagesReceived:  b.received,
+		MessagesDelivered: b.delivered,
+		MessagesDropped:   dropped,
+	}
+}
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.opts.Logger != nil {
+		b.opts.Logger.Printf(format, args...)
+	}
+}
+
+// handleConn drives one client connection through CONNECT and the steady
+// state loop.
+func (b *Broker) handleConn(conn net.Conn) {
+	defer conn.Close()
+
+	// The first packet must be CONNECT; give slow clients 10 seconds.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	pkt, err := wire.ReadPacket(conn, b.opts.MaxPacketSize)
+	if err != nil {
+		return
+	}
+	connect, ok := pkt.(*wire.ConnectPacket)
+	if !ok {
+		return
+	}
+	if connect.ProtocolLevel != wire.ProtocolLevel311 && connect.ProtocolLevel != wire.ProtocolLevel31 {
+		_ = wire.WritePacket(conn, &wire.ConnackPacket{Code: wire.ConnRefusedVersion})
+		return
+	}
+	if connect.ClientID == "" && !connect.CleanSession {
+		_ = wire.WritePacket(conn, &wire.ConnackPacket{Code: wire.ConnRefusedIdentifier})
+		return
+	}
+	if connect.ClientID == "" {
+		connect.ClientID = fmt.Sprintf("anon-%p", conn)
+	}
+	if b.opts.Authenticator != nil && !b.opts.Authenticator(connect.ClientID, connect.Username, connect.Password) {
+		_ = wire.WritePacket(conn, &wire.ConnackPacket{Code: wire.ConnRefusedBadAuth})
+		return
+	}
+
+	sess, sessionPresent, err := b.registerSession(connect, conn)
+	if err != nil {
+		return
+	}
+	outbound, resend, gen := sess.attach(b.opts.SessionQueueSize)
+
+	if err := wire.WritePacket(conn, &wire.ConnackPacket{SessionPresent: sessionPresent, Code: wire.ConnAccepted}); err != nil {
+		b.unregisterConn(sess, conn, gen)
+		return
+	}
+	b.logf("broker: client %q connected (persistent=%v)", sess.clientID, sess.persistent)
+
+	// Redeliver unacked and offline-queued QoS1 messages (already tracked
+	// in the inflight window, so bypass deliver's ID allocation).
+	for _, p := range resend {
+		sess.send(p)
+	}
+
+	// Writer goroutine: drains the outbound queue into the socket.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for p := range outbound {
+			if err := wire.WritePacket(conn, p); err != nil {
+				return
+			}
+			if p.Type() == wire.PUBLISH {
+				b.mu.Lock()
+				b.delivered++
+				b.mu.Unlock()
+			}
+		}
+	}()
+
+	will := willOf(connect)
+	normal := b.readLoop(conn, sess, connect.KeepAlive)
+
+	// Tear down: detach so no further deliveries target this connection,
+	// then close the outbound channel to stop the writer.
+	b.unregisterConn(sess, conn, gen)
+	close(outbound)
+	_ = conn.Close()
+	<-writerDone
+
+	if !normal && will != nil {
+		b.route(will, sess.clientID)
+	}
+	b.logf("broker: client %q disconnected (graceful=%v)", sess.clientID, normal)
+}
+
+// willOf extracts the will message from a CONNECT, if any.
+func willOf(c *wire.ConnectPacket) *wire.PublishPacket {
+	if !c.WillFlag {
+		return nil
+	}
+	return &wire.PublishPacket{
+		Topic:   c.WillTopic,
+		Payload: c.WillMessage,
+		QoS:     c.WillQoS,
+		Retain:  c.WillRetain,
+	}
+}
+
+// registerSession creates or revives the session for a CONNECT, taking over
+// any existing connection with the same client ID.
+func (b *Broker) registerSession(connect *wire.ConnectPacket, conn net.Conn) (*session, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, false, ErrClosed
+	}
+
+	if old, ok := b.conns[connect.ClientID]; ok {
+		// Session takeover (spec 3.1.4): disconnect the existing client.
+		_ = old.Close()
+		delete(b.conns, connect.ClientID)
+	}
+
+	sess, existed := b.sessions[connect.ClientID]
+	sessionPresent := false
+	if connect.CleanSession || !existed {
+		if existed {
+			b.trie.removeAll(connect.ClientID)
+		}
+		sess = newSession(connect.ClientID, !connect.CleanSession)
+		b.sessions[connect.ClientID] = sess
+	} else {
+		sessionPresent = true
+	}
+	b.conns[connect.ClientID] = conn
+	return sess, sessionPresent, nil
+}
+
+// unregisterConn detaches a finished connection and discards clean-session
+// state.
+func (b *Broker) unregisterConn(sess *session, conn net.Conn, gen uint64) {
+	sess.detach(gen)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.conns[sess.clientID] == conn {
+		delete(b.conns, sess.clientID)
+		if !sess.persistent {
+			delete(b.sessions, sess.clientID)
+			b.trie.removeAll(sess.clientID)
+		}
+	}
+}
+
+// readLoop processes inbound packets until the connection ends. It reports
+// whether the client disconnected gracefully (DISCONNECT packet).
+func (b *Broker) readLoop(conn net.Conn, sess *session, keepAlive uint16) (graceful bool) {
+	for {
+		if keepAlive > 0 {
+			deadline := time.Duration(keepAlive) * time.Second * 3 / 2
+			_ = conn.SetReadDeadline(time.Now().Add(deadline))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+		pkt, err := wire.ReadPacket(conn, b.opts.MaxPacketSize)
+		if err != nil {
+			return false
+		}
+		switch p := pkt.(type) {
+		case *wire.PublishPacket:
+			b.handlePublish(sess, p)
+		case *wire.AckPacket:
+			switch p.PacketType {
+			case wire.PUBACK:
+				sess.ack(p.PacketID)
+			case wire.PUBREL:
+				sess.releaseIncomingQoS2(p.PacketID)
+				sess.send(&wire.AckPacket{PacketType: wire.PUBCOMP, PacketID: p.PacketID})
+			case wire.PUBREC, wire.PUBCOMP:
+				// Outbound QoS2 is never generated; ignore.
+			}
+		case *wire.SubscribePacket:
+			b.handleSubscribe(sess, p)
+		case *wire.UnsubscribePacket:
+			b.handleUnsubscribe(sess, p)
+		case *wire.PingreqPacket:
+			sess.send(&wire.PingrespPacket{})
+		case *wire.DisconnectPacket:
+			return true
+		case *wire.ConnectPacket:
+			// Second CONNECT is a protocol violation (spec 3.1.0-2).
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+func (b *Broker) handlePublish(sess *session, p *wire.PublishPacket) {
+	b.mu.Lock()
+	b.received++
+	b.mu.Unlock()
+
+	deliver := true
+	switch p.QoS {
+	case wire.QoS1:
+		sess.send(&wire.AckPacket{PacketType: wire.PUBACK, PacketID: p.PacketID})
+	case wire.QoS2:
+		deliver = sess.markIncomingQoS2(p.PacketID)
+		sess.send(&wire.AckPacket{PacketType: wire.PUBREC, PacketID: p.PacketID})
+	}
+	if !deliver {
+		return
+	}
+
+	if p.Retain {
+		b.mu.Lock()
+		if len(p.Payload) == 0 {
+			delete(b.retained, p.Topic)
+		} else {
+			b.retained[p.Topic] = retainedMsg{payload: append([]byte(nil), p.Payload...), qos: p.QoS}
+		}
+		b.mu.Unlock()
+	}
+	b.route(p, sess.clientID)
+}
+
+// route fans a message out to all matching subscribers.
+func (b *Broker) route(p *wire.PublishPacket, fromClientID string) {
+	for _, sub := range b.trie.match(p.Topic) {
+		out := &wire.PublishPacket{
+			Topic:   p.Topic,
+			Payload: p.Payload,
+			QoS:     minQoS(p.QoS, sub.qos),
+			// Retain flag is false on normal routed deliveries
+			// (spec 3.3.1-9); it is true only for retained-message
+			// replay at subscribe time.
+		}
+		sub.session.deliver(out)
+		_ = fromClientID // brokers may loop messages back to the publisher; MQTT allows it
+	}
+}
+
+func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
+	codes := make([]byte, len(p.Subscriptions))
+	for i, sub := range p.Subscriptions {
+		granted := minQoS(sub.QoS, b.opts.MaxQoS)
+		b.trie.subscribe(sub.TopicFilter, sess, granted)
+		sess.addSubscription(sub.TopicFilter, granted)
+		codes[i] = byte(granted)
+	}
+	sess.send(&wire.SubackPacket{PacketID: p.PacketID, ReturnCodes: codes})
+
+	// Replay retained messages matching the new filters (spec 3.3.1-6).
+	b.mu.Lock()
+	type replay struct {
+		topic string
+		msg   retainedMsg
+		qos   wire.QoS
+	}
+	var replays []replay
+	for i, sub := range p.Subscriptions {
+		for topic, msg := range b.retained {
+			if wire.MatchTopic(sub.TopicFilter, topic) {
+				replays = append(replays, replay{topic: topic, msg: msg, qos: wire.QoS(codes[i])})
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, r := range replays {
+		sess.deliver(&wire.PublishPacket{
+			Topic:   r.topic,
+			Payload: r.msg.payload,
+			QoS:     minQoS(r.msg.qos, r.qos),
+			Retain:  true,
+		})
+	}
+}
+
+func (b *Broker) handleUnsubscribe(sess *session, p *wire.UnsubscribePacket) {
+	for _, f := range p.TopicFilters {
+		b.trie.unsubscribe(f, sess.clientID)
+		sess.removeSubscription(f)
+	}
+	sess.send(&wire.AckPacket{PacketType: wire.UNSUBACK, PacketID: p.PacketID})
+}
+
+func minQoS(a, b wire.QoS) wire.QoS {
+	if a < b {
+		return a
+	}
+	return b
+}

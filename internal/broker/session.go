@@ -1,0 +1,214 @@
+package broker
+
+import (
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// maxQueuedOffline bounds the per-session offline message queue for
+// persistent sessions; the oldest messages are dropped first on overflow.
+const maxQueuedOffline = 1000
+
+// session holds the broker-side state for one client identifier. For
+// persistent sessions (CleanSession=false) the object outlives the network
+// connection; for clean sessions it is discarded on disconnect.
+type session struct {
+	clientID   string
+	persistent bool
+
+	mu        sync.Mutex
+	connected bool
+	outbound  chan wire.Packet // non-nil while connected
+	attachGen uint64           // increments per (re)connection
+
+	// subscriptions mirrors the trie entries owned by this session so
+	// they can be reported and cleaned up.
+	subscriptions map[string]wire.QoS
+
+	// inflight holds QoS1 messages sent to the client but not yet acked,
+	// keyed by packet ID; they are resent (Dup) on reconnect.
+	inflight map[uint16]*wire.PublishPacket
+	// queued holds QoS1 messages that arrived while a persistent session
+	// was offline.
+	queued []*wire.PublishPacket
+	// incomingQoS2 tracks QoS2 publishes received from the client whose
+	// PUBREL is still pending, to suppress redelivery duplicates.
+	incomingQoS2 map[uint16]struct{}
+
+	nextPacketID uint16
+
+	droppedMessages int64
+}
+
+func newSession(clientID string, persistent bool) *session {
+	return &session{
+		clientID:      clientID,
+		persistent:    persistent,
+		subscriptions: make(map[string]wire.QoS),
+		inflight:      make(map[uint16]*wire.PublishPacket),
+		incomingQoS2:  make(map[uint16]struct{}),
+	}
+}
+
+// attach binds a new connection's outbound queue to the session and returns
+// the packets that must be (re)sent: unacked inflight messages first (with
+// DUP set), then queued offline messages (now given packet IDs).
+func (s *session) attach(queueSize int) (outbound chan wire.Packet, resend []*wire.PublishPacket, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.connected = true
+	s.attachGen++
+	s.outbound = make(chan wire.Packet, queueSize)
+
+	resend = make([]*wire.PublishPacket, 0, len(s.inflight)+len(s.queued))
+	for _, p := range s.inflight {
+		dup := *p
+		dup.Dup = true
+		resend = append(resend, &dup)
+	}
+	for _, p := range s.queued {
+		p.PacketID = s.allocPacketIDLocked()
+		s.inflight[p.PacketID] = p
+		resend = append(resend, p)
+	}
+	s.queued = nil
+	return s.outbound, resend, s.attachGen
+}
+
+// detach marks the session disconnected. It only takes effect if gen still
+// identifies the current attachment (a stale detach from a taken-over
+// connection must not disconnect the successor).
+func (s *session) detach(gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attachGen != gen {
+		return
+	}
+	s.connected = false
+	s.outbound = nil
+}
+
+// deliver routes an application message to the client. Connected sessions
+// get it on the outbound queue (dropped if the queue is full and the
+// message is QoS0). Offline persistent sessions queue QoS1 messages.
+// It reports whether the message was accepted.
+func (s *session) deliver(p *wire.PublishPacket) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.connected {
+		if p.QoS > wire.QoS0 {
+			p.PacketID = s.allocPacketIDLocked()
+			s.inflight[p.PacketID] = p
+		}
+		select {
+		case s.outbound <- p:
+			return true
+		default:
+			s.droppedMessages++
+			if p.QoS > wire.QoS0 {
+				// Stays in inflight; it will be retried on reconnect.
+				delete(s.inflight, p.PacketID)
+				s.queueOfflineLocked(p)
+			}
+			return false
+		}
+	}
+	if s.persistent && p.QoS > wire.QoS0 {
+		s.queueOfflineLocked(p)
+		return true
+	}
+	return false
+}
+
+func (s *session) queueOfflineLocked(p *wire.PublishPacket) {
+	if len(s.queued) >= maxQueuedOffline {
+		copy(s.queued, s.queued[1:])
+		s.queued = s.queued[:len(s.queued)-1]
+		s.droppedMessages++
+	}
+	s.queued = append(s.queued, p)
+}
+
+// send enqueues a control packet (acks, pings) for the connected client.
+func (s *session) send(p wire.Packet) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.connected {
+		return false
+	}
+	select {
+	case s.outbound <- p:
+		return true
+	default:
+		s.droppedMessages++
+		return false
+	}
+}
+
+// ack removes a client-acknowledged QoS1 message from the inflight window.
+func (s *session) ack(packetID uint16) {
+	s.mu.Lock()
+	delete(s.inflight, packetID)
+	s.mu.Unlock()
+}
+
+// markIncomingQoS2 records an incoming QoS2 publish. It reports true if the
+// packet ID is new (message should be delivered) or false for a duplicate.
+func (s *session) markIncomingQoS2(packetID uint16) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.incomingQoS2[packetID]; dup {
+		return false
+	}
+	s.incomingQoS2[packetID] = struct{}{}
+	return true
+}
+
+// releaseIncomingQoS2 completes the QoS2 receive handshake for packetID.
+func (s *session) releaseIncomingQoS2(packetID uint16) {
+	s.mu.Lock()
+	delete(s.incomingQoS2, packetID)
+	s.mu.Unlock()
+}
+
+func (s *session) addSubscription(filter string, qos wire.QoS) {
+	s.mu.Lock()
+	s.subscriptions[filter] = qos
+	s.mu.Unlock()
+}
+
+func (s *session) removeSubscription(filter string) {
+	s.mu.Lock()
+	delete(s.subscriptions, filter)
+	s.mu.Unlock()
+}
+
+func (s *session) subscriptionList() map[string]wire.QoS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]wire.QoS, len(s.subscriptions))
+	for f, q := range s.subscriptions {
+		out[f] = q
+	}
+	return out
+}
+
+func (s *session) dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.droppedMessages
+}
+
+// allocPacketIDLocked returns the next free nonzero packet identifier.
+func (s *session) allocPacketIDLocked() uint16 {
+	for {
+		s.nextPacketID++
+		if s.nextPacketID == 0 {
+			s.nextPacketID = 1
+		}
+		if _, used := s.inflight[s.nextPacketID]; !used {
+			return s.nextPacketID
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package broker
+
+import (
+	"testing"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+func TestSessionDeliverAssignsPacketIDs(t *testing.T) {
+	s := newSession("c", false)
+	out, _, _ := s.attach(8)
+	if !s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1}) {
+		t.Fatal("deliver rejected")
+	}
+	if !s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1}) {
+		t.Fatal("deliver rejected")
+	}
+	first := (<-out).(*wire.PublishPacket)
+	second := (<-out).(*wire.PublishPacket)
+	if first.PacketID == 0 || second.PacketID == 0 || first.PacketID == second.PacketID {
+		t.Fatalf("packet ids %d, %d must be distinct and nonzero", first.PacketID, second.PacketID)
+	}
+}
+
+func TestSessionAckClearsInflight(t *testing.T) {
+	s := newSession("c", false)
+	out, _, _ := s.attach(8)
+	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1})
+	pkt := (<-out).(*wire.PublishPacket)
+	if len(s.inflight) != 1 {
+		t.Fatalf("inflight = %d, want 1", len(s.inflight))
+	}
+	s.ack(pkt.PacketID)
+	if len(s.inflight) != 0 {
+		t.Fatalf("inflight after ack = %d, want 0", len(s.inflight))
+	}
+}
+
+func TestSessionResendAfterReattach(t *testing.T) {
+	s := newSession("c", true)
+	out, _, gen := s.attach(8)
+	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1, Payload: []byte("m")})
+	<-out // delivered but never acked
+	s.detach(gen)
+
+	_, resend, _ := s.attach(8)
+	if len(resend) != 1 {
+		t.Fatalf("resend = %d packets, want 1", len(resend))
+	}
+	if !resend[0].Dup {
+		t.Fatal("resent packet must carry DUP")
+	}
+}
+
+func TestSessionOfflineQueueingOnlyQoS1(t *testing.T) {
+	s := newSession("c", true)
+	if s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS0}) {
+		t.Fatal("offline QoS0 delivery accepted")
+	}
+	if !s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1}) {
+		t.Fatal("offline QoS1 delivery rejected")
+	}
+	if len(s.queued) != 1 {
+		t.Fatalf("queued = %d, want 1", len(s.queued))
+	}
+}
+
+func TestSessionOfflineQueueBounded(t *testing.T) {
+	s := newSession("c", true)
+	for i := 0; i < maxQueuedOffline+50; i++ {
+		s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1})
+	}
+	if len(s.queued) != maxQueuedOffline {
+		t.Fatalf("queued = %d, want bounded at %d", len(s.queued), maxQueuedOffline)
+	}
+	if s.dropped() == 0 {
+		t.Fatal("overflow not counted as drops")
+	}
+}
+
+func TestSessionNonPersistentOfflineDrops(t *testing.T) {
+	s := newSession("c", false)
+	if s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1}) {
+		t.Fatal("offline delivery to clean session accepted")
+	}
+	if len(s.queued) != 0 {
+		t.Fatal("clean session queued offline message")
+	}
+}
+
+func TestSessionStaleDetachIgnored(t *testing.T) {
+	s := newSession("c", true)
+	_, _, gen1 := s.attach(8)
+	_, _, gen2 := s.attach(8) // takeover
+	s.detach(gen1)            // stale: must not disconnect gen2
+	if !s.connected {
+		t.Fatal("stale detach disconnected the live attachment")
+	}
+	s.detach(gen2)
+	if s.connected {
+		t.Fatal("live detach did not disconnect")
+	}
+}
+
+func TestSessionFullOutboundQueueDropsQoS0(t *testing.T) {
+	s := newSession("c", false)
+	s.attach(1)
+	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS0}) // fills queue
+	if s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS0}) {
+		t.Fatal("second QoS0 delivery accepted with full queue")
+	}
+	if s.dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", s.dropped())
+	}
+}
+
+func TestSessionFullOutboundQueueRequeuesQoS1(t *testing.T) {
+	s := newSession("c", true)
+	s.attach(1)
+	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS0}) // fill
+	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1, Payload: []byte("keep")})
+	// The QoS1 message must be preserved for redelivery.
+	if len(s.queued) != 1 {
+		t.Fatalf("queued = %d, want the overflowed QoS1 message kept", len(s.queued))
+	}
+}
+
+func TestSessionQoS2DuplicateSuppression(t *testing.T) {
+	s := newSession("c", false)
+	if !s.markIncomingQoS2(7) {
+		t.Fatal("first QoS2 publish not fresh")
+	}
+	if s.markIncomingQoS2(7) {
+		t.Fatal("duplicate QoS2 publish treated as fresh")
+	}
+	s.releaseIncomingQoS2(7)
+	if !s.markIncomingQoS2(7) {
+		t.Fatal("released packet id not reusable")
+	}
+}
+
+func TestSessionPacketIDWraparound(t *testing.T) {
+	s := newSession("c", false)
+	s.nextPacketID = 65534
+	a := s.allocPacketIDLocked()
+	b := s.allocPacketIDLocked()
+	if a != 65535 || b != 1 {
+		t.Fatalf("wraparound ids = %d, %d; want 65535, 1 (skip 0)", a, b)
+	}
+}
+
+func TestSessionPacketIDSkipsInflight(t *testing.T) {
+	s := newSession("c", false)
+	s.inflight[1] = &wire.PublishPacket{}
+	s.nextPacketID = 65535
+	if got := s.allocPacketIDLocked(); got != 2 {
+		t.Fatalf("alloc = %d, want 2 (0 invalid, 1 in flight)", got)
+	}
+}
+
+func TestSessionSubscriptionBookkeeping(t *testing.T) {
+	s := newSession("c", false)
+	s.addSubscription("a/#", wire.QoS1)
+	s.addSubscription("b", wire.QoS0)
+	subs := s.subscriptionList()
+	if len(subs) != 2 || subs["a/#"] != wire.QoS1 {
+		t.Fatalf("subscriptions = %v", subs)
+	}
+	s.removeSubscription("a/#")
+	if len(s.subscriptionList()) != 1 {
+		t.Fatal("subscription not removed")
+	}
+}

@@ -1,0 +1,66 @@
+package broker
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// SysTopicPrefix roots the broker's self-statistics topics, mirroring
+// Mosquitto's $SYS hierarchy. Wildcard subscriptions never match these
+// (spec 4.7.2); clients must subscribe under $SYS explicitly.
+const SysTopicPrefix = "$SYS/broker/"
+
+// PublishSysStats starts a goroutine that publishes broker statistics as
+// retained messages under $SYS/broker/ every interval, until stop is
+// closed or the broker shuts down. It returns a channel that is closed
+// when the publisher exits.
+func (b *Broker) PublishSysStats(interval time.Duration, stop <-chan struct{}) <-chan struct{} {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			b.publishSysStatsOnce()
+			select {
+			case <-ticker.C:
+			case <-stop:
+				return
+			}
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// publishSysStatsOnce routes one snapshot of Stats into the topic tree.
+func (b *Broker) publishSysStatsOnce() {
+	s := b.Stats()
+	for topic, value := range map[string]int64{
+		SysTopicPrefix + "clients/connected":  int64(s.ConnectedClients),
+		SysTopicPrefix + "clients/total":      int64(s.Sessions),
+		SysTopicPrefix + "subscriptions":      int64(s.Subscriptions),
+		SysTopicPrefix + "retained":           int64(s.RetainedMessages),
+		SysTopicPrefix + "messages/received":  s.MessagesReceived,
+		SysTopicPrefix + "messages/delivered": s.MessagesDelivered,
+		SysTopicPrefix + "messages/dropped":   s.MessagesDropped,
+	} {
+		payload := []byte(strconv.FormatInt(value, 10))
+		pkt := &wire.PublishPacket{Topic: topic, Payload: payload, Retain: true}
+		// Store retained so late subscribers see the latest snapshot.
+		b.mu.Lock()
+		b.retained[topic] = retainedMsg{payload: payload, qos: wire.QoS0}
+		b.mu.Unlock()
+		b.route(pkt, "$SYS")
+	}
+}

@@ -1,0 +1,92 @@
+package broker
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+func TestSysStatsPublished(t *testing.T) {
+	bus := newTestBus(t, Options{})
+	stop := make(chan struct{})
+	done := bus.broker.PublishSysStats(50*time.Millisecond, stop)
+	t.Cleanup(func() {
+		close(stop)
+		<-done
+	})
+
+	c := bus.connect(t, mqttclient.NewOptions("sys-watcher"))
+	got := make(chan mqttclient.Message, 64)
+	if _, err := c.Subscribe(SysTopicPrefix+"clients/connected", wire.QoS0, func(m mqttclient.Message) {
+		got <- m
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case m := <-got:
+			n, err := strconv.Atoi(string(m.Payload))
+			if err != nil {
+				t.Fatalf("non-numeric $SYS payload %q", m.Payload)
+			}
+			if n >= 1 {
+				return // saw ourselves connected
+			}
+		case <-deadline:
+			t.Fatal("no live $SYS update")
+		}
+	}
+}
+
+func TestSysStatsNotMatchedByWildcards(t *testing.T) {
+	bus := newTestBus(t, Options{})
+	stop := make(chan struct{})
+	done := bus.broker.PublishSysStats(20*time.Millisecond, stop)
+	t.Cleanup(func() {
+		close(stop)
+		<-done
+	})
+
+	c := bus.connect(t, mqttclient.NewOptions("wild"))
+	leaked := make(chan mqttclient.Message, 16)
+	if _, err := c.Subscribe("#", wire.QoS0, func(m mqttclient.Message) { leaked <- m }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-leaked:
+		t.Fatalf("wildcard received $SYS message on %s", m.Topic)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestSysStatsRetainedForLateSubscribers(t *testing.T) {
+	bus := newTestBus(t, Options{})
+	stop := make(chan struct{})
+	done := bus.broker.PublishSysStats(time.Hour, stop) // publish once, then idle
+	t.Cleanup(func() {
+		close(stop)
+		<-done
+	})
+	waitFor(t, "first sys publish", func() bool { return bus.broker.Stats().RetainedMessages > 0 })
+
+	late := bus.connect(t, mqttclient.NewOptions("late"))
+	got := make(chan mqttclient.Message, 8)
+	if _, err := late.Subscribe(SysTopicPrefix+"subscriptions", wire.QoS0, func(m mqttclient.Message) {
+		got <- m
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if !m.Retain {
+			t.Fatal("late $SYS snapshot not marked retained")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late subscriber got no retained $SYS snapshot")
+	}
+}

@@ -1,0 +1,159 @@
+package broker
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// subscriber is the trie's notion of a subscription owner.
+type subscriber struct {
+	session *session
+	qos     wire.QoS
+}
+
+// subTrie indexes topic filters by level so that matching a published topic
+// visits only the relevant branches instead of every subscription. It is
+// safe for concurrent use.
+type subTrie struct {
+	mu   sync.RWMutex
+	root *trieNode
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	// subs maps client ID -> subscriber for filters terminating here.
+	subs map[string]*subscriber
+}
+
+func newSubTrie() *subTrie {
+	return &subTrie{root: newTrieNode()}
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[string]*trieNode), subs: make(map[string]*subscriber)}
+}
+
+// subscribe registers (or replaces) a subscription for the session.
+func (t *subTrie) subscribe(filter string, s *session, qos wire.QoS) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.root
+	for _, level := range strings.Split(filter, "/") {
+		child, ok := node.children[level]
+		if !ok {
+			child = newTrieNode()
+			node.children[level] = child
+		}
+		node = child
+	}
+	node.subs[s.clientID] = &subscriber{session: s, qos: qos}
+}
+
+// unsubscribe removes the session's subscription to filter. It reports
+// whether a subscription existed.
+func (t *subTrie) unsubscribe(filter string, clientID string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	levels := strings.Split(filter, "/")
+	return t.root.remove(levels, clientID)
+}
+
+func (n *trieNode) remove(levels []string, clientID string) bool {
+	if len(levels) == 0 {
+		if _, ok := n.subs[clientID]; !ok {
+			return false
+		}
+		delete(n.subs, clientID)
+		return true
+	}
+	child, ok := n.children[levels[0]]
+	if !ok {
+		return false
+	}
+	removed := child.remove(levels[1:], clientID)
+	if removed && len(child.subs) == 0 && len(child.children) == 0 {
+		delete(n.children, levels[0])
+	}
+	return removed
+}
+
+// removeAll drops every subscription held by clientID.
+func (t *subTrie) removeAll(clientID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root.removeAllFrom(clientID)
+}
+
+func (n *trieNode) removeAllFrom(clientID string) {
+	delete(n.subs, clientID)
+	for level, child := range n.children {
+		child.removeAllFrom(clientID)
+		if len(child.subs) == 0 && len(child.children) == 0 {
+			delete(n.children, level)
+		}
+	}
+}
+
+// match returns the subscribers whose filters match topic. If one session
+// matches via several filters, the highest granted QoS wins (spec 3.3.5).
+func (t *subTrie) match(topic string) []*subscriber {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	levels := strings.Split(topic, "/")
+	best := make(map[string]*subscriber)
+	// Per spec 4.7.2, wildcard filters must not match $-prefixed topics.
+	skipWildcardRoot := strings.HasPrefix(topic, "$")
+	t.root.collect(levels, skipWildcardRoot, best)
+	out := make([]*subscriber, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (n *trieNode) collect(levels []string, skipWildcard bool, best map[string]*subscriber) {
+	if len(levels) == 0 {
+		n.take(best)
+		// "a/#" also matches "a": a child '#' at this point terminates.
+		if hash, ok := n.children["#"]; ok && !skipWildcard {
+			hash.take(best)
+		}
+		return
+	}
+	if child, ok := n.children[levels[0]]; ok {
+		child.collect(levels[1:], false, best)
+	}
+	if !skipWildcard {
+		if plus, ok := n.children["+"]; ok {
+			plus.collect(levels[1:], false, best)
+		}
+		if hash, ok := n.children["#"]; ok {
+			hash.take(best)
+		}
+	}
+}
+
+func (n *trieNode) take(best map[string]*subscriber) {
+	for id, s := range n.subs {
+		if prev, ok := best[id]; !ok || s.qos > prev.qos {
+			best[id] = s
+		}
+	}
+}
+
+// countSubscriptions reports the total number of stored subscriptions.
+func (t *subTrie) countSubscriptions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root.count()
+}
+
+func (n *trieNode) count() int {
+	total := len(n.subs)
+	for _, c := range n.children {
+		total += c.count()
+	}
+	return total
+}

@@ -1,0 +1,132 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// randomLevel picks a topic level, occasionally a wildcard (filters only).
+func randomLevel(rng *rand.Rand, wildcards bool) string {
+	if wildcards {
+		switch rng.Intn(8) {
+		case 0:
+			return "+"
+		case 1:
+			return "#"
+		}
+	}
+	return string(rune('a' + rng.Intn(3)))
+}
+
+func randomTopic(rng *rand.Rand) string {
+	n := rng.Intn(4) + 1
+	levels := make([]string, n)
+	for i := range levels {
+		levels[i] = randomLevel(rng, false)
+	}
+	return strings.Join(levels, "/")
+}
+
+func randomFilter(rng *rand.Rand) string {
+	n := rng.Intn(4) + 1
+	levels := make([]string, n)
+	for i := range levels {
+		levels[i] = randomLevel(rng, true)
+		if levels[i] == "#" {
+			return strings.Join(levels[:i+1], "/")
+		}
+	}
+	return strings.Join(levels, "/")
+}
+
+// TestTrieMatchesNaiveOracle drives random subscribe/unsubscribe sequences
+// and checks that trie matching agrees with the spec-level wire.MatchTopic
+// oracle applied to a plain list of subscriptions.
+func TestTrieMatchesNaiveOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := newSubTrie()
+		type subEntry struct {
+			filter string
+			qos    wire.QoS
+		}
+		oracle := make(map[string]map[string]subEntry) // client -> filter -> entry
+		sessions := make(map[string]*session)
+
+		const clients = 4
+		for i := 0; i < clients; i++ {
+			id := fmt.Sprintf("c%d", i)
+			sessions[id] = newSession(id, false)
+			oracle[id] = make(map[string]subEntry)
+		}
+
+		// Random mutation sequence.
+		for op := 0; op < 60; op++ {
+			id := fmt.Sprintf("c%d", rng.Intn(clients))
+			switch rng.Intn(4) {
+			case 0, 1: // subscribe
+				filter := randomFilter(rng)
+				if wire.ValidateTopicFilter(filter) != nil {
+					continue
+				}
+				qos := wire.QoS(rng.Intn(2))
+				tr.subscribe(filter, sessions[id], qos)
+				oracle[id][filter] = subEntry{filter: filter, qos: qos}
+			case 2: // unsubscribe something we may or may not have
+				filter := randomFilter(rng)
+				tr.unsubscribe(filter, id)
+				delete(oracle[id], filter)
+			case 3: // remove all for a client
+				tr.removeAll(id)
+				oracle[id] = make(map[string]subEntry)
+			}
+		}
+
+		// Compare matching behaviour on random topics.
+		for probe := 0; probe < 40; probe++ {
+			topic := randomTopic(rng)
+			got := ids(tr.match(topic))
+
+			want := make(map[string]wire.QoS)
+			for id, subs := range oracle {
+				for _, e := range subs {
+					if wire.MatchTopic(e.filter, topic) {
+						if q, ok := want[id]; !ok || e.qos > q {
+							want[id] = e.qos
+						}
+					}
+				}
+			}
+
+			if len(got) != len(want) {
+				t.Logf("seed %d topic %q: trie=%v oracle=%v", seed, topic, got, want)
+				return false
+			}
+			for id, qos := range want {
+				if got[id] != qos {
+					t.Logf("seed %d topic %q client %s: trie qos=%v oracle=%v", seed, topic, id, got[id], qos)
+					return false
+				}
+			}
+		}
+
+		// Count must equal the oracle's total subscription count.
+		total := 0
+		for _, subs := range oracle {
+			total += len(subs)
+		}
+		if tr.countSubscriptions() != total {
+			t.Logf("seed %d: trie count %d, oracle %d", seed, tr.countSubscriptions(), total)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package clock abstracts time so the IFoT runtime can run against the
+// wall clock in production and against a deterministic virtual clock in
+// simulations and tests.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer primitives. Two implementations
+// exist: Real (wall clock) and Virtual (manually advanced, used by the
+// discrete-event simulator and by tests).
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually driven Clock. Time only moves when Advance or
+// AdvanceTo is called; timers created with After/Sleep fire as the clock
+// passes their deadlines. A Virtual clock is safe for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a Virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so firing
+// never blocks the advancing goroutine.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.timers, &timer{at: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not after Now).
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceToLocked(t)
+	v.mu.Unlock()
+}
+
+// NextDeadline reports the earliest pending timer deadline, if any.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].at, true
+}
+
+func (v *Virtual) advanceToLocked(t time.Time) {
+	if !t.After(v.now) {
+		return
+	}
+	for len(v.timers) > 0 && !v.timers[0].at.After(t) {
+		tm := heap.Pop(&v.timers).(*timer)
+		v.now = tm.at
+		tm.ch <- tm.at
+	}
+	v.now = t
+}
+
+type timer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *timerHeap) Push(x any) { *h = append(*h, x.(*timer)) }
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}

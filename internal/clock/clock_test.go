@@ -1,0 +1,160 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealNow(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := NewReal()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+}
+
+func TestVirtualNowStartsAtGivenInstant(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualAdvanceMovesNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(3 * time.Second)
+	if got, want := v.Now(), epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch2 := v.After(2 * time.Second)
+	ch1 := v.After(1 * time.Second)
+
+	v.Advance(500 * time.Millisecond)
+	select {
+	case <-ch1:
+		t.Fatal("timer fired before deadline")
+	case <-ch2:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+
+	v.Advance(600 * time.Millisecond) // now = +1.1s
+	if got := <-ch1; !got.Equal(epoch.Add(1 * time.Second)) {
+		t.Errorf("first timer fired at %v, want %v", got, epoch.Add(time.Second))
+	}
+	select {
+	case <-ch2:
+		t.Fatal("second timer fired early")
+	default:
+	}
+
+	v.Advance(time.Second) // now = +2.1s
+	if got := <-ch2; !got.Equal(epoch.Add(2 * time.Second)) {
+		t.Errorf("second timer fired at %v, want %v", got, epoch.Add(2*time.Second))
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case got := <-v.After(0):
+		if !got.Equal(epoch) {
+			t.Fatalf("After(0) fired with %v, want %v", got, epoch)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoOp(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(time.Second)
+	v.AdvanceTo(epoch) // earlier than now
+	if got, want := v.Now(), epoch.Add(time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v after backwards AdvanceTo, want %v", got, want)
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline() reported a timer on a fresh clock")
+	}
+	v.After(5 * time.Second)
+	v.After(2 * time.Second)
+	dl, ok := v.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline() = none, want a deadline")
+	}
+	if want := epoch.Add(2 * time.Second); !dl.Equal(want) {
+		t.Fatalf("NextDeadline() = %v, want %v", dl, want)
+	}
+}
+
+func TestVirtualSleepUnblocksOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper has registered its timer.
+	for {
+		if _, ok := v.NextDeadline(); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after clock advanced past deadline")
+	}
+	wg.Wait()
+}
+
+func TestVirtualConcurrentAfter(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 50
+	chans := make([]<-chan time.Time, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			chans[i] = v.After(time.Duration(i+1) * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	v.Advance(time.Second)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("timer %d did not fire after full advance", i)
+		}
+	}
+}

@@ -1,0 +1,904 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+	"github.com/ifot-middleware/ifot/internal/flow"
+	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+// taskInstance is one running subtask: its subscriptions and shutdown hooks.
+type taskInstance struct {
+	name    string
+	mu      sync.Mutex
+	stopped bool
+	stopFns []func()
+}
+
+func (t *taskInstance) onStop(fn func()) {
+	t.mu.Lock()
+	t.stopFns = append(t.stopFns, fn)
+	t.mu.Unlock()
+}
+
+func (t *taskInstance) stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	fns := t.stopFns
+	t.stopFns = nil
+	t.mu.Unlock()
+	// LIFO, mirroring defer semantics.
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
+// newTaskInstance instantiates the middleware class for a subtask
+// (Fig. 4's class catalog).
+func (m *Module) newTaskInstance(rec recipe.Recipe, sub recipe.SubTask) (*taskInstance, error) {
+	inst := &taskInstance{name: sub.Name()}
+	var err error
+	switch sub.Task.Kind {
+	case recipe.KindSense:
+		err = m.startSense(inst, rec, sub)
+	case recipe.KindWindow:
+		err = m.startWindow(inst, rec, sub)
+	case recipe.KindFilter:
+		err = m.startFilter(inst, rec, sub)
+	case recipe.KindAggregate:
+		err = m.startAggregate(inst, rec, sub)
+	case recipe.KindTrain:
+		err = m.startTrain(inst, rec, sub)
+	case recipe.KindPredict:
+		err = m.startPredict(inst, rec, sub)
+	case recipe.KindAnomaly:
+		err = m.startAnomaly(inst, rec, sub)
+	case recipe.KindCluster:
+		err = m.startCluster(inst, rec, sub)
+	case recipe.KindActuate:
+		err = m.startActuate(inst, rec, sub)
+	case recipe.KindCustom:
+		err = m.startCustom(inst, rec, sub)
+	default:
+		err = fmt.Errorf("core: unsupported task kind %q", sub.Task.Kind)
+	}
+	if err != nil {
+		inst.stop()
+		return nil, err
+	}
+	return inst, nil
+}
+
+// --- shared helpers ---
+
+func (m *Module) resolveInputs(rec recipe.Recipe, sub recipe.SubTask) ([]string, error) {
+	topics := make([]string, 0, len(sub.Task.Inputs))
+	for _, in := range sub.Task.Inputs {
+		topic, err := rec.ResolveInput(in)
+		if err != nil {
+			return nil, err
+		}
+		topics = append(topics, topic)
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("core: task %s has no inputs", sub.Name())
+	}
+	return topics, nil
+}
+
+// subscribeInputs subscribes handler to every input topic and arranges
+// cleanup on task stop.
+func (m *Module) subscribeInputs(inst *taskInstance, topics []string, handler mqttclient.Handler) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	for _, topic := range topics {
+		_, reg, err := client.SubscribeHandle(topic, m.cfg.DataQoS, handler)
+		if err != nil {
+			return fmt.Errorf("core: subscribe %s: %w", topic, err)
+		}
+		inst.onStop(reg.Remove)
+	}
+	return nil
+}
+
+func (m *Module) publishData(topic string, payload []byte) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	return client.Publish(topic, payload, m.cfg.DataQoS, false)
+}
+
+// decodeSamples accepts either a bare 32-byte sample or a batch payload.
+func decodeSamples(payload []byte) ([]sensor.Sample, error) {
+	if len(payload) == sensor.SampleSize {
+		s, err := sensor.DecodeSample(payload)
+		if err != nil {
+			return nil, err
+		}
+		return []sensor.Sample{s}, nil
+	}
+	return DecodeBatch(payload)
+}
+
+// BatchFeatures converts a joined batch into a sparse feature vector: one
+// feature per sensor channel.
+func BatchFeatures(batch []sensor.Sample) feature.Vector {
+	v := make(feature.Vector, len(batch)*3)
+	for _, s := range batch {
+		for ch, val := range s.Values {
+			v[fmt.Sprintf("s%d.c%d@num", s.SensorIndex, ch)] = float64(val)
+		}
+	}
+	return v
+}
+
+func paramString(sub recipe.SubTask, key, fallback string) string {
+	if v, ok := sub.Task.Params[key]; ok && v != "" {
+		return v
+	}
+	return fallback
+}
+
+func paramFloat(sub recipe.SubTask, key string, fallback float64) float64 {
+	if v, ok := sub.Task.Params[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return fallback
+}
+
+func paramInt(sub recipe.SubTask, key string, fallback int) int {
+	if v, ok := sub.Task.Params[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return fallback
+}
+
+func newClassifier(sub recipe.SubTask) ml.Classifier {
+	switch paramString(sub, "model", "pa") {
+	case "perceptron":
+		return ml.NewPerceptron(paramFloat(sub, "learningRate", 1))
+	case "arow":
+		return ml.NewAROW(paramFloat(sub, "r", 0.1))
+	default:
+		return ml.NewPassiveAggressive(paramFloat(sub, "c", 1))
+	}
+}
+
+// labelFor derives the training label for a batch: a fixed "label" param,
+// or the sign of the summed channel-0 values ("pos"/"neg").
+func labelFor(sub recipe.SubTask, batch []sensor.Sample) string {
+	if fixed := paramString(sub, "label", ""); fixed != "" {
+		return fixed
+	}
+	var sum float64
+	for _, s := range batch {
+		sum += float64(s.Values[0])
+	}
+	if sum >= 0 {
+		return "pos"
+	}
+	return "neg"
+}
+
+// shardOwnsBatch implements data-parallel sharding: shard i of n handles
+// sequence numbers with seq % n == i.
+func shardOwnsBatch(sub recipe.SubTask, seq uint32) bool {
+	if sub.ShardCount <= 1 {
+		return true
+	}
+	return int(seq%uint32(sub.ShardCount)) == sub.Shard
+}
+
+// mixTopic is the MIX weight-exchange topic for a train task.
+func mixTopic(recipeName, taskID string) string {
+	return TopicMixPrefix + recipeName + "/" + taskID
+}
+
+// --- Sense (Sensor class + Publish class) ---
+
+func (m *Module) startSense(inst *taskInstance, _ recipe.Recipe, sub recipe.SubTask) error {
+	if sub.Task.Output == "" {
+		return fmt.Errorf("core: sense task %s needs an output topic", sub.Name())
+	}
+	name := paramString(sub, "sensor", sub.TaskID)
+	m.mu.Lock()
+	s, ok := m.sensors[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSensor, name)
+	}
+	if rate := paramFloat(sub, "rate", 0); rate > 0 {
+		s.RateHz = rate
+	}
+	if s.Clock == nil {
+		s.Clock = m.cfg.Clock
+	}
+
+	ctx, cancel := context.WithCancel(m.ctx)
+	done := make(chan struct{})
+	inst.onStop(func() {
+		cancel()
+		<-done
+	})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer close(done)
+		_ = s.Run(ctx, func(smp sensor.Sample) {
+			if err := m.publishData(sub.Task.Output, smp.Encode()); err != nil {
+				m.logf("sense %s publish: %v", sub.Name(), err)
+			}
+		})
+	}()
+	return nil
+}
+
+// --- Window ---
+
+func (m *Module) startWindow(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	if sub.Task.Output == "" {
+		return fmt.Errorf("core: window task %s needs an output topic", sub.Name())
+	}
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	size := paramInt(sub, "size", 16)
+	w := flow.NewCountWindow(size, func(batch []sensor.Sample) {
+		if err := m.publishData(sub.Task.Output, EncodeBatch(batch)); err != nil {
+			m.logf("window %s publish: %v", sub.Name(), err)
+		}
+	})
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		samples, err := decodeSamples(msg.Payload)
+		if err != nil {
+			return
+		}
+		for _, s := range samples {
+			w.Push(s)
+		}
+	})
+}
+
+// --- Filter (data cleansing) ---
+
+func (m *Module) startFilter(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	if sub.Task.Output == "" {
+		return fmt.Errorf("core: filter task %s needs an output topic", sub.Name())
+	}
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	min := float32(paramFloat(sub, "min", float64(-1e38)))
+	max := float32(paramFloat(sub, "max", float64(1e38)))
+	dedup := flow.NewDeduper(uint32(paramInt(sub, "dedupWindow", 128)))
+	f := flow.NewFilter(flow.RangePredicate(min, max), func(s sensor.Sample) {
+		if err := m.publishData(sub.Task.Output, s.Encode()); err != nil {
+			m.logf("filter %s publish: %v", sub.Name(), err)
+		}
+	})
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		samples, err := decodeSamples(msg.Payload)
+		if err != nil {
+			return
+		}
+		for _, s := range samples {
+			if dedup.Fresh(s) {
+				f.Push(s)
+			}
+		}
+	})
+}
+
+// --- Aggregate (Subscribe-class join of Fig. 9) ---
+
+func (m *Module) startAggregate(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	if sub.Task.Output == "" {
+		return fmt.Errorf("core: aggregate task %s needs an output topic", sub.Name())
+	}
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	maxLag := uint32(paramInt(sub, "maxLag", 64))
+	joiner := flow.NewJoiner(topics, maxLag, func(_ uint32, batch []sensor.Sample) {
+		if err := m.publishData(sub.Task.Output, EncodeBatch(batch)); err != nil {
+			m.logf("aggregate %s publish: %v", sub.Name(), err)
+		}
+	})
+	// One handler per topic so the joiner learns the source.
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	for _, topic := range topics {
+		topic := topic
+		_, reg, err := client.SubscribeHandle(topic, m.cfg.DataQoS, func(msg mqttclient.Message) {
+			samples, err := decodeSamples(msg.Payload)
+			if err != nil {
+				return
+			}
+			for _, s := range samples {
+				joiner.Push(topic, s)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("core: subscribe %s: %w", topic, err)
+		}
+		inst.onStop(reg.Remove)
+	}
+	return nil
+}
+
+// --- Train (Learning class) ---
+
+func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	if paramString(sub, "mode", "classify") == "regression" {
+		return m.startTrainRegression(inst, rec, sub, topics)
+	}
+	clf := newClassifier(sub)
+	var (
+		mu       sync.Mutex
+		examples int64
+	)
+
+	handler := func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		seq := batch[0].Seq
+		if !shardOwnsBatch(sub, seq) {
+			return
+		}
+		clf.Train(BatchFeatures(batch), labelFor(sub, batch))
+		mu.Lock()
+		examples++
+		count := examples
+		mu.Unlock()
+
+		ev := TrainEvent{
+			Recipe:   rec.Name,
+			TaskID:   sub.TaskID,
+			Seq:      seq,
+			SensedAt: EarliestTimestamp(batch),
+			At:       m.now(),
+			Examples: count,
+		}
+		if sub.Task.Output != "" {
+			if err := m.publishData(sub.Task.Output, EncodeJSON(ev)); err != nil {
+				m.logf("train %s publish: %v", sub.Name(), err)
+			}
+		}
+		if m.cfg.Observer.OnTrain != nil {
+			m.cfg.Observer.OnTrain(ev)
+		}
+	}
+	if err := m.subscribeInputs(inst, topics, handler); err != nil {
+		return err
+	}
+
+	// MIX: publish weights for predictors and sibling shards; average in
+	// sibling snapshots (Jubatus-style distributed learning).
+	if exporter, mixable := clf.(ml.WeightExporter); mixable {
+		return m.startMixLoop(inst, rec, sub, exporter)
+	}
+	return nil
+}
+
+// startMixLoop runs the Managing class's MIX protocol for one learner:
+// every MixInterval the model's weights are published retained under the
+// task's mix topic; for sharded tasks, sibling snapshots are averaged back
+// into the local model.
+func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, exporter ml.WeightExporter) error {
+	var (
+		peersMu sync.Mutex
+		peers   = make(map[string]map[string]feature.Vector)
+	)
+	topic := mixTopic(rec.Name, sub.TaskID)
+	mixClient := m.currentClient()
+	if mixClient == nil {
+		return ErrNotStarted
+	}
+	if sub.ShardCount > 1 {
+		_, reg, err := mixClient.SubscribeHandle(topic+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
+			var snap MixSnapshot
+			if err := DecodeJSON(msg.Payload, &snap); err != nil || snap.ModuleID == m.cfg.ID {
+				return
+			}
+			peersMu.Lock()
+			peers[snap.ModuleID] = fromJSONWeights(snap.Weights)
+			peersMu.Unlock()
+		})
+		if err != nil {
+			return fmt.Errorf("core: subscribe mix: %w", err)
+		}
+		inst.onStop(reg.Remove)
+	}
+
+	ctx, cancel := context.WithCancel(m.ctx)
+	inst.onStop(cancel)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.cfg.Clock.After(m.cfg.MixInterval):
+				own := exporter.ExportWeights()
+				snap := MixSnapshot{
+					ModuleID: m.cfg.ID,
+					Shard:    sub.Shard,
+					Weights:  toJSONWeights(own),
+					At:       m.now(),
+				}
+				if err := mixClient.Publish(topic+"/"+m.cfg.ID, EncodeJSON(snap), m.cfg.DataQoS, true); err != nil {
+					m.logf("train %s mix publish: %v", sub.Name(), err)
+				}
+				if sub.ShardCount > 1 {
+					peersMu.Lock()
+					snapshots := make([]map[string]feature.Vector, 0, len(peers)+1)
+					snapshots = append(snapshots, own)
+					for _, p := range peers {
+						snapshots = append(snapshots, p)
+					}
+					peersMu.Unlock()
+					if len(snapshots) > 1 {
+						if avg, err := ml.AverageWeights(snapshots); err == nil {
+							exporter.ImportWeights(avg)
+						}
+					}
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// regressionSplit separates one batch into regression features and the
+// target value: the target sensor's channel-0 reading is predicted from
+// every other sample's channels. ok is false when the target sensor is
+// absent from the batch.
+func regressionSplit(batch []sensor.Sample, targetSensor uint16) (v feature.Vector, target float64, ok bool) {
+	v = make(feature.Vector, len(batch)*3)
+	for _, s := range batch {
+		if s.SensorIndex == targetSensor {
+			target = float64(s.Values[0])
+			ok = true
+			continue
+		}
+		for ch, val := range s.Values {
+			v[fmt.Sprintf("s%d.c%d@num", s.SensorIndex, ch)] = float64(val)
+		}
+	}
+	return v, target, ok
+}
+
+// startTrainRegression is the Learning class in regression mode (Jubatus's
+// regression engine): it learns to predict the target sensor's reading
+// from the other streams.
+func (m *Module) startTrainRegression(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, topics []string) error {
+	regressor := ml.NewPARegressor(paramFloat(sub, "epsilon", 0.1), paramFloat(sub, "c", 1))
+	targetSensor := uint16(paramInt(sub, "targetSensor", 0))
+	var (
+		mu       sync.Mutex
+		examples int64
+	)
+	handler := func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		seq := batch[0].Seq
+		if !shardOwnsBatch(sub, seq) {
+			return
+		}
+		v, target, ok := regressionSplit(batch, targetSensor)
+		if !ok {
+			return
+		}
+		regressor.Train(v, target)
+		mu.Lock()
+		examples++
+		count := examples
+		mu.Unlock()
+		ev := TrainEvent{
+			Recipe:   rec.Name,
+			TaskID:   sub.TaskID,
+			Seq:      seq,
+			SensedAt: EarliestTimestamp(batch),
+			At:       m.now(),
+			Examples: count,
+		}
+		if sub.Task.Output != "" {
+			if err := m.publishData(sub.Task.Output, EncodeJSON(ev)); err != nil {
+				m.logf("train %s publish: %v", sub.Name(), err)
+			}
+		}
+		if m.cfg.Observer.OnTrain != nil {
+			m.cfg.Observer.OnTrain(ev)
+		}
+	}
+	if err := m.subscribeInputs(inst, topics, handler); err != nil {
+		return err
+	}
+	return m.startMixLoop(inst, rec, sub, regressor)
+}
+
+// --- Predict (Judging class) ---
+
+func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	if paramString(sub, "mode", "classify") == "regression" {
+		return m.startPredictRegression(inst, rec, sub, topics)
+	}
+	clf := newClassifier(sub)
+	exporter, mixable := clf.(ml.WeightExporter)
+
+	// Model sync: import (averaged) weights published by the named
+	// trainer task's shards.
+	if from := paramString(sub, "modelFrom", ""); from != "" && mixable {
+		client := m.currentClient()
+		if client == nil {
+			return ErrNotStarted
+		}
+		var (
+			mu        sync.Mutex
+			snapshots = make(map[string]map[string]feature.Vector)
+		)
+		_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
+			var snap MixSnapshot
+			if err := DecodeJSON(msg.Payload, &snap); err != nil {
+				return
+			}
+			mu.Lock()
+			snapshots[snap.ModuleID] = fromJSONWeights(snap.Weights)
+			all := make([]map[string]feature.Vector, 0, len(snapshots))
+			for _, s := range snapshots {
+				all = append(all, s)
+			}
+			mu.Unlock()
+			if avg, err := ml.AverageWeights(all); err == nil {
+				exporter.ImportWeights(avg)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("core: subscribe model: %w", err)
+		}
+		inst.onStop(reg.Remove)
+	}
+
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		if !shardOwnsBatch(sub, batch[0].Seq) {
+			return
+		}
+		v := BatchFeatures(batch)
+		label := ""
+		score := 0.0
+		if got, err := clf.Classify(v); err == nil {
+			label = got
+			if scores := clf.Scores(v); len(scores) > 0 {
+				score = scores[0].Score
+			}
+		}
+		m.emitDecision(rec, sub, Decision{
+			Kind:     string(recipe.KindPredict),
+			Label:    label,
+			Score:    score,
+			Seq:      batch[0].Seq,
+			SensedAt: EarliestTimestamp(batch),
+		})
+	})
+}
+
+// startPredictRegression is the Judging class in regression mode: it
+// estimates the target sensor's reading and emits it as the decision
+// score (optionally syncing its model from a regression trainer).
+func (m *Module) startPredictRegression(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, topics []string) error {
+	regressor := ml.NewPARegressor(paramFloat(sub, "epsilon", 0.1), paramFloat(sub, "c", 1))
+	targetSensor := uint16(paramInt(sub, "targetSensor", 0))
+
+	if from := paramString(sub, "modelFrom", ""); from != "" {
+		client := m.currentClient()
+		if client == nil {
+			return ErrNotStarted
+		}
+		_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
+			var snap MixSnapshot
+			if err := DecodeJSON(msg.Payload, &snap); err != nil {
+				return
+			}
+			regressor.ImportWeights(fromJSONWeights(snap.Weights))
+		})
+		if err != nil {
+			return fmt.Errorf("core: subscribe model: %w", err)
+		}
+		inst.onStop(reg.Remove)
+	}
+
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		if !shardOwnsBatch(sub, batch[0].Seq) {
+			return
+		}
+		v, _, _ := regressionSplit(batch, targetSensor)
+		m.emitDecision(rec, sub, Decision{
+			Kind:     "regress",
+			Score:    regressor.Predict(v),
+			Seq:      batch[0].Seq,
+			SensedAt: EarliestTimestamp(batch),
+		})
+	})
+}
+
+// --- Anomaly (Judging class) ---
+
+func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	var detector ml.AnomalyDetector
+	threshold := paramFloat(sub, "threshold", 3)
+	switch paramString(sub, "detector", "zscore") {
+	case "knn":
+		detector = ml.NewKNNAnomalyDetector(paramInt(sub, "k", 5), paramInt(sub, "capacity", 256))
+		if _, ok := sub.Task.Params["threshold"]; !ok {
+			threshold = 2.5
+		}
+	default:
+		detector = ml.NewZScoreDetector()
+	}
+
+	// With a "window" param the detector scores sliding-window summary
+	// features (mean/std/energy/zero-crossings) per sensor instead of raw
+	// readings — the classic pipeline for fall/activity detection from
+	// accelerometer streams.
+	windowSize := paramInt(sub, "window", 0)
+	windowStep := paramInt(sub, "step", 1)
+	var (
+		winMu        sync.Mutex
+		windows      = make(map[uint16]*flow.SlidingWindow)
+		windowScores = make(map[uint16]float64)
+	)
+	scoreWindowed := func(s sensor.Sample) (float64, bool) {
+		winMu.Lock()
+		w, ok := windows[s.SensorIndex]
+		if !ok {
+			idx := s.SensorIndex
+			w = flow.NewSlidingWindow(windowSize, windowStep, func(batch []sensor.Sample) {
+				values := make([]float64, len(batch))
+				for i, b := range batch {
+					values[i] = float64(b.Values[0])
+				}
+				v := feature.WindowStats(fmt.Sprintf("s%d", idx), values)
+				winMu.Lock()
+				windowScores[idx] = detector.Add(v)
+				winMu.Unlock()
+			})
+			windows[s.SensorIndex] = w
+		}
+		winMu.Unlock()
+		w.Push(s)
+		winMu.Lock()
+		score, scored := windowScores[s.SensorIndex]
+		winMu.Unlock()
+		return score, scored
+	}
+
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		var worst float64
+		scored := false
+		for _, s := range batch {
+			if windowSize > 0 {
+				if score, ok := scoreWindowed(s); ok {
+					scored = true
+					if score > worst {
+						worst = score
+					}
+				}
+				continue
+			}
+			scored = true
+			v := feature.Vector{
+				fmt.Sprintf("s%d.c0", s.SensorIndex): float64(s.Values[0]),
+				fmt.Sprintf("s%d.c1", s.SensorIndex): float64(s.Values[1]),
+				fmt.Sprintf("s%d.c2", s.SensorIndex): float64(s.Values[2]),
+			}
+			if score := detector.Add(v); score > worst {
+				worst = score
+			}
+		}
+		if !scored {
+			return // windowed mode still warming up
+		}
+		label := "normal"
+		if worst > threshold {
+			label = "anomaly"
+		}
+		m.emitDecision(rec, sub, Decision{
+			Kind:     string(recipe.KindAnomaly),
+			Label:    label,
+			Score:    worst,
+			Seq:      batch[0].Seq,
+			SensedAt: EarliestTimestamp(batch),
+		})
+	})
+}
+
+// --- Cluster (Judging class) ---
+
+func (m *Module) startCluster(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	km := ml.NewSequentialKMeans(paramInt(sub, "k", 2))
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		batch, err := decodeSamples(msg.Payload)
+		if err != nil || len(batch) == 0 {
+			return
+		}
+		idx := km.Add(BatchFeatures(batch))
+		m.emitDecision(rec, sub, Decision{
+			Kind:     string(recipe.KindCluster),
+			Label:    "cluster-" + strconv.Itoa(idx),
+			Score:    float64(idx),
+			Seq:      batch[0].Seq,
+			SensedAt: EarliestTimestamp(batch),
+		})
+	})
+}
+
+// --- Actuate (Actuator class) ---
+
+func (m *Module) startActuate(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	name := paramString(sub, "actuator", sub.TaskID)
+	m.mu.Lock()
+	act, ok := m.actuators[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownActuator, name)
+	}
+	command := paramString(sub, "command", "actuate")
+	when := paramString(sub, "when", "")
+
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		var d Decision
+		if err := DecodeJSON(msg.Payload, &d); err != nil {
+			return
+		}
+		if when != "" && d.Label != when {
+			return
+		}
+		cmd := sensor.Command{
+			Name:     command,
+			Value:    d.Score,
+			Detail:   d.Label,
+			IssuedAt: m.now(),
+		}
+		if err := act.Apply(cmd); err != nil {
+			m.logf("actuate %s: %v", sub.Name(), err)
+		}
+	})
+}
+
+// --- Custom ---
+
+func (m *Module) startCustom(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
+	topics, err := m.resolveInputs(rec, sub)
+	if err != nil {
+		return err
+	}
+	name := paramString(sub, "handler", sub.TaskID)
+	m.mu.Lock()
+	fn, ok := m.customs[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHandler, name)
+	}
+	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
+		fn(msg, m.publishData)
+	})
+}
+
+func (m *Module) emitDecision(rec recipe.Recipe, sub recipe.SubTask, d Decision) {
+	d.Recipe = rec.Name
+	d.TaskID = sub.TaskID
+	d.At = m.now()
+	if sub.Task.Output != "" {
+		if err := m.publishData(sub.Task.Output, EncodeJSON(d)); err != nil {
+			m.logf("%s %s publish: %v", sub.Task.Kind, sub.Name(), err)
+		}
+	}
+	if m.cfg.Observer.OnDecision != nil {
+		m.cfg.Observer.OnDecision(d)
+	}
+}
+
+// toJSONWeights / fromJSONWeights bridge feature.Vector maps to plain JSON
+// maps for MixSnapshot payloads.
+func toJSONWeights(w map[string]feature.Vector) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(w))
+	for label, vec := range w {
+		m := make(map[string]float64, len(vec))
+		for k, v := range vec {
+			m[k] = v
+		}
+		out[label] = m
+	}
+	return out
+}
+
+func fromJSONWeights(w map[string]map[string]float64) map[string]feature.Vector {
+	out := make(map[string]feature.Vector, len(w))
+	for label, m := range w {
+		vec := make(feature.Vector, len(m))
+		for k, v := range m {
+			vec[k] = v
+		}
+		out[label] = vec
+	}
+	return out
+}
+
+// describeKind returns a human-readable class name for a task kind
+// (matching the paper's class vocabulary in Fig. 4).
+func describeKind(k recipe.Kind) string {
+	switch k {
+	case recipe.KindSense:
+		return "Sensor class"
+	case recipe.KindTrain:
+		return "Learning class"
+	case recipe.KindPredict, recipe.KindAnomaly, recipe.KindCluster:
+		return "Judging class"
+	case recipe.KindActuate:
+		return "Actuator class"
+	case recipe.KindAggregate:
+		return "Subscribe class (join)"
+	default:
+		return string(k) + " class"
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+var discoverCounter int64
+
+// capabilities merges configured capabilities with ones derived from the
+// module's registered sensors, actuators, and custom handlers, so the
+// management node can auto-place resource-bound tasks.
+func (m *Module) capabilities() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	caps := append([]string(nil), m.cfg.Capabilities...)
+	for id := range m.sensors {
+		caps = append(caps, "sensor:"+id)
+	}
+	for id := range m.actuators {
+		caps = append(caps, "actuator:"+id)
+	}
+	for name := range m.customs {
+		caps = append(caps, "handler:"+name)
+	}
+	sort.Strings(caps)
+	return caps
+}
+
+// DiscoverStreams asks the management node for streams whose topic matches
+// the given MQTT filter — the paper's future-work "search function for data
+// streams". It blocks up to timeout for the reply.
+func (m *Module) DiscoverStreams(filter string, timeout time.Duration) ([]StreamInfo, error) {
+	client := m.currentClient()
+	if client == nil {
+		return nil, ErrNotStarted
+	}
+	if err := wire.ValidateTopicFilter(filter); err != nil {
+		return nil, err
+	}
+	requestID := m.cfg.ID + "-" + strconv.FormatInt(atomic.AddInt64(&discoverCounter, 1), 10)
+	replyCh := make(chan DiscoverReply, 1)
+	_, reg, err := client.SubscribeHandle(TopicDiscoverReplyPrefix+requestID, wire.QoS1, func(msg mqttclient.Message) {
+		var reply DiscoverReply
+		if err := DecodeJSON(msg.Payload, &reply); err != nil {
+			return
+		}
+		select {
+		case replyCh <- reply:
+		default:
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: discover subscribe: %w", err)
+	}
+	defer reg.Remove()
+
+	query := DiscoverQuery{RequestID: requestID, Filter: filter}
+	if err := client.Publish(TopicDiscoverQuery, EncodeJSON(query), wire.QoS1, false); err != nil {
+		return nil, fmt.Errorf("core: discover publish: %w", err)
+	}
+	select {
+	case reply := <-replyCh:
+		return reply.Streams, nil
+	case <-m.cfg.Clock.After(timeout):
+		return nil, fmt.Errorf("core: discover: no reply within %v", timeout)
+	}
+}

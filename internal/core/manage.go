@@ -1,0 +1,505 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/clock"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/tasks"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Errors returned by the manager.
+var (
+	ErrNoSuchDeployment = errors.New("core: no such deployment")
+	ErrDeployExists     = errors.New("core: recipe already deployed")
+)
+
+// ManagerConfig configures a management node.
+type ManagerConfig struct {
+	// ID is the manager's MQTT client identity (default "ifot-mgmt").
+	ID string
+	// Dial opens the transport to the broker.
+	Dial func() (net.Conn, error)
+	// Clock supplies time (nil = wall clock).
+	Clock clock.Clock
+	// Logger receives diagnostics (nil = silent).
+	Logger *log.Logger
+	// Strategy selects task placement (nil = least-loaded).
+	Strategy tasks.Strategy
+	// StaleAfter ages out silent modules (default 15s).
+	StaleAfter time.Duration
+	// DisableFailover turns off automatic re-assignment of subtasks
+	// hosted on modules that leave or crash (failover is on by default —
+	// the paper's dynamic join/leave future-work item).
+	DisableFailover bool
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.ID == "" {
+		c.ID = "ifot-mgmt"
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.Strategy == nil {
+		c.Strategy = tasks.LeastLoaded{}
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 15 * time.Second
+	}
+	return c
+}
+
+// moduleState tracks one known module.
+type moduleState struct {
+	announce Announce
+	lastSeen time.Time
+}
+
+// Deployment tracks one deployed recipe.
+type Deployment struct {
+	// Recipe is the deployed recipe.
+	Recipe recipe.Recipe
+	// SubTasks are the split units.
+	SubTasks []recipe.SubTask
+	// Assignment maps subtask names to module IDs.
+	Assignment tasks.Assignment
+
+	mu      sync.Mutex
+	pending map[string]struct{}
+	failed  map[string]string
+	done    chan struct{}
+}
+
+// WaitRunning blocks until every subtask has reported started, any subtask
+// failed, or ctx ends. It returns nil on full start.
+func (d *Deployment) WaitRunning(ctx context.Context) error {
+	select {
+	case <-d.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.failed) > 0 {
+		return fmt.Errorf("core: deployment %s: %d subtasks failed: %v", d.Recipe.Name, len(d.failed), d.failed)
+	}
+	return nil
+}
+
+// PendingTasks reports subtasks not yet confirmed started.
+func (d *Deployment) PendingTasks() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.pending))
+	for name := range d.pending {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d *Deployment) noteStatus(s Status) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.pending[s.SubTaskName]; !ok {
+		return
+	}
+	switch s.Kind {
+	case StatusStarted:
+		delete(d.pending, s.SubTaskName)
+	case StatusFailed:
+		delete(d.pending, s.SubTaskName)
+		d.failed[s.SubTaskName] = s.Detail
+	default:
+		return
+	}
+	if len(d.pending) == 0 {
+		select {
+		case <-d.done:
+		default:
+			close(d.done)
+		}
+	}
+}
+
+// Manager is the management node (the paper's management software, Fig. 7/8):
+// it tracks module presence, splits submitted recipes, assigns subtasks,
+// and runs the stream-discovery registry.
+type Manager struct {
+	cfg    ManagerConfig
+	client *mqttclient.Client
+
+	mu          sync.Mutex
+	modules     map[string]*moduleState
+	deployments map[string]*Deployment
+	streams     map[string]StreamInfo // keyed by topic
+}
+
+// NewManager creates an unstarted manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	return &Manager{
+		cfg:         cfg.withDefaults(),
+		modules:     make(map[string]*moduleState),
+		deployments: make(map[string]*Deployment),
+		streams:     make(map[string]StreamInfo),
+	}
+}
+
+// Start connects to the broker and begins tracking modules.
+func (mgr *Manager) Start() error {
+	if mgr.cfg.Dial == nil {
+		return errors.New("core: manager config needs a Dial function")
+	}
+	conn, err := mgr.cfg.Dial()
+	if err != nil {
+		return fmt.Errorf("core: manager dial: %w", err)
+	}
+	opts := mqttclient.NewOptions(mgr.cfg.ID)
+	opts.KeepAlive = 30 * time.Second
+	client, err := mqttclient.Connect(conn, opts)
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("core: manager connect: %w", err)
+	}
+	mgr.client = client
+
+	subs := []struct {
+		filter  string
+		handler mqttclient.Handler
+	}{
+		{TopicAnnounce, mgr.handleAnnounce},
+		{TopicLeavePrefix + "+", mgr.handleLeave},
+		{TopicStatusPrefix + "+", mgr.handleStatus},
+		{TopicDiscoverQuery, mgr.handleDiscover},
+	}
+	for _, s := range subs {
+		if _, err := client.Subscribe(s.filter, wire.QoS1, s.handler); err != nil {
+			_ = client.Close()
+			return fmt.Errorf("core: manager subscribe %s: %w", s.filter, err)
+		}
+	}
+	mgr.logf("manager %s started", mgr.cfg.ID)
+	return nil
+}
+
+// Close disconnects the manager.
+func (mgr *Manager) Close() error {
+	if mgr.client != nil {
+		return mgr.client.Disconnect()
+	}
+	return nil
+}
+
+// Modules lists currently known (non-stale) modules, sorted by ID.
+func (mgr *Manager) Modules() []Announce {
+	now := mgr.cfg.Clock.Now()
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	out := make([]Announce, 0, len(mgr.modules))
+	for _, st := range mgr.modules {
+		if now.Sub(st.lastSeen) <= mgr.cfg.StaleAfter {
+			out = append(out, st.announce)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ModuleID < out[j].ModuleID })
+	return out
+}
+
+// Streams lists registered streams, sorted by topic.
+func (mgr *Manager) Streams() []StreamInfo {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	out := make([]StreamInfo, 0, len(mgr.streams))
+	for _, s := range mgr.streams {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}
+
+// Deploy implements the application build process of Fig. 6: Step 1 the
+// recipe is submitted, Step 2 it is divided into subtasks and assigned to
+// modules, Step 3 the modules instantiate their classes. The returned
+// Deployment tracks start-up progress.
+func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
+	subtasks, err := recipe.Split(rec)
+	if err != nil {
+		return nil, err
+	}
+	autoPlace(subtasks)
+
+	infos := mgr.moduleInfos()
+	assignment, err := mgr.cfg.Strategy.Assign(subtasks, infos)
+	if err != nil {
+		return nil, err
+	}
+
+	dep := &Deployment{
+		Recipe:     *rec,
+		SubTasks:   subtasks,
+		Assignment: assignment,
+		pending:    make(map[string]struct{}, len(subtasks)),
+		failed:     make(map[string]string),
+		done:       make(chan struct{}),
+	}
+	for _, s := range subtasks {
+		dep.pending[s.Name()] = struct{}{}
+	}
+
+	// A higher recipe version replaces the running deployment (rolling
+	// upgrade); the same or an older version is rejected.
+	mgr.mu.Lock()
+	if existing, exists := mgr.deployments[rec.Name]; exists {
+		if rec.Version <= existing.Recipe.Version {
+			mgr.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s (running version %d, submitted %d)",
+				ErrDeployExists, rec.Name, existing.Recipe.Version, rec.Version)
+		}
+		mgr.mu.Unlock()
+		if err := mgr.Undeploy(rec.Name); err != nil {
+			return nil, fmt.Errorf("core: upgrade %s: %w", rec.Name, err)
+		}
+		mgr.mu.Lock()
+	}
+	mgr.deployments[rec.Name] = dep
+	for _, s := range subtasks {
+		if s.Task.Output != "" {
+			mgr.streams[s.Task.Output] = StreamInfo{
+				Topic:    s.Task.Output,
+				Recipe:   rec.Name,
+				TaskID:   s.TaskID,
+				Kind:     string(s.Task.Kind),
+				ModuleID: assignment[s.Name()],
+			}
+		}
+	}
+	mgr.mu.Unlock()
+
+	for _, s := range subtasks {
+		moduleID := assignment[s.Name()]
+		payload := EncodeJSON(Assignment{SubTask: s, Recipe: *rec})
+		if err := mgr.client.Publish(TopicAssignPrefix+moduleID, payload, wire.QoS1, false); err != nil {
+			return nil, fmt.Errorf("core: assign %s to %s: %w", s.Name(), moduleID, err)
+		}
+		mgr.logf("manager: assigned %s (%s) to %s", s.Name(), describeKind(s.Task.Kind), moduleID)
+	}
+	return dep, nil
+}
+
+// Undeploy stops every subtask of a deployed recipe.
+func (mgr *Manager) Undeploy(name string) error {
+	mgr.mu.Lock()
+	dep, ok := mgr.deployments[name]
+	if ok {
+		delete(mgr.deployments, name)
+		for topic, info := range mgr.streams {
+			if info.Recipe == name {
+				delete(mgr.streams, topic)
+			}
+		}
+	}
+	mgr.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDeployment, name)
+	}
+	for _, s := range dep.SubTasks {
+		moduleID := dep.Assignment[s.Name()]
+		payload := EncodeJSON(Revocation{SubTaskName: s.Name()})
+		if err := mgr.client.Publish(TopicRevokePrefix+moduleID, payload, wire.QoS1, false); err != nil {
+			return fmt.Errorf("core: revoke %s on %s: %w", s.Name(), moduleID, err)
+		}
+	}
+	return nil
+}
+
+// Deployment returns the tracking handle for a deployed recipe.
+func (mgr *Manager) Deployment(name string) (*Deployment, bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	dep, ok := mgr.deployments[name]
+	return dep, ok
+}
+
+func (mgr *Manager) moduleInfos() []tasks.ModuleInfo {
+	now := mgr.cfg.Clock.Now()
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	committed := mgr.committedLoadLocked()
+	infos := make([]tasks.ModuleInfo, 0, len(mgr.modules))
+	for _, st := range mgr.modules {
+		if now.Sub(st.lastSeen) > mgr.cfg.StaleAfter {
+			continue
+		}
+		infos = append(infos, tasks.ModuleInfo{
+			ID:           st.announce.ModuleID,
+			Capabilities: st.announce.Capabilities,
+			CapacityOps:  st.announce.CapacityOps,
+			BaseLoad:     committed[st.announce.ModuleID],
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// committedLoadLocked sums the estimated cost of every already-assigned
+// subtask per module, so later deployments spread away from busy modules.
+func (mgr *Manager) committedLoadLocked() map[string]float64 {
+	loads := make(map[string]float64)
+	for _, dep := range mgr.deployments {
+		for _, s := range dep.SubTasks {
+			if moduleID, ok := dep.Assignment[s.Name()]; ok {
+				loads[moduleID] += tasks.CostOf(s)
+			}
+		}
+	}
+	return loads
+}
+
+// autoPlace derives capability constraints for tasks bound to physical
+// resources: sense tasks need the module hosting the sensor, actuate tasks
+// the actuator, custom tasks the registered handler.
+func autoPlace(subtasks []recipe.SubTask) {
+	for i := range subtasks {
+		s := &subtasks[i]
+		if s.Task.Placement.Module != "" || s.Task.Placement.Capability != "" {
+			continue
+		}
+		switch s.Task.Kind {
+		case recipe.KindSense:
+			s.Task.Placement.Capability = "sensor:" + paramString(*s, "sensor", s.TaskID)
+		case recipe.KindActuate:
+			s.Task.Placement.Capability = "actuator:" + paramString(*s, "actuator", s.TaskID)
+		case recipe.KindCustom:
+			s.Task.Placement.Capability = "handler:" + paramString(*s, "handler", s.TaskID)
+		}
+	}
+}
+
+func (mgr *Manager) handleAnnounce(msg mqttclient.Message) {
+	var ann Announce
+	if err := DecodeJSON(msg.Payload, &ann); err != nil || ann.ModuleID == "" {
+		return
+	}
+	mgr.mu.Lock()
+	mgr.modules[ann.ModuleID] = &moduleState{announce: ann, lastSeen: mgr.cfg.Clock.Now()}
+	mgr.mu.Unlock()
+}
+
+func (mgr *Manager) handleLeave(msg mqttclient.Message) {
+	var ann Announce
+	if err := DecodeJSON(msg.Payload, &ann); err != nil || ann.ModuleID == "" {
+		return
+	}
+	mgr.mu.Lock()
+	delete(mgr.modules, ann.ModuleID)
+	mgr.mu.Unlock()
+	mgr.logf("manager: module %s left", ann.ModuleID)
+	if !mgr.cfg.DisableFailover {
+		mgr.reassignFrom(ann.ModuleID)
+	}
+}
+
+// reassignFrom moves every subtask hosted on a departed module to a
+// surviving module — the middleware's failover for dynamic leave/crash.
+// Subtasks whose placement constraint no survivor satisfies (e.g. a sense
+// task whose physical sensor died with the module) stay orphaned and are
+// logged.
+func (mgr *Manager) reassignFrom(deadModuleID string) {
+	mgr.mu.Lock()
+	deps := make([]*Deployment, 0, len(mgr.deployments))
+	for _, d := range mgr.deployments {
+		deps = append(deps, d)
+	}
+	mgr.mu.Unlock()
+
+	infos := mgr.moduleInfos()
+	for _, dep := range deps {
+		var orphaned []recipe.SubTask
+		for _, s := range dep.SubTasks {
+			if dep.Assignment[s.Name()] == deadModuleID {
+				orphaned = append(orphaned, s)
+			}
+		}
+		if len(orphaned) == 0 {
+			continue
+		}
+		// Re-place each orphan individually so one unplaceable subtask
+		// (its sensor died with the module) does not block the others.
+		for _, s := range orphaned {
+			assignment, err := mgr.cfg.Strategy.Assign([]recipe.SubTask{s}, infos)
+			if err != nil {
+				mgr.logf("manager: failover: %s unplaceable after %s left: %v", s.Name(), deadModuleID, err)
+				continue
+			}
+			target := assignment[s.Name()]
+			mgr.mu.Lock()
+			dep.Assignment[s.Name()] = target
+			if s.Task.Output != "" {
+				if info, ok := mgr.streams[s.Task.Output]; ok {
+					info.ModuleID = target
+					mgr.streams[s.Task.Output] = info
+				}
+			}
+			mgr.mu.Unlock()
+			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe})
+			if err := mgr.client.Publish(TopicAssignPrefix+target, payload, wire.QoS1, false); err != nil {
+				mgr.logf("manager: failover publish %s to %s: %v", s.Name(), target, err)
+				continue
+			}
+			mgr.logf("manager: failover: moved %s from %s to %s", s.Name(), deadModuleID, target)
+		}
+	}
+}
+
+func (mgr *Manager) handleStatus(msg mqttclient.Message) {
+	var st Status
+	if err := DecodeJSON(msg.Payload, &st); err != nil {
+		return
+	}
+	mgr.mu.Lock()
+	deps := make([]*Deployment, 0, len(mgr.deployments))
+	for _, d := range mgr.deployments {
+		deps = append(deps, d)
+	}
+	mgr.mu.Unlock()
+	for _, d := range deps {
+		d.noteStatus(st)
+	}
+	if st.Kind == StatusFailed {
+		mgr.logf("manager: %s reported %s failed: %s", st.ModuleID, st.SubTaskName, st.Detail)
+	}
+}
+
+func (mgr *Manager) handleDiscover(msg mqttclient.Message) {
+	var q DiscoverQuery
+	if err := DecodeJSON(msg.Payload, &q); err != nil || q.RequestID == "" {
+		return
+	}
+	if err := wire.ValidateTopicFilter(q.Filter); err != nil {
+		return
+	}
+	var matches []StreamInfo
+	for _, s := range mgr.Streams() {
+		if wire.MatchTopic(q.Filter, s.Topic) {
+			matches = append(matches, s)
+		}
+	}
+	reply := DiscoverReply{RequestID: q.RequestID, Streams: matches}
+	_ = mgr.client.Publish(TopicDiscoverReplyPrefix+q.RequestID, EncodeJSON(reply), wire.QoS1, false)
+}
+
+func (mgr *Manager) logf(format string, args ...any) {
+	if mgr.cfg.Logger != nil {
+		mgr.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the IFoT middleware itself: the neuron-module
+// runtime hosting the paper's middleware classes (Publish/Subscribe,
+// Learning/Judging/Managing, Sensor/Actuator integration), and the
+// management node that splits recipes and assigns tasks (Fig. 4, Fig. 6).
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+// Control-plane topic layout. Application data flows on recipe-defined
+// topics; the middleware coordinates on the ifot/ctrl hierarchy.
+const (
+	// TopicAnnounce carries module presence beacons (retained).
+	TopicAnnounce = "ifot/ctrl/announce"
+	// TopicLeavePrefix + moduleID carries departure notices (wills).
+	TopicLeavePrefix = "ifot/ctrl/leave/"
+	// TopicAssignPrefix + moduleID carries task assignments.
+	TopicAssignPrefix = "ifot/ctrl/assign/"
+	// TopicRevokePrefix + moduleID carries task revocations.
+	TopicRevokePrefix = "ifot/ctrl/revoke/"
+	// TopicStatusPrefix + moduleID carries task status reports.
+	TopicStatusPrefix = "ifot/ctrl/status/"
+	// TopicDiscoverQuery carries stream-discovery requests.
+	TopicDiscoverQuery = "ifot/ctrl/discover/query"
+	// TopicDiscoverReplyPrefix + requestID carries discovery replies.
+	TopicDiscoverReplyPrefix = "ifot/ctrl/discover/reply/"
+	// TopicMixPrefix + recipe/taskID carries MIX weight exchanges.
+	TopicMixPrefix = "ifot/mix/"
+)
+
+// Errors returned by the codec.
+var (
+	ErrBadBatch   = errors.New("core: malformed batch")
+	ErrBadMessage = errors.New("core: malformed control message")
+)
+
+// Announce is a module presence beacon.
+type Announce struct {
+	ModuleID     string    `json:"moduleId"`
+	Capabilities []string  `json:"capabilities,omitempty"`
+	CapacityOps  float64   `json:"capacityOps"`
+	RunningTasks []string  `json:"runningTasks,omitempty"`
+	SentAt       time.Time `json:"sentAt"`
+}
+
+// Assignment instructs a module to start one subtask.
+type Assignment struct {
+	SubTask recipe.SubTask `json:"subTask"`
+	// Recipe carries the full recipe so modules can resolve task
+	// references without a second round trip.
+	Recipe recipe.Recipe `json:"recipe"`
+}
+
+// Revocation instructs a module to stop a subtask.
+type Revocation struct {
+	SubTaskName string `json:"subTaskName"`
+}
+
+// StatusKind enumerates task status transitions.
+type StatusKind string
+
+// Status kinds.
+const (
+	StatusStarted StatusKind = "started"
+	StatusStopped StatusKind = "stopped"
+	StatusFailed  StatusKind = "failed"
+)
+
+// Status reports a task lifecycle event from a module.
+type Status struct {
+	ModuleID    string     `json:"moduleId"`
+	SubTaskName string     `json:"subTaskName"`
+	Kind        StatusKind `json:"kind"`
+	Detail      string     `json:"detail,omitempty"`
+	At          time.Time  `json:"at"`
+}
+
+// StreamInfo describes one discoverable stream.
+type StreamInfo struct {
+	Topic    string `json:"topic"`
+	Recipe   string `json:"recipe,omitempty"`
+	TaskID   string `json:"taskId,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	ModuleID string `json:"moduleId,omitempty"`
+}
+
+// DiscoverQuery asks the management node for streams matching an MQTT
+// topic filter.
+type DiscoverQuery struct {
+	RequestID string `json:"requestId"`
+	Filter    string `json:"filter"`
+}
+
+// DiscoverReply answers a DiscoverQuery.
+type DiscoverReply struct {
+	RequestID string       `json:"requestId"`
+	Streams   []StreamInfo `json:"streams"`
+}
+
+// Decision is the JSON payload emitted by analysis classes (Judging class
+// output): classification labels, anomaly scores, cluster assignments,
+// regression estimates.
+type Decision struct {
+	Recipe string  `json:"recipe"`
+	TaskID string  `json:"taskId"`
+	Kind   string  `json:"kind"`
+	Label  string  `json:"label,omitempty"`
+	Score  float64 `json:"score"`
+	// Seq ties the decision back to the joined input batch.
+	Seq uint32 `json:"seq"`
+	// SensedAt is the earliest sensing timestamp in the input batch,
+	// preserved so downstream stages can measure end-to-end latency.
+	SensedAt time.Time `json:"sensedAt"`
+	At       time.Time `json:"at"`
+}
+
+// TrainEvent is emitted by the Learning class after each model update.
+type TrainEvent struct {
+	Recipe   string    `json:"recipe"`
+	TaskID   string    `json:"taskId"`
+	Seq      uint32    `json:"seq"`
+	SensedAt time.Time `json:"sensedAt"`
+	At       time.Time `json:"at"`
+	// Examples counts total training examples absorbed so far.
+	Examples int64 `json:"examples"`
+}
+
+// MixSnapshot carries one trainer shard's model weights for MIX averaging.
+type MixSnapshot struct {
+	ModuleID string                        `json:"moduleId"`
+	Shard    int                           `json:"shard"`
+	Weights  map[string]map[string]float64 `json:"weights"`
+	At       time.Time                     `json:"at"`
+}
+
+// EncodeJSON marshals a control message; it panics only on programmer
+// error (unmarshalable types), so callers may ignore the error for the
+// message types in this package.
+func EncodeJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal %T: %v", v, err))
+	}
+	return data
+}
+
+// DecodeJSON unmarshals a control message.
+func DecodeJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return nil
+}
+
+// EncodeBatch serializes a joined batch of samples: a 2-byte big-endian
+// count followed by each sample's 32-byte encoding.
+func EncodeBatch(batch []sensor.Sample) []byte {
+	out := make([]byte, 2, 2+len(batch)*sensor.SampleSize)
+	binary.BigEndian.PutUint16(out, uint16(len(batch)))
+	for _, s := range batch {
+		out = append(out, s.Encode()...)
+	}
+	return out
+}
+
+// DecodeBatch parses an EncodeBatch payload.
+func DecodeBatch(data []byte) ([]sensor.Sample, error) {
+	if len(data) < 2 {
+		return nil, ErrBadBatch
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if len(data) != 2+n*sensor.SampleSize {
+		return nil, fmt.Errorf("%w: count %d but %d payload bytes", ErrBadBatch, n, len(data)-2)
+	}
+	batch := make([]sensor.Sample, n)
+	for i := 0; i < n; i++ {
+		s, err := sensor.DecodeSample(data[2+i*sensor.SampleSize : 2+(i+1)*sensor.SampleSize])
+		if err != nil {
+			return nil, err
+		}
+		batch[i] = s
+	}
+	return batch, nil
+}
+
+// EarliestTimestamp returns the earliest sensing timestamp in a batch
+// (zero time for an empty batch).
+func EarliestTimestamp(batch []sensor.Sample) time.Time {
+	var earliest time.Time
+	for _, s := range batch {
+		if earliest.IsZero() || s.Timestamp.Before(earliest) {
+			earliest = s.Timestamp
+		}
+	}
+	return earliest
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/clock"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Errors returned by the module runtime.
+var (
+	ErrNotStarted      = errors.New("core: module not started")
+	ErrAlreadyStarted  = errors.New("core: module already started")
+	ErrUnknownSensor   = errors.New("core: unknown sensor")
+	ErrUnknownActuator = errors.New("core: unknown actuator")
+	ErrUnknownHandler  = errors.New("core: unknown custom handler")
+	ErrTaskExists      = errors.New("core: task already running")
+)
+
+// CustomFunc is an application-provided stream stage: it receives each
+// input message and may publish results through publish.
+type CustomFunc func(msg mqttclient.Message, publish func(topic string, payload []byte) error)
+
+// Observer receives middleware events; all callbacks are optional and must
+// be fast (they run on the dispatch goroutine).
+type Observer struct {
+	// OnTrain fires after every Learning-class model update.
+	OnTrain func(TrainEvent)
+	// OnDecision fires after every Judging-class decision.
+	OnDecision func(Decision)
+}
+
+// Config configures a neuron module.
+type Config struct {
+	// ID is the module identity (MQTT client ID, control topic key).
+	ID string
+	// Capabilities advertises what this module can host
+	// (e.g. "sensor:accelerometer", "actuator:light", "camera").
+	Capabilities []string
+	// CapacityOps advertises processing capacity for task assignment.
+	CapacityOps float64
+	// Dial opens the transport to the broker.
+	Dial func() (net.Conn, error)
+	// Clock supplies time (nil = wall clock).
+	Clock clock.Clock
+	// Logger receives diagnostics (nil = silent).
+	Logger *log.Logger
+	// HeartbeatInterval spaces presence announcements (default 5s).
+	HeartbeatInterval time.Duration
+	// DataQoS is the QoS for data-plane publishes (default QoS0).
+	DataQoS wire.QoS
+	// MixInterval spaces MIX weight exchanges for sharded trainers
+	// (default 2s).
+	MixInterval time.Duration
+	// Observer receives middleware events.
+	Observer Observer
+	// DisableReconnect turns off automatic reconnection after a broker
+	// connection loss. With reconnection on (the default), the module
+	// redials with exponential backoff, re-registers its control
+	// subscriptions, and restarts its assigned tasks.
+	DisableReconnect bool
+	// ReconnectBackoff is the initial redial delay (default 200ms,
+	// doubling up to 30x).
+	ReconnectBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 5 * time.Second
+	}
+	if c.MixInterval <= 0 {
+		c.MixInterval = 2 * time.Second
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Module is one IFoT neuron: it connects to the flow-distribution broker,
+// hosts assigned subtasks, and integrates local sensors and actuators.
+type Module struct {
+	cfg Config
+
+	mu        sync.Mutex
+	client    *mqttclient.Client
+	started   bool
+	closed    bool
+	sensors   map[string]*sensor.Sensor
+	actuators map[string]sensor.Actuator
+	customs   map[string]CustomFunc
+	running   map[string]*taskInstance
+	specs     map[string]taskSpec // survives reconnects
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// taskSpec is the durable description of an assigned subtask, kept so
+// tasks can be restarted after a reconnect.
+type taskSpec struct {
+	rec recipe.Recipe
+	sub recipe.SubTask
+}
+
+// NewModule creates an unstarted module.
+func NewModule(cfg Config) *Module {
+	return &Module{
+		cfg:       cfg.withDefaults(),
+		sensors:   make(map[string]*sensor.Sensor),
+		actuators: make(map[string]sensor.Actuator),
+		customs:   make(map[string]CustomFunc),
+		running:   make(map[string]*taskInstance),
+		specs:     make(map[string]taskSpec),
+	}
+}
+
+// ID returns the module identity.
+func (m *Module) ID() string { return m.cfg.ID }
+
+// RegisterSensor makes a local sensor available to sense tasks under its
+// sensor ID.
+func (m *Module) RegisterSensor(s *sensor.Sensor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sensors[s.ID] = s
+}
+
+// RegisterActuator makes a local actuator available to actuate tasks.
+func (m *Module) RegisterActuator(a sensor.Actuator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.actuators[a.ID()] = a
+}
+
+// RegisterCustom makes a custom stream stage available under name.
+func (m *Module) RegisterCustom(name string, fn CustomFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.customs[name] = fn
+}
+
+// Start connects the module to the broker, announces presence, and begins
+// accepting task assignments.
+func (m *Module) Start() error {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return ErrAlreadyStarted
+	}
+	if m.cfg.Dial == nil {
+		m.mu.Unlock()
+		return errors.New("core: module config needs a Dial function")
+	}
+	m.started = true
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	m.mu.Unlock()
+
+	client, err := m.connect()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.client = client
+	m.mu.Unlock()
+
+	m.announce()
+	m.wg.Add(2)
+	go m.heartbeatLoop()
+	go m.watchConnection(client)
+	m.logf("module %s started", m.cfg.ID)
+	return nil
+}
+
+// connect dials the broker and establishes the control-plane session.
+func (m *Module) connect() (*mqttclient.Client, error) {
+	conn, err := m.cfg.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("core: module %s dial: %w", m.cfg.ID, err)
+	}
+	opts := mqttclient.NewOptions(m.cfg.ID)
+	opts.KeepAlive = 30 * time.Second
+	opts.Will = &mqttclient.Message{
+		Topic:   TopicLeavePrefix + m.cfg.ID,
+		Payload: EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}),
+		QoS:     wire.QoS1,
+	}
+	client, err := mqttclient.Connect(conn, opts)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("core: module %s connect: %w", m.cfg.ID, err)
+	}
+	if _, err := client.Subscribe(TopicAssignPrefix+m.cfg.ID, wire.QoS1, m.handleAssign); err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("core: module %s subscribe assign: %w", m.cfg.ID, err)
+	}
+	if _, err := client.Subscribe(TopicRevokePrefix+m.cfg.ID, wire.QoS1, m.handleRevoke); err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("core: module %s subscribe revoke: %w", m.cfg.ID, err)
+	}
+	return client, nil
+}
+
+// currentClient returns the live client, or nil before Start.
+func (m *Module) currentClient() *mqttclient.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.client
+}
+
+// watchConnection restores service after a lost broker connection.
+func (m *Module) watchConnection(client *mqttclient.Client) {
+	defer m.wg.Done()
+	select {
+	case <-m.ctx.Done():
+		return
+	case <-client.Done():
+	}
+	if m.cfg.DisableReconnect {
+		return
+	}
+	backoff := m.cfg.ReconnectBackoff
+	for attempt := 0; attempt < 30; attempt++ {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.cfg.Clock.After(backoff):
+		}
+		next, err := m.connect()
+		if err != nil {
+			m.logf("module %s reconnect attempt %d: %v", m.cfg.ID, attempt+1, err)
+			if backoff < 10*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			_ = next.Close()
+			return
+		}
+		m.client = next
+		m.mu.Unlock()
+		m.logf("module %s reconnected", m.cfg.ID)
+		m.announce()
+		m.restartTasks()
+		m.wg.Add(1)
+		go m.watchConnection(next) // balances its own wg.Done
+		return
+	}
+	m.logf("module %s gave up reconnecting", m.cfg.ID)
+}
+
+// restartTasks rebuilds every assigned task on the current connection.
+func (m *Module) restartTasks() {
+	m.mu.Lock()
+	specs := make(map[string]taskSpec, len(m.specs))
+	for name, spec := range m.specs {
+		specs[name] = spec
+	}
+	old := m.running
+	m.running = make(map[string]*taskInstance, len(specs))
+	m.mu.Unlock()
+
+	for _, inst := range old {
+		inst.stop()
+	}
+	for name, spec := range specs {
+		inst, err := m.newTaskInstance(spec.rec, spec.sub)
+		if err != nil {
+			m.logf("module %s restart %s: %v", m.cfg.ID, name, err)
+			m.reportStatus(name, StatusFailed, err.Error())
+			continue
+		}
+		m.mu.Lock()
+		m.running[name] = inst
+		m.mu.Unlock()
+		m.reportStatus(name, StatusStarted, "restarted after reconnect")
+	}
+}
+
+// Close stops all tasks, says goodbye, and disconnects.
+func (m *Module) Close() error {
+	m.mu.Lock()
+	if !m.started || m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	instances := make([]*taskInstance, 0, len(m.running))
+	for _, inst := range m.running {
+		instances = append(instances, inst)
+	}
+	m.running = make(map[string]*taskInstance)
+	m.specs = make(map[string]taskSpec)
+	m.mu.Unlock()
+
+	m.cancel()
+	for _, inst := range instances {
+		inst.stop()
+	}
+	m.wg.Wait()
+	if client := m.currentClient(); client != nil {
+		_ = client.Publish(TopicLeavePrefix+m.cfg.ID,
+			EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}), wire.QoS1, false)
+		_ = client.Disconnect()
+	}
+	m.logf("module %s closed", m.cfg.ID)
+	return nil
+}
+
+// RunningTasks lists the names of currently hosted subtasks, sorted order
+// not guaranteed.
+func (m *Module) RunningTasks() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.running))
+	for name := range m.running {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Publish exposes the Publish class for application code running beside
+// the middleware (e.g. examples injecting ad-hoc data).
+func (m *Module) Publish(topic string, payload []byte) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	return client.Publish(topic, payload, m.cfg.DataQoS, false)
+}
+
+// Subscribe exposes the Subscribe class for application code.
+func (m *Module) Subscribe(filter string, handler mqttclient.Handler) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	_, err := client.Subscribe(filter, m.cfg.DataQoS, handler)
+	return err
+}
+
+// StartTask launches a subtask directly (bypassing the management node);
+// the same path handleAssign uses.
+func (m *Module) StartTask(rec recipe.Recipe, sub recipe.SubTask) error {
+	m.mu.Lock()
+	if !m.started || m.closed {
+		m.mu.Unlock()
+		return ErrNotStarted
+	}
+	if _, exists := m.running[sub.Name()]; exists {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTaskExists, sub.Name())
+	}
+	m.mu.Unlock()
+
+	inst, err := m.newTaskInstance(rec, sub)
+	if err != nil {
+		m.reportStatus(sub.Name(), StatusFailed, err.Error())
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		inst.stop()
+		return ErrNotStarted
+	}
+	m.running[sub.Name()] = inst
+	m.specs[sub.Name()] = taskSpec{rec: rec, sub: sub}
+	m.mu.Unlock()
+	m.reportStatus(sub.Name(), StatusStarted, "")
+	m.logf("module %s started task %s (%s)", m.cfg.ID, sub.Name(), sub.Task.Kind)
+	return nil
+}
+
+// StopTask stops a running subtask by name.
+func (m *Module) StopTask(name string) error {
+	m.mu.Lock()
+	inst, ok := m.running[name]
+	delete(m.running, name)
+	delete(m.specs, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: task %s not running", name)
+	}
+	inst.stop()
+	m.reportStatus(name, StatusStopped, "")
+	return nil
+}
+
+func (m *Module) handleAssign(msg mqttclient.Message) {
+	var a Assignment
+	if err := DecodeJSON(msg.Payload, &a); err != nil {
+		m.logf("module %s: bad assignment: %v", m.cfg.ID, err)
+		return
+	}
+	if err := m.StartTask(a.Recipe, a.SubTask); err != nil {
+		m.logf("module %s: start %s: %v", m.cfg.ID, a.SubTask.Name(), err)
+	}
+}
+
+func (m *Module) handleRevoke(msg mqttclient.Message) {
+	var r Revocation
+	if err := DecodeJSON(msg.Payload, &r); err != nil {
+		m.logf("module %s: bad revocation: %v", m.cfg.ID, err)
+		return
+	}
+	if err := m.StopTask(r.SubTaskName); err != nil {
+		m.logf("module %s: revoke %s: %v", m.cfg.ID, r.SubTaskName, err)
+	}
+}
+
+func (m *Module) reportStatus(name string, kind StatusKind, detail string) {
+	client := m.currentClient()
+	if client == nil {
+		return
+	}
+	status := Status{
+		ModuleID:    m.cfg.ID,
+		SubTaskName: name,
+		Kind:        kind,
+		Detail:      detail,
+		At:          m.now(),
+	}
+	_ = client.Publish(TopicStatusPrefix+m.cfg.ID, EncodeJSON(status), wire.QoS1, false)
+}
+
+func (m *Module) announce() {
+	client := m.currentClient()
+	if client == nil {
+		return
+	}
+	ann := Announce{
+		ModuleID:     m.cfg.ID,
+		Capabilities: m.capabilities(),
+		CapacityOps:  m.cfg.CapacityOps,
+		RunningTasks: m.RunningTasks(),
+		SentAt:       m.now(),
+	}
+	_ = client.Publish(TopicAnnounce, EncodeJSON(ann), wire.QoS1, false)
+}
+
+func (m *Module) heartbeatLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.cfg.Clock.After(m.cfg.HeartbeatInterval):
+			m.announce()
+		}
+	}
+}
+
+func (m *Module) now() time.Time { return m.cfg.Clock.Now() }
+
+func (m *Module) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,119 @@
+// Package device models the compute capability of IFoT neuron modules.
+// The paper's prototype ran on Raspberry Pi 2 boards (Table I); since that
+// hardware is not available here, each module is modeled as a single-worker
+// service queue with a calibrated capacity, and middleware operations carry
+// costs in abstract "operations". The calibration target is the latency
+// behaviour of Tables II and III: flat latency at 5–10 Hz, a queueing knee
+// at 20 Hz, and bounded saturation at 40–80 Hz.
+package device
+
+import (
+	"fmt"
+
+	"github.com/ifot-middleware/ifot/internal/sim"
+)
+
+// Profile describes one device class.
+type Profile struct {
+	// Name identifies the device class.
+	Name string
+	// CapacityOps is the service rate in operations/second. The unit is
+	// chosen so that 1 op ≈ 1 ms of CPU on a Raspberry Pi 2.
+	CapacityOps float64
+	// QueueLimit bounds jobs queued or in service (0 = unbounded). Real
+	// middleware has finite buffers (MQTT in-flight windows, Jubatus
+	// internal queues); the bound is what keeps saturation latency
+	// finite in Tables II/III rather than diverging.
+	QueueLimit int
+	// MemoryMB is informational (Table I).
+	MemoryMB int
+}
+
+// RaspberryPi2 is the neuron-module device of the paper's testbed:
+// ARM Cortex-A7 @ 900 MHz, 1 GB RAM (Table I).
+func RaspberryPi2() Profile {
+	return Profile{
+		Name:        "raspberry-pi-2",
+		CapacityOps: 1000, // 1 op ≈ 1 ms
+		QueueLimit:  96,
+		MemoryMB:    1024,
+	}
+}
+
+// RaspberryPi3 models the successor board (quad Cortex-A53 @ 1.2 GHz),
+// roughly 2.5x the per-core throughput of the Pi 2 — used by the hardware
+// ablation to quantify the paper's "improve real-time processing
+// performance" future-work item.
+func RaspberryPi3() Profile {
+	return Profile{
+		Name:        "raspberry-pi-3",
+		CapacityOps: 2500,
+		QueueLimit:  96,
+		MemoryMB:    1024,
+	}
+}
+
+// ManagementNode is the experiment's laptop (ThinkPad X250, Core
+// i5-5200U, 8 GB — Table I); roughly an order of magnitude faster.
+func ManagementNode() Profile {
+	return Profile{
+		Name:        "management-node",
+		CapacityOps: 12000,
+		QueueLimit:  4096,
+		MemoryMB:    8192,
+	}
+}
+
+// NewStation instantiates the profile as a DES service station.
+func (p Profile) NewStation(engine *sim.Engine, id string) *sim.Station {
+	return sim.NewStation(engine, fmt.Sprintf("%s(%s)", id, p.Name), p.CapacityOps, p.QueueLimit)
+}
+
+// CostModel assigns per-operation costs (in ops; 1 op ≈ 1 ms on an RPi 2)
+// to the middleware's pipeline stages. Values are calibrated so the
+// simulated testbed reproduces the latency *shape* of Tables II and III.
+type CostModel struct {
+	// SensorRead covers sampling and 32-byte encoding on a sensor module.
+	SensorRead float64
+	// Publish covers the Publish class's MQTT packetization and send.
+	Publish float64
+	// BrokerRoute is the broker's per-delivery matching/forwarding work.
+	BrokerRoute float64
+	// SubscribeDecode is the Subscribe class's per-message receive,
+	// decode, and join-insert work.
+	SubscribeDecode float64
+	// TrainBatch is the Learning class's per-joined-batch model update
+	// (Jubatus train on RPi 2 — the dominant cost, hence Table II's
+	// earlier saturation).
+	TrainBatch float64
+	// PredictBatch is the Judging class's per-batch inference
+	// (cheaper than training, hence Table III's later saturation).
+	PredictBatch float64
+	// Actuate is the Actuator class's per-command cost.
+	Actuate float64
+}
+
+// DefaultCosts is the calibrated cost model. Derivation from the paper's
+// numbers, with base ≈ sensing + 2 network hops + decode ≈ 15 ms:
+//
+//   - TrainBatch 47 → the training core runs at ρ≈0.94 at 20 Hz (the
+//     233 ms queueing knee of Table II) and saturates at 40 Hz, where the
+//     bounded admission queue caps latency near 22×47 ms ≈ 1.1 s
+//     (Table II's 1123 ms).
+//   - PredictBatch 30 → ρ≈0.6 at 20 Hz (75 ms, Table III) and saturation
+//     at 40 Hz (≈ 745 ms).
+//   - BrokerRoute 2.25 → module D stays comfortable at ≤40 Hz but
+//     saturates at 80 Hz (3 sensors × 80 Hz × 2 deliveries ≈ 1.08×
+//     capacity), adding the extra delay that separates the 80 Hz rows
+//     from the 40 Hz plateaus in both tables.
+func DefaultCosts() CostModel {
+	return CostModel{
+		SensorRead:      0.5,
+		Publish:         2,
+		BrokerRoute:     2.25,
+		SubscribeDecode: 1,
+		TrainBatch:      47,
+		PredictBatch:    30,
+		Actuate:         1,
+	}
+}

@@ -1,0 +1,94 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/sim"
+)
+
+func TestProfilesSane(t *testing.T) {
+	rpi := RaspberryPi2()
+	mgmt := ManagementNode()
+	if rpi.CapacityOps <= 0 || mgmt.CapacityOps <= 0 {
+		t.Fatal("profiles must have positive capacity")
+	}
+	if mgmt.CapacityOps <= rpi.CapacityOps {
+		t.Fatal("management node must be faster than a Raspberry Pi 2")
+	}
+	if rpi.MemoryMB != 1024 || mgmt.MemoryMB != 8192 {
+		t.Fatalf("Table I memory mismatch: %d/%d", rpi.MemoryMB, mgmt.MemoryMB)
+	}
+}
+
+func TestNewStationServiceTime(t *testing.T) {
+	e := sim.NewEngine(time.Unix(0, 0))
+	st := RaspberryPi2().NewStation(e, "moduleA")
+	var done time.Time
+	st.Submit(45, func(at time.Time) { done = at }) // TrainBatch cost
+	e.RunAll()
+	want := time.Unix(0, 0).Add(45 * time.Millisecond) // 1 op = 1ms at 1000 ops/s
+	if !done.Equal(want) {
+		t.Fatalf("45-op job done at %v, want %v", done, want)
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	c := DefaultCosts()
+	if c.TrainBatch <= c.PredictBatch {
+		t.Fatal("training must cost more than prediction (Table II vs III)")
+	}
+	if c.PredictBatch <= c.SubscribeDecode || c.SubscribeDecode <= 0 {
+		t.Fatal("cost ordering violated")
+	}
+	// The calibrated knee: 3 sensors at 20 Hz must load the trainer near
+	// (but below double) capacity, and 40 Hz must exceed it.
+	rpi := RaspberryPi2()
+	loadAt := func(rateHz float64) float64 {
+		perSec := 3*rateHz*c.SubscribeDecode + rateHz*c.TrainBatch
+		return perSec / rpi.CapacityOps
+	}
+	if rho := loadAt(20); rho < 0.8 || rho >= 1.1 {
+		t.Fatalf("trainer utilization at 20 Hz = %.2f, want busy-but-near capacity", rho)
+	}
+	if rho := loadAt(40); rho <= 1.2 {
+		t.Fatalf("trainer utilization at 40 Hz = %.2f, want saturated", rho)
+	}
+	// Prediction must stay comfortable at 20 Hz and saturate at 40 Hz.
+	predLoad := func(rateHz float64) float64 {
+		return (3*rateHz*c.SubscribeDecode + rateHz*c.PredictBatch) / rpi.CapacityOps
+	}
+	if rho := predLoad(20); rho >= 0.9 {
+		t.Fatalf("predictor utilization at 20 Hz = %.2f, want < 0.9", rho)
+	}
+	if rho := predLoad(40); rho <= 1.0 {
+		t.Fatalf("predictor utilization at 40 Hz = %.2f, want > 1", rho)
+	}
+}
+
+func TestStationDefaultsOnZeroCapacity(t *testing.T) {
+	e := sim.NewEngine(time.Unix(0, 0))
+	p := Profile{Name: "broken"}
+	st := p.NewStation(e, "x")
+	if !st.Submit(1, nil) {
+		t.Fatal("zero-capacity profile station rejected a job")
+	}
+	e.RunAll()
+}
+
+func TestRaspberryPi3FasterThanPi2(t *testing.T) {
+	pi2, pi3 := RaspberryPi2(), RaspberryPi3()
+	if pi3.CapacityOps <= pi2.CapacityOps {
+		t.Fatalf("Pi3 capacity %v not above Pi2 %v", pi3.CapacityOps, pi2.CapacityOps)
+	}
+	if pi3.MemoryMB != 1024 {
+		t.Fatalf("Pi3 memory = %d, want 1024", pi3.MemoryMB)
+	}
+	// With Pi 3 capacity the trainer must stay below saturation at 40 Hz
+	// (the basis of the hardware ablation's story).
+	c := DefaultCosts()
+	rho := (3*40*c.SubscribeDecode + 40*c.TrainBatch) / pi3.CapacityOps
+	if rho >= 1 {
+		t.Fatalf("Pi3 trainer utilization at 40 Hz = %.2f, want < 1", rho)
+	}
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/metrics"
+	"github.com/ifot-middleware/ifot/internal/netsim"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+// RealtimeConfig parameterizes a live (non-simulated) run of the Fig. 9
+// pipeline on the actual middleware: real broker, real modules, real MQTT
+// over in-memory transports.
+type RealtimeConfig struct {
+	// RateHz is the per-sensor sampling rate.
+	RateHz float64
+	// Duration is the measurement interval (wall clock).
+	Duration time.Duration
+	// SensorCount is the number of sensor modules (default 3).
+	SensorCount int
+	// LinkProfile, when non-zero, wraps every module transport with the
+	// given one-way delay model (e.g. netsim.DefaultWLAN()).
+	LinkProfile netsim.Profile
+}
+
+// RealtimeResult holds live-pipeline measurements.
+type RealtimeResult struct {
+	// Training is the observed sensing→training latency distribution.
+	Training metrics.Summary
+	// Predicting is the observed sensing→predicting latency distribution.
+	Predicting metrics.Summary
+	// SamplesJoined counts completed three-way joins on the train path.
+	SamplesJoined int64
+}
+
+// RunRealtime executes the paper's experiment topology on the real
+// middleware stack and reports observed latencies. Unlike Run (the
+// calibrated simulation), absolute numbers reflect the host machine, not
+// a Raspberry Pi fleet; the purpose is validating that the real pipeline
+// — Sensor→Publish→Broker→Subscribe→join→Train/Predict — behaves as the
+// model assumes.
+func RunRealtime(cfg RealtimeConfig) (RealtimeResult, error) {
+	if cfg.SensorCount <= 0 {
+		cfg.SensorCount = 3
+	}
+	if cfg.RateHz <= 0 {
+		cfg.RateHz = 20
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+
+	var result RealtimeResult
+	b := broker.New(broker.Options{})
+	listener := netsim.NewPipeListener()
+	go func() { _ = b.Serve(listener) }()
+	defer func() {
+		_ = b.Close()
+		_ = listener.Close()
+	}()
+
+	var linkSeed int64
+	dial := func() (net.Conn, error) {
+		conn, err := listener.Dial()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.LinkProfile != (netsim.Profile{}) {
+			linkSeed++
+			return netsim.NewDelayConn(conn, cfg.LinkProfile, linkSeed), nil
+		}
+		return conn, nil
+	}
+
+	trainRec := metrics.NewLatencyRecorder()
+	predictRec := metrics.NewLatencyRecorder()
+
+	// Sensor modules A, B, C.
+	var modules []*core.Module
+	for i := 0; i < cfg.SensorCount; i++ {
+		m := core.NewModule(core.Config{
+			ID:          fmt.Sprintf("rt-sensor%d", i),
+			CapacityOps: 1000,
+			Dial:        dial,
+		})
+		m.RegisterSensor(&sensor.Sensor{
+			ID:     fmt.Sprintf("s%d", i),
+			Index:  uint16(i + 1),
+			Kind:   sensor.Accelerometer,
+			RateHz: cfg.RateHz,
+			Gen:    sensor.GaussianNoise(0, 1, uint64(i)+1),
+		})
+		modules = append(modules, m)
+	}
+
+	// Module E: join + train.
+	moduleE := core.NewModule(core.Config{
+		ID: "rt-moduleE", CapacityOps: 1000, Dial: dial,
+		Observer: core.Observer{OnTrain: func(ev core.TrainEvent) {
+			trainRec.Record(ev.At.Sub(ev.SensedAt))
+		}},
+	})
+	// Module F: join + predict.
+	moduleF := core.NewModule(core.Config{
+		ID: "rt-moduleF", CapacityOps: 1000, Dial: dial,
+		Observer: core.Observer{OnDecision: func(d core.Decision) {
+			predictRec.Record(d.At.Sub(d.SensedAt))
+		}},
+	})
+	modules = append(modules, moduleE, moduleF)
+
+	// Start the manager before the modules so their initial presence
+	// announcements are not missed (otherwise discovery waits a full
+	// heartbeat interval).
+	mgr := core.NewManager(core.ManagerConfig{Dial: dial})
+	if err := mgr.Start(); err != nil {
+		return result, err
+	}
+	defer mgr.Close()
+
+	for _, m := range modules {
+		if err := m.Start(); err != nil {
+			return result, err
+		}
+		defer m.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(mgr.Modules()) < len(modules) {
+		if time.Now().After(deadline) {
+			return result, fmt.Errorf("experiment: only %d/%d modules announced", len(mgr.Modules()), len(modules))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fig. 9 recipe: separate joins feeding the Learning class on E and
+	// the Judging class on F.
+	var tasksList []recipe.Task
+	joinInputs := make([]string, 0, cfg.SensorCount)
+	for i := 0; i < cfg.SensorCount; i++ {
+		tasksList = append(tasksList, recipe.Task{
+			ID:     fmt.Sprintf("sense%d", i),
+			Kind:   recipe.KindSense,
+			Output: fmt.Sprintf("rt/s%d", i),
+			Params: map[string]string{"sensor": fmt.Sprintf("s%d", i)},
+		})
+		joinInputs = append(joinInputs, fmt.Sprintf("task:sense%d", i))
+	}
+	tasksList = append(tasksList,
+		recipe.Task{ID: "joinE", Kind: recipe.KindAggregate, Inputs: joinInputs,
+			Output: "rt/joinedE", Placement: recipe.Placement{Module: "rt-moduleE"}},
+		recipe.Task{ID: "train", Kind: recipe.KindTrain, Inputs: []string{"task:joinE"},
+			Output: "rt/train", Placement: recipe.Placement{Module: "rt-moduleE"}},
+		recipe.Task{ID: "joinF", Kind: recipe.KindAggregate, Inputs: joinInputs,
+			Output: "rt/joinedF", Placement: recipe.Placement{Module: "rt-moduleF"}},
+		recipe.Task{ID: "predict", Kind: recipe.KindPredict, Inputs: []string{"task:joinF"},
+			Output: "rt/pred", Placement: recipe.Placement{Module: "rt-moduleF"},
+			Params: map[string]string{"modelFrom": "train"}},
+	)
+	rec := &recipe.Recipe{Name: "fig9-realtime", Tasks: tasksList}
+	dep, err := mgr.Deploy(rec)
+	if err != nil {
+		return result, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := dep.WaitRunning(ctx); err != nil {
+		return result, err
+	}
+
+	time.Sleep(cfg.Duration)
+
+	result.Training = trainRec.Snapshot()
+	result.Predicting = predictRec.Snapshot()
+	result.SamplesJoined = int64(result.Training.Count)
+	return result, nil
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/netsim"
+)
+
+// TestRealtimePipelineEndToEnd runs the Fig. 9 topology on the live
+// middleware and verifies the pipeline completes joins and analyses with
+// sane latencies (the host is much faster than a Raspberry Pi, so only
+// ordering/behaviour is asserted, not absolute values).
+func TestRealtimePipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live pipeline run")
+	}
+	res, err := RunRealtime(RealtimeConfig{RateHz: 20, Duration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~60 ticks at 20 Hz; allow generous slack for startup.
+	if res.Training.Count < 20 {
+		t.Fatalf("train completions = %d, want >= 20", res.Training.Count)
+	}
+	if res.Predicting.Count < 20 {
+		t.Fatalf("predict completions = %d, want >= 20", res.Predicting.Count)
+	}
+	if res.Training.Mean <= 0 || res.Predicting.Mean <= 0 {
+		t.Fatalf("non-positive latencies: %v / %v", res.Training.Mean, res.Predicting.Mean)
+	}
+	// A healthy host pipeline is far below the paper's saturation values.
+	if res.Training.Mean > 500*time.Millisecond {
+		t.Fatalf("train latency %v implausibly high for live host pipeline", res.Training.Mean)
+	}
+	if res.Training.Max < res.Training.Mean {
+		t.Fatal("max < mean")
+	}
+}
+
+// TestRealtimePipelineWithLinkDelay injects the WLAN model into the live
+// transports and verifies latency rises accordingly (validating that
+// netsim.DelayConn and the DES link model describe the same thing).
+func TestRealtimePipelineWithLinkDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live pipeline run")
+	}
+	fast, err := RunRealtime(RealtimeConfig{RateHz: 10, Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := netsim.Profile{Latency: 20 * time.Millisecond}
+	slow, err := RunRealtime(RealtimeConfig{RateHz: 10, Duration: 2 * time.Second, LinkProfile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Training.Count == 0 {
+		t.Fatal("no completions with link delay")
+	}
+	// Two delayed hops (publish→broker, broker→subscriber) ≈ +40ms.
+	gain := slow.Training.Mean - fast.Training.Mean
+	if gain < 25*time.Millisecond {
+		t.Fatalf("link delay added only %v to train latency, want >= 25ms", gain)
+	}
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ifot-middleware/ifot/internal/metrics"
+)
+
+// PaperRates are the sensing rates the paper sweeps (Hz).
+var PaperRates = []float64{5, 10, 20, 40, 80}
+
+// PaperRow holds the paper's reported average and maximum delay (ms).
+type PaperRow struct {
+	AvgMs float64
+	MaxMs float64
+}
+
+// PaperTable2 is Table II (sensing→training delay) as published.
+var PaperTable2 = map[float64]PaperRow{
+	5:  {AvgMs: 58.969, MaxMs: 357.619},
+	10: {AvgMs: 60.904, MaxMs: 360.761},
+	20: {AvgMs: 232.944, MaxMs: 419.513},
+	40: {AvgMs: 1123.317, MaxMs: 1482.500},
+	80: {AvgMs: 1636.907, MaxMs: 1913.752},
+}
+
+// PaperTable3 is Table III (sensing→predicting delay) as published.
+var PaperTable3 = map[float64]PaperRow{
+	5:  {AvgMs: 58.969, MaxMs: 346.142},
+	10: {AvgMs: 59.020, MaxMs: 334.501},
+	20: {AvgMs: 74.747, MaxMs: 373.992},
+	40: {AvgMs: 744.535, MaxMs: 819.748},
+	80: {AvgMs: 1144.580, MaxMs: 1249.122},
+}
+
+// RunSweep executes the paper's rate sweep and returns one Result per rate.
+// mutate (optional) adjusts each rate's config before running, which is how
+// the ablations reuse the sweep.
+func RunSweep(rates []float64, mutate func(*Config)) []Result {
+	results := make([]Result, 0, len(rates))
+	for _, rate := range rates {
+		cfg := DefaultConfig(rate)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		results = append(results, Run(cfg))
+	}
+	return results
+}
+
+// Table selects which paper table a formatted report mirrors.
+type Table int
+
+// Table identifiers.
+const (
+	Table2SensingTraining Table = 2
+	Table3SensingPredict  Table = 3
+)
+
+func (t Table) title() string {
+	switch t {
+	case Table2SensingTraining:
+		return "TABLE II: EXPERIMENTAL RESULT (SENSING-TRAINING)"
+	case Table3SensingPredict:
+		return "TABLE III: EXPERIMENTAL RESULT (SENSING-PREDICTING)"
+	default:
+		return fmt.Sprintf("TABLE %d", int(t))
+	}
+}
+
+func (t Table) paper() map[float64]PaperRow {
+	if t == Table2SensingTraining {
+		return PaperTable2
+	}
+	return PaperTable3
+}
+
+func (t Table) summary(r Result) metrics.Summary {
+	if t == Table2SensingTraining {
+		return r.Training
+	}
+	return r.Predicting
+}
+
+// Format renders a sweep's results side by side with the paper's numbers.
+func Format(t Table, results []Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.title())
+	fmt.Fprintf(&sb, "%-10s | %-21s | %-21s\n", "Sampling", "Measured (ms)", "Paper (ms)")
+	fmt.Fprintf(&sb, "%-10s | %10s %10s | %10s %10s\n", "rate (Hz)", "Ave.", "Max", "Ave.", "Max")
+	fmt.Fprintln(&sb, strings.Repeat("-", 60))
+	paper := t.paper()
+	for _, r := range results {
+		s := t.summary(r)
+		row, known := paper[r.Config.RateHz]
+		if known {
+			fmt.Fprintf(&sb, "%-10.0f | %10.3f %10.3f | %10.3f %10.3f\n",
+				r.Config.RateHz, metrics.Millis(s.Mean), metrics.Millis(s.Max), row.AvgMs, row.MaxMs)
+		} else {
+			fmt.Fprintf(&sb, "%-10.0f | %10.3f %10.3f | %10s %10s\n",
+				r.Config.RateHz, metrics.Millis(s.Mean), metrics.Millis(s.Max), "-", "-")
+		}
+	}
+	return sb.String()
+}
+
+// ShapeReport checks the qualitative claims of Section V-C against a sweep
+// and returns a list of violated claims (empty = the shape holds).
+func ShapeReport(train, predict []Result) []string {
+	byRate := func(rs []Result) map[float64]metrics.Summary {
+		m := make(map[float64]metrics.Summary, len(rs))
+		for _, r := range rs {
+			m[r.Config.RateHz] = r.Training
+		}
+		return m
+	}
+	trainBy := byRate(train)
+	predictBy := make(map[float64]metrics.Summary, len(predict))
+	for _, r := range predict {
+		predictBy[r.Config.RateHz] = r.Predicting
+	}
+
+	var violations []string
+	check := func(ok bool, claim string) {
+		if !ok {
+			violations = append(violations, claim)
+		}
+	}
+	ms := func(s metrics.Summary) float64 { return metrics.Millis(s.Mean) }
+
+	// "In the case of low sensing rate such as 10 and 20Hz, IFoT
+	// middleware could realize low-latency processing."
+	check(ms(trainBy[5]) < 150 && ms(trainBy[10]) < 150, "training latency low at 5-10 Hz")
+	check(ms(predictBy[5]) < 150 && ms(predictBy[10]) < 150, "predicting latency low at 5-10 Hz")
+	// "When sensing rate is 20 to 40Hz, the delay time increased and
+	// real-time processing was no longer possible."
+	check(ms(trainBy[40]) > 4*ms(trainBy[20]), "training latency blows up between 20 and 40 Hz")
+	check(ms(trainBy[40]) > 800, "training latency exceeds ~1s at 40 Hz")
+	check(ms(predictBy[40]) > 5*ms(predictBy[20]), "predicting latency blows up between 20 and 40 Hz")
+	// "In the case of sensing rate over 80Hz, the delay time increased
+	// much more."
+	check(ms(trainBy[80]) > ms(trainBy[40]), "training latency grows further at 80 Hz")
+	check(ms(predictBy[80]) > ms(predictBy[40]), "predicting latency grows further at 80 Hz")
+	// Training saturates earlier / costs more than predicting.
+	for _, rate := range []float64{20, 40, 80} {
+		check(ms(trainBy[rate]) > ms(predictBy[rate]),
+			fmt.Sprintf("training slower than predicting at %v Hz", rate))
+	}
+	// Max >= Avg everywhere.
+	for _, rate := range PaperRates {
+		check(trainBy[rate].Max >= trainBy[rate].Mean, fmt.Sprintf("train max >= avg at %v Hz", rate))
+		check(predictBy[rate].Max >= predictBy[rate].Mean, fmt.Sprintf("predict max >= avg at %v Hz", rate))
+	}
+	return violations
+}
+
+// Replicated aggregates one metric across runs with different seeds.
+type Replicated struct {
+	// Seeds are the seeds used.
+	Seeds []int64
+	// TrainAvgMs / PredictAvgMs are per-seed average latencies (ms).
+	TrainAvgMs   []float64
+	PredictAvgMs []float64
+}
+
+// RunReplicated repeats the experiment with n different seeds (1..n),
+// quantifying how sensitive the calibrated results are to the random
+// draws (jitter, loss, cost noise).
+func RunReplicated(cfg Config, n int) Replicated {
+	if n <= 0 {
+		n = 3
+	}
+	var rep Replicated
+	for seed := int64(1); seed <= int64(n); seed++ {
+		c := cfg
+		c.Seed = seed
+		r := Run(c)
+		rep.Seeds = append(rep.Seeds, seed)
+		rep.TrainAvgMs = append(rep.TrainAvgMs, metrics.Millis(r.Training.Mean))
+		rep.PredictAvgMs = append(rep.PredictAvgMs, metrics.Millis(r.Predicting.Mean))
+	}
+	return rep
+}
+
+// MeanStd reports the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

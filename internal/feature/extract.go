@@ -1,0 +1,156 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Datum is a raw record from a sensor stream: named numeric readings plus
+// optional string attributes, mirroring the Jubatus datum type.
+type Datum struct {
+	Numbers map[string]float64
+	Strings map[string]string
+}
+
+// NewDatum returns an empty datum ready for population.
+func NewDatum() Datum {
+	return Datum{Numbers: make(map[string]float64), Strings: make(map[string]string)}
+}
+
+// NumRule transforms one numeric field into features.
+type NumRule int
+
+// Numeric conversion rules.
+const (
+	// NumIdentity emits the value unchanged as "<key>@num".
+	NumIdentity NumRule = iota + 1
+	// NumLog emits log(1+|v|)*sign(v) as "<key>@log".
+	NumLog
+)
+
+// StrRule transforms one string field into features.
+type StrRule int
+
+// String conversion rules.
+const (
+	// StrExact emits "<key>$<value>@str" = 1.
+	StrExact StrRule = iota + 1
+	// StrUnigram emits per-character counts "<key>$<char>@uni".
+	StrUnigram
+	// StrBigram emits per-character-pair counts "<key>$<pair>@bi".
+	StrBigram
+)
+
+// Extractor converts Datum records to feature Vectors using per-key rules.
+// The zero value applies NumIdentity and StrExact to every field.
+type Extractor struct {
+	// NumRules maps a numeric key (or "*" for default) to its rule.
+	NumRules map[string]NumRule
+	// StrRules maps a string key (or "*" for default) to its rule.
+	StrRules map[string]StrRule
+}
+
+// Extract converts d into a sparse feature vector.
+func (e Extractor) Extract(d Datum) Vector {
+	v := make(Vector, len(d.Numbers)+len(d.Strings))
+	for k, val := range d.Numbers {
+		switch e.numRule(k) {
+		case NumLog:
+			v[k+"@log"] = math.Copysign(math.Log1p(math.Abs(val)), val)
+		default:
+			v[k+"@num"] = val
+		}
+	}
+	for k, s := range d.Strings {
+		switch e.strRule(k) {
+		case StrUnigram:
+			for _, r := range s {
+				v[k+"$"+string(r)+"@uni"]++
+			}
+		case StrBigram:
+			runes := []rune(s)
+			for i := 0; i+1 < len(runes); i++ {
+				v[k+"$"+string(runes[i:i+2])+"@bi"]++
+			}
+		default:
+			v[fmt.Sprintf("%s$%s@str", k, s)] = 1
+		}
+	}
+	return v
+}
+
+func (e Extractor) numRule(key string) NumRule {
+	if r, ok := e.NumRules[key]; ok {
+		return r
+	}
+	if r, ok := e.NumRules["*"]; ok {
+		return r
+	}
+	return NumIdentity
+}
+
+func (e Extractor) strRule(key string) StrRule {
+	if r, ok := e.StrRules[key]; ok {
+		return r
+	}
+	if r, ok := e.StrRules["*"]; ok {
+		return r
+	}
+	return StrExact
+}
+
+// WindowStats computes time-series summary features over a window of
+// samples for one signal: mean, standard deviation, min, max, energy, and
+// zero-crossing count. These are the classic features for activity and
+// fall detection from accelerometer streams (the paper's elderly-monitoring
+// application).
+func WindowStats(name string, samples []float64) Vector {
+	v := make(Vector, 6)
+	if len(samples) == 0 {
+		return v
+	}
+	var (
+		sum, sq  float64
+		min, max = samples[0], samples[0]
+		crosses  int
+	)
+	for i, s := range samples {
+		sum += s
+		sq += s * s
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		if i > 0 && ((samples[i-1] < 0 && s >= 0) || (samples[i-1] >= 0 && s < 0)) {
+			crosses++
+		}
+	}
+	n := float64(len(samples))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	prefix := strings.TrimSpace(name)
+	v[prefix+".mean@num"] = mean
+	v[prefix+".std@num"] = math.Sqrt(variance)
+	v[prefix+".min@num"] = min
+	v[prefix+".max@num"] = max
+	v[prefix+".energy@num"] = sq / n
+	v[prefix+".zerocross@num"] = float64(crosses)
+	return v
+}
+
+// Merge combines multiple vectors into one; duplicate keys are summed.
+func Merge(vectors ...Vector) Vector {
+	out := make(Vector)
+	for _, v := range vectors {
+		for k, val := range v {
+			out[k] += val
+		}
+	}
+	return out
+}

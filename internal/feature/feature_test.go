@@ -1,0 +1,242 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVectorDot(t *testing.T) {
+	a := Vector{"x": 1, "y": 2, "z": 3}
+	b := Vector{"y": 4, "z": 5, "w": 6}
+	want := 2.0*4 + 3*5
+	if got := a.Dot(b); !almostEqual(got, want) {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+	if got := b.Dot(a); !almostEqual(got, want) {
+		t.Fatalf("Dot not symmetric: %v", got)
+	}
+}
+
+func TestVectorDotDisjoint(t *testing.T) {
+	a := Vector{"x": 1}
+	b := Vector{"y": 1}
+	if got := a.Dot(b); got != 0 {
+		t.Fatalf("Dot of disjoint vectors = %v, want 0", got)
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	a := Vector{"x": 1}
+	a.AddScaled(Vector{"x": 2, "y": 3}, 0.5)
+	if !almostEqual(a["x"], 2) || !almostEqual(a["y"], 1.5) {
+		t.Fatalf("AddScaled = %v", a)
+	}
+}
+
+func TestVectorNorm(t *testing.T) {
+	v := Vector{"x": 3, "y": 4}
+	if got := v.Norm(); !almostEqual(got, 5) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{"x": 3, "y": 4}
+	v.Normalize()
+	if got := v.Norm(); !almostEqual(got, 1) {
+		t.Fatalf("Norm after Normalize = %v, want 1", got)
+	}
+	zero := Vector{}
+	zero.Normalize() // must not panic or NaN
+	if len(zero) != 0 {
+		t.Fatal("Normalize mutated empty vector")
+	}
+}
+
+func TestVectorDistance(t *testing.T) {
+	a := Vector{"x": 1, "y": 0}
+	b := Vector{"x": 4, "z": 4}
+	// dx=3, dy=0, dz=4 -> 5
+	if got := a.Distance(b); !almostEqual(got, math.Sqrt(9+16)) {
+		t.Fatalf("Distance = %v, want 5", got)
+	}
+	if got := b.Distance(a); !almostEqual(got, 5) {
+		t.Fatalf("Distance not symmetric: %v", got)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	a := Vector{"x": 1}
+	b := a.Clone()
+	b["x"] = 99
+	if a["x"] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{"b": 2, "a": 1}
+	if got := v.String(); got != "{a:1, b:2}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([]Vector{{"x": 2}, {"x": 4, "y": 6}})
+	if !almostEqual(got["x"], 3) || !almostEqual(got["y"], 3) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); len(got) != 0 {
+		t.Fatalf("Mean(nil) = %v, want empty", got)
+	}
+}
+
+// Property: dot product is bilinear in scaling.
+func TestDotScaleProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 float64, scale float64) bool {
+		if math.IsNaN(x1) || math.IsInf(x1, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		// Bound magnitudes to avoid float overflow artifacts.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		x1, y1, x2, y2, scale = clamp(x1), clamp(y1), clamp(x2), clamp(y2), clamp(scale)
+		a := Vector{"x": x1, "y": y1}
+		b := Vector{"x": x2, "y": y2}
+		before := a.Dot(b) * scale
+		a.Scale(scale)
+		after := a.Dot(b)
+		return math.Abs(before-after) <= 1e-6*math.Max(1, math.Abs(before))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance to self is zero; triangle inequality holds.
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Vector{"x": float64(ax), "y": float64(ay)}
+		b := Vector{"x": float64(bx), "y": float64(by)}
+		c := Vector{"x": float64(cx), "y": float64(cy)}
+		if a.Distance(a) != 0 {
+			return false
+		}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractorNumIdentity(t *testing.T) {
+	d := NewDatum()
+	d.Numbers["temp"] = 23.5
+	v := Extractor{}.Extract(d)
+	if !almostEqual(v["temp@num"], 23.5) {
+		t.Fatalf("Extract = %v", v)
+	}
+}
+
+func TestExtractorNumLog(t *testing.T) {
+	d := NewDatum()
+	d.Numbers["v"] = -(math.E - 1)
+	e := Extractor{NumRules: map[string]NumRule{"v": NumLog}}
+	v := e.Extract(d)
+	if !almostEqual(v["v@log"], -1) {
+		t.Fatalf("log feature = %v, want -1", v["v@log"])
+	}
+}
+
+func TestExtractorStrExact(t *testing.T) {
+	d := NewDatum()
+	d.Strings["room"] = "kitchen"
+	v := Extractor{}.Extract(d)
+	if v["room$kitchen@str"] != 1 {
+		t.Fatalf("Extract = %v", v)
+	}
+}
+
+func TestExtractorStrUnigram(t *testing.T) {
+	d := NewDatum()
+	d.Strings["s"] = "aba"
+	e := Extractor{StrRules: map[string]StrRule{"s": StrUnigram}}
+	v := e.Extract(d)
+	if v["s$a@uni"] != 2 || v["s$b@uni"] != 1 {
+		t.Fatalf("unigram = %v", v)
+	}
+}
+
+func TestExtractorStrBigram(t *testing.T) {
+	d := NewDatum()
+	d.Strings["s"] = "abc"
+	e := Extractor{StrRules: map[string]StrRule{"*": StrBigram}}
+	v := e.Extract(d)
+	if v["s$ab@bi"] != 1 || v["s$bc@bi"] != 1 {
+		t.Fatalf("bigram = %v", v)
+	}
+}
+
+func TestExtractorDefaultWildcard(t *testing.T) {
+	d := NewDatum()
+	d.Numbers["a"] = 2
+	e := Extractor{NumRules: map[string]NumRule{"*": NumLog}}
+	v := e.Extract(d)
+	if _, ok := v["a@log"]; !ok {
+		t.Fatalf("wildcard rule not applied: %v", v)
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	v := WindowStats("acc", []float64{1, -1, 1, -1})
+	if !almostEqual(v["acc.mean@num"], 0) {
+		t.Errorf("mean = %v", v["acc.mean@num"])
+	}
+	if !almostEqual(v["acc.std@num"], 1) {
+		t.Errorf("std = %v", v["acc.std@num"])
+	}
+	if !almostEqual(v["acc.min@num"], -1) || !almostEqual(v["acc.max@num"], 1) {
+		t.Errorf("min/max = %v/%v", v["acc.min@num"], v["acc.max@num"])
+	}
+	if !almostEqual(v["acc.energy@num"], 1) {
+		t.Errorf("energy = %v", v["acc.energy@num"])
+	}
+	if v["acc.zerocross@num"] != 3 {
+		t.Errorf("zerocross = %v, want 3", v["acc.zerocross@num"])
+	}
+}
+
+func TestWindowStatsEmpty(t *testing.T) {
+	if v := WindowStats("x", nil); len(v) != 0 {
+		t.Fatalf("WindowStats(empty) = %v", v)
+	}
+}
+
+// Property: window std is never negative and mean lies within [min, max].
+func TestWindowStatsInvariants(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, r := range raw {
+			samples[i] = float64(r)
+		}
+		v := WindowStats("s", samples)
+		return v["s.std@num"] >= 0 &&
+			v["s.mean@num"] >= v["s.min@num"]-1e-9 &&
+			v["s.mean@num"] <= v["s.max@num"]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	got := Merge(Vector{"a": 1}, Vector{"a": 2, "b": 3})
+	if !almostEqual(got["a"], 3) || !almostEqual(got["b"], 3) {
+		t.Fatalf("Merge = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package feature provides sparse feature vectors and converters from raw
+// sensor records to vectors, playing the role of Jubatus's fv_converter in
+// the IFoT flow-analysis function.
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse feature vector keyed by feature name.
+type Vector map[string]float64
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Dot returns the inner product of two sparse vectors.
+func (v Vector) Dot(other Vector) float64 {
+	// Iterate over the smaller map.
+	a, b := v, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var sum float64
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			sum += av * bv
+		}
+	}
+	return sum
+}
+
+// AddScaled adds scale*other into v in place.
+func (v Vector) AddScaled(other Vector, scale float64) {
+	for k, ov := range other {
+		v[k] += scale * ov
+	}
+}
+
+// Scale multiplies every component by s in place.
+func (v Vector) Scale(s float64) {
+	for k := range v {
+		v[k] *= s
+	}
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.SquaredNorm())
+}
+
+// SquaredNorm returns the squared L2 norm.
+func (v Vector) SquaredNorm() float64 {
+	var sum float64
+	for _, val := range v {
+		sum += val * val
+	}
+	return sum
+}
+
+// SquaredDistance returns the squared Euclidean distance between v and other.
+func (v Vector) SquaredDistance(other Vector) float64 {
+	var sum float64
+	for k, av := range v {
+		d := av - other[k]
+		sum += d * d
+	}
+	for k, bv := range other {
+		if _, ok := v[k]; !ok {
+			sum += bv * bv
+		}
+	}
+	return sum
+}
+
+// Distance returns the Euclidean distance between v and other.
+func (v Vector) Distance(other Vector) float64 {
+	return math.Sqrt(v.SquaredDistance(other))
+}
+
+// Normalize scales the vector to unit L2 norm in place (no-op for the zero
+// vector).
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	v.Scale(1 / n)
+}
+
+// Keys returns the feature names in sorted order.
+func (v Vector) Keys() []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders the vector deterministically for logs and tests.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range v.Keys() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%.4g", k, v[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Mean returns the component-wise mean of the given vectors over the union
+// of their keys. An empty input yields an empty vector.
+func Mean(vectors []Vector) Vector {
+	out := make(Vector)
+	if len(vectors) == 0 {
+		return out
+	}
+	for _, v := range vectors {
+		for k, val := range v {
+			out[k] += val
+		}
+	}
+	out.Scale(1 / float64(len(vectors)))
+	return out
+}

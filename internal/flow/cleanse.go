@@ -1,0 +1,186 @@
+package flow
+
+import (
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+// Predicate decides whether a sample passes a filter.
+type Predicate func(sensor.Sample) bool
+
+// Filter invokes next only for samples satisfying pred.
+type Filter struct {
+	pred Predicate
+	next func(sensor.Sample)
+
+	mu      sync.Mutex
+	passed  int64
+	dropped int64
+}
+
+// NewFilter builds a filter stage.
+func NewFilter(pred Predicate, next func(sensor.Sample)) *Filter {
+	return &Filter{pred: pred, next: next}
+}
+
+// Push offers one sample; it reports whether the sample passed.
+func (f *Filter) Push(s sensor.Sample) bool {
+	if f.pred(s) {
+		f.mu.Lock()
+		f.passed++
+		f.mu.Unlock()
+		f.next(s)
+		return true
+	}
+	f.mu.Lock()
+	f.dropped++
+	f.mu.Unlock()
+	return false
+}
+
+// Counts reports (passed, dropped) totals.
+func (f *Filter) Counts() (passed, dropped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.passed, f.dropped
+}
+
+// RangePredicate accepts samples whose channel-0 value lies in [min, max];
+// the basic data-cleansing range check.
+func RangePredicate(min, max float32) Predicate {
+	return func(s sensor.Sample) bool {
+		return s.Values[0] >= min && s.Values[0] <= max
+	}
+}
+
+// Deduper drops samples already seen from the same sensor (by sequence
+// number), bounding memory with a per-sensor sliding acceptance window.
+type Deduper struct {
+	mu      sync.Mutex
+	highest map[uint16]uint32
+	seen    map[uint16]map[uint32]struct{}
+	window  uint32
+	dropped int64
+}
+
+// NewDeduper creates a deduplicator remembering the last `window` sequence
+// numbers per sensor (0 means 128).
+func NewDeduper(window uint32) *Deduper {
+	if window == 0 {
+		window = 128
+	}
+	return &Deduper{
+		highest: make(map[uint16]uint32),
+		seen:    make(map[uint16]map[uint32]struct{}),
+		window:  window,
+	}
+}
+
+// Fresh reports whether the sample is new; duplicates and stale samples
+// (older than the window) return false.
+func (d *Deduper) Fresh(s sensor.Sample) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sensorSeen, ok := d.seen[s.SensorIndex]
+	if !ok {
+		sensorSeen = make(map[uint32]struct{})
+		d.seen[s.SensorIndex] = sensorSeen
+	}
+	high := d.highest[s.SensorIndex]
+	if high >= d.window && s.Seq <= high-d.window {
+		d.dropped++
+		return false // too old to track: treat as duplicate/stale
+	}
+	if _, dup := sensorSeen[s.Seq]; dup {
+		d.dropped++
+		return false
+	}
+	sensorSeen[s.Seq] = struct{}{}
+	if s.Seq > high {
+		d.highest[s.SensorIndex] = s.Seq
+		// Evict entries that fell out of the window.
+		if s.Seq > d.window {
+			cutoff := s.Seq - d.window
+			for seq := range sensorSeen {
+				if seq <= cutoff {
+					delete(sensorSeen, seq)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Dropped reports how many duplicates/stale samples were rejected.
+func (d *Deduper) Dropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// ChannelAggregator maintains per-sensor running statistics of channel-0
+// values and exposes snapshots, supporting the middleware's aggregation
+// duty.
+type ChannelAggregator struct {
+	mu    sync.Mutex
+	stats map[uint16]*runningStats
+}
+
+type runningStats struct {
+	count      int64
+	sum, sqSum float64
+	min, max   float64
+}
+
+// AggregateSnapshot is a point-in-time view of one sensor's statistics.
+type AggregateSnapshot struct {
+	SensorIndex uint16
+	Count       int64
+	Mean        float64
+	Min         float64
+	Max         float64
+}
+
+// NewChannelAggregator returns an empty aggregator.
+func NewChannelAggregator() *ChannelAggregator {
+	return &ChannelAggregator{stats: make(map[uint16]*runningStats)}
+}
+
+// Push incorporates one sample.
+func (a *ChannelAggregator) Push(s sensor.Sample) {
+	v := float64(s.Values[0])
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.stats[s.SensorIndex]
+	if !ok {
+		st = &runningStats{min: v, max: v}
+		a.stats[s.SensorIndex] = st
+	}
+	st.count++
+	st.sum += v
+	st.sqSum += v * v
+	if v < st.min {
+		st.min = v
+	}
+	if v > st.max {
+		st.max = v
+	}
+}
+
+// Snapshot returns the statistics for one sensor.
+func (a *ChannelAggregator) Snapshot(sensorIndex uint16) (AggregateSnapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.stats[sensorIndex]
+	if !ok || st.count == 0 {
+		return AggregateSnapshot{}, false
+	}
+	return AggregateSnapshot{
+		SensorIndex: sensorIndex,
+		Count:       st.count,
+		Mean:        st.sum / float64(st.count),
+		Min:         st.min,
+		Max:         st.max,
+	}, true
+}

@@ -1,0 +1,257 @@
+// Package flow provides the basic stream-processing operators the IFoT
+// middleware applies to sensor streams: windowing, joining multiple
+// streams, data cleansing (range checks, deduplication), filtering, and
+// aggregation. These are the building blocks behind the paper's
+// "data cleansing, data aggregation, etc." middleware duties.
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/sensor"
+)
+
+// CountWindow buffers samples and emits a copy of the batch every `size`
+// samples (tumbling window). It is safe for concurrent use.
+type CountWindow struct {
+	mu   sync.Mutex
+	size int
+	buf  []sensor.Sample
+	emit func([]sensor.Sample)
+}
+
+// NewCountWindow creates a tumbling window of `size` samples (minimum 1)
+// delivering batches to emit.
+func NewCountWindow(size int, emit func([]sensor.Sample)) *CountWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &CountWindow{size: size, buf: make([]sensor.Sample, 0, size), emit: emit}
+}
+
+// Push adds one sample, emitting a batch when the window fills.
+func (w *CountWindow) Push(s sensor.Sample) {
+	var batch []sensor.Sample
+	w.mu.Lock()
+	w.buf = append(w.buf, s)
+	if len(w.buf) >= w.size {
+		batch = w.buf
+		w.buf = make([]sensor.Sample, 0, w.size)
+	}
+	w.mu.Unlock()
+	if batch != nil {
+		w.emit(batch)
+	}
+}
+
+// Pending reports the number of buffered samples.
+func (w *CountWindow) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// SlidingWindow emits overlapping batches: after the first `size` samples,
+// every `step` further samples emit the most recent `size` samples. With
+// step == size it degenerates to a tumbling window.
+type SlidingWindow struct {
+	mu    sync.Mutex
+	size  int
+	step  int
+	buf   []sensor.Sample
+	since int // samples since last emit
+	emit  func([]sensor.Sample)
+}
+
+// NewSlidingWindow creates a sliding window of `size` samples advancing by
+// `step` (both minimum 1; step capped at size).
+func NewSlidingWindow(size, step int, emit func([]sensor.Sample)) *SlidingWindow {
+	if size < 1 {
+		size = 1
+	}
+	if step < 1 {
+		step = 1
+	}
+	if step > size {
+		step = size
+	}
+	// Prime so the first full window emits immediately.
+	return &SlidingWindow{size: size, step: step, since: step, emit: emit}
+}
+
+// Push adds one sample, emitting the current window when due.
+func (w *SlidingWindow) Push(s sensor.Sample) {
+	var batch []sensor.Sample
+	w.mu.Lock()
+	w.buf = append(w.buf, s)
+	if len(w.buf) > w.size {
+		w.buf = w.buf[len(w.buf)-w.size:]
+	}
+	if len(w.buf) == w.size {
+		w.since++
+		if w.since >= w.step {
+			w.since = 0
+			batch = append([]sensor.Sample(nil), w.buf...)
+		}
+	}
+	w.mu.Unlock()
+	if batch != nil {
+		w.emit(batch)
+	}
+}
+
+// TimeWindow buffers samples into tumbling windows by sample timestamp:
+// when a sample's timestamp crosses the current window boundary, the
+// accumulated batch is emitted first.
+type TimeWindow struct {
+	mu       sync.Mutex
+	width    time.Duration
+	emit     func([]sensor.Sample)
+	buf      []sensor.Sample
+	boundary time.Time
+	started  bool
+}
+
+// NewTimeWindow creates a tumbling window of the given width
+// (minimum 1ms).
+func NewTimeWindow(width time.Duration, emit func([]sensor.Sample)) *TimeWindow {
+	if width < time.Millisecond {
+		width = time.Millisecond
+	}
+	return &TimeWindow{width: width, emit: emit}
+}
+
+// Push adds one sample. Samples are assumed non-decreasing in timestamp;
+// out-of-order samples join the current window.
+func (w *TimeWindow) Push(s sensor.Sample) {
+	var batch []sensor.Sample
+	w.mu.Lock()
+	if !w.started {
+		w.started = true
+		w.boundary = s.Timestamp.Truncate(w.width).Add(w.width)
+	}
+	if !s.Timestamp.Before(w.boundary) {
+		batch = w.buf
+		w.buf = nil
+		w.boundary = s.Timestamp.Truncate(w.width).Add(w.width)
+	}
+	w.buf = append(w.buf, s)
+	w.mu.Unlock()
+	if len(batch) > 0 {
+		w.emit(batch)
+	}
+}
+
+// Flush emits any buffered samples immediately.
+func (w *TimeWindow) Flush() {
+	w.mu.Lock()
+	batch := w.buf
+	w.buf = nil
+	w.mu.Unlock()
+	if len(batch) > 0 {
+		w.emit(batch)
+	}
+}
+
+// Joiner aligns samples from several named sources by sequence number:
+// once every source has delivered a sample with the same Seq, the joined
+// batch (in source order) is emitted. This reproduces the experiment's
+// Subscribe-class join of streams A, B, C into one flow (Fig. 9).
+//
+// Entries older than MaxLag sequence numbers behind the newest seen are
+// evicted so one lost sample cannot stall the join forever.
+type Joiner struct {
+	mu      sync.Mutex
+	sources []string
+	index   map[string]int
+	pending map[uint32][]sensor.Sample // seq -> per-source slots
+	count   map[uint32]int
+	highest uint32
+	maxLag  uint32
+	emit    func(seq uint32, batch []sensor.Sample)
+	dropped int64
+}
+
+// NewJoiner creates a join over the given source names (order preserved in
+// emitted batches). maxLag bounds how far behind the newest sequence an
+// incomplete join may linger before eviction (0 means 64).
+func NewJoiner(sources []string, maxLag uint32, emit func(seq uint32, batch []sensor.Sample)) *Joiner {
+	if maxLag == 0 {
+		maxLag = 64
+	}
+	idx := make(map[string]int, len(sources))
+	for i, s := range sources {
+		idx[s] = i
+	}
+	return &Joiner{
+		sources: append([]string(nil), sources...),
+		index:   idx,
+		pending: make(map[uint32][]sensor.Sample),
+		count:   make(map[uint32]int),
+		maxLag:  maxLag,
+		emit:    emit,
+	}
+}
+
+// Push offers a sample from the named source. Samples from unknown sources
+// are ignored. It reports whether a join was completed by this sample.
+func (j *Joiner) Push(source string, s sensor.Sample) bool {
+	j.mu.Lock()
+	i, ok := j.index[source]
+	if !ok {
+		j.mu.Unlock()
+		return false
+	}
+	seq := s.Seq
+	slots, ok := j.pending[seq]
+	if !ok {
+		slots = make([]sensor.Sample, len(j.sources))
+		j.pending[seq] = slots
+	}
+	// Overwrite duplicates silently; count only first arrival.
+	if slots[i].Seq == 0 && slots[i].Timestamp.IsZero() {
+		j.count[seq]++
+	}
+	slots[i] = s
+
+	if seq > j.highest {
+		j.highest = seq
+		// Evict stale incomplete joins.
+		for old := range j.pending {
+			if old+j.maxLag < j.highest {
+				delete(j.pending, old)
+				delete(j.count, old)
+				j.dropped++
+			}
+		}
+	}
+
+	complete := j.count[seq] == len(j.sources)
+	var batch []sensor.Sample
+	if complete {
+		batch = slots
+		delete(j.pending, seq)
+		delete(j.count, seq)
+	}
+	j.mu.Unlock()
+
+	if complete {
+		j.emit(seq, batch)
+	}
+	return complete
+}
+
+// PendingJoins reports incomplete joins currently buffered.
+func (j *Joiner) PendingJoins() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// Dropped reports evicted incomplete joins.
+func (j *Joiner) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}

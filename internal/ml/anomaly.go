@@ -1,0 +1,183 @@
+package ml
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// AnomalyDetector scores how anomalous a point is relative to the stream
+// seen so far (higher = more anomalous) and optionally absorbs it into the
+// model.
+type AnomalyDetector interface {
+	// Score returns the anomaly score of v without updating the model.
+	Score(v feature.Vector) float64
+	// Add incorporates v into the model and returns its score at the
+	// time of insertion.
+	Add(v feature.Vector) float64
+}
+
+// ZScoreDetector scores points by the largest per-dimension |z| against
+// streaming statistics. Cheap and effective for unimodal sensor streams.
+type ZScoreDetector struct {
+	mu   sync.Mutex
+	dims map[string]*Welford
+}
+
+var _ AnomalyDetector = (*ZScoreDetector)(nil)
+
+// NewZScoreDetector returns an empty detector.
+func NewZScoreDetector() *ZScoreDetector {
+	return &ZScoreDetector{dims: make(map[string]*Welford)}
+}
+
+// Score implements AnomalyDetector.
+func (z *ZScoreDetector) Score(v feature.Vector) float64 {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.scoreLocked(v)
+}
+
+func (z *ZScoreDetector) scoreLocked(v feature.Vector) float64 {
+	var worst float64
+	for k, x := range v {
+		w, ok := z.dims[k]
+		if !ok {
+			continue
+		}
+		if s := math.Abs(w.ZScore(x)); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Add implements AnomalyDetector.
+func (z *ZScoreDetector) Add(v feature.Vector) float64 {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	score := z.scoreLocked(v)
+	for k, x := range v {
+		w, ok := z.dims[k]
+		if !ok {
+			w = &Welford{}
+			z.dims[k] = w
+		}
+		w.Observe(x)
+	}
+	return score
+}
+
+// KNNAnomalyDetector scores a point by the ratio of its distance to its
+// k-th nearest stored neighbour over the model's typical k-th-neighbour
+// distance — a lightweight stand-in for Jubatus's LOF engine. The model
+// keeps a bounded window of recent points (oldest evicted first).
+type KNNAnomalyDetector struct {
+	mu       sync.Mutex
+	points   []feature.Vector
+	next     int
+	full     bool
+	k        int
+	capacity int
+}
+
+var _ AnomalyDetector = (*KNNAnomalyDetector)(nil)
+
+// NewKNNAnomalyDetector returns a detector with neighbourhood size k
+// (<=0 means 5) and point capacity (<=0 means 256).
+func NewKNNAnomalyDetector(k, capacity int) *KNNAnomalyDetector {
+	if k <= 0 {
+		k = 5
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if capacity < k+1 {
+		capacity = k + 1
+	}
+	return &KNNAnomalyDetector{
+		points:   make([]feature.Vector, 0, capacity),
+		k:        k,
+		capacity: capacity,
+	}
+}
+
+// Score implements AnomalyDetector. Before the model holds k+1 points the
+// score is 0 (everything is normal while the neighbourhood is undefined).
+func (d *KNNAnomalyDetector) Score(v feature.Vector) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.scoreLocked(v)
+}
+
+func (d *KNNAnomalyDetector) scoreLocked(v feature.Vector) float64 {
+	if len(d.points) <= d.k {
+		return 0
+	}
+	dv := d.kthDistance(v, d.k)
+	// Reference scale: mean k-th neighbour distance over a sample of
+	// stored points (cheap approximation of LOF's reachability density).
+	var (
+		sum   float64
+		count int
+	)
+	stride := len(d.points)/16 + 1
+	for i := 0; i < len(d.points); i += stride {
+		sum += d.kthDistance(d.points[i], d.k)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	ref := sum / float64(count)
+	if ref <= 1e-12 {
+		if dv <= 1e-12 {
+			return 1 // everything identical: perfectly normal
+		}
+		return math.Inf(1)
+	}
+	return dv / ref
+}
+
+// Add implements AnomalyDetector.
+func (d *KNNAnomalyDetector) Add(v feature.Vector) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	score := d.scoreLocked(v)
+	clone := v.Clone()
+	if len(d.points) < d.capacity {
+		d.points = append(d.points, clone)
+	} else {
+		d.points[d.next] = clone
+		d.next = (d.next + 1) % d.capacity
+		d.full = true
+	}
+	return score
+}
+
+// Size reports the number of stored reference points.
+func (d *KNNAnomalyDetector) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.points)
+}
+
+// kthDistance returns the distance from v to its k-th nearest stored
+// neighbour, excluding any zero-distance self matches beyond the first.
+func (d *KNNAnomalyDetector) kthDistance(v feature.Vector, k int) float64 {
+	dists := make([]float64, 0, len(d.points))
+	for _, p := range d.points {
+		dists = append(dists, v.SquaredDistance(p))
+	}
+	sort.Float64s(dists)
+	idx := k - 1
+	if idx >= len(dists) {
+		idx = len(dists) - 1
+	}
+	if idx < 0 {
+		return 0
+	}
+	return math.Sqrt(dists[idx])
+}

@@ -1,0 +1,326 @@
+// Package ml implements the online machine-learning algorithms behind the
+// IFoT flow-analysis function. The paper's prototype delegated to Jubatus;
+// this package provides equivalent from-scratch learners: online linear
+// classifiers (Perceptron, Passive-Aggressive, AROW), Passive-Aggressive
+// regression, streaming anomaly detection, sequential k-means clustering,
+// and Jubatus-style MIX model averaging for distributed training.
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// Errors returned by learners.
+var (
+	ErrUntrained    = errors.New("ml: model has no trained classes")
+	ErrUnknownLabel = errors.New("ml: unknown label")
+)
+
+// LabelScore pairs a class label with its decision score.
+type LabelScore struct {
+	Label string
+	Score float64
+}
+
+// Classifier is an online multi-class classifier. Implementations are safe
+// for concurrent use.
+type Classifier interface {
+	// Train updates the model with one labelled example.
+	Train(v feature.Vector, label string)
+	// Classify returns the highest-scoring label. It returns
+	// ErrUntrained before any Train call.
+	Classify(v feature.Vector) (string, error)
+	// Scores returns the decision scores for every known label, highest
+	// first.
+	Scores(v feature.Vector) []LabelScore
+	// Labels returns the known class labels in sorted order.
+	Labels() []string
+}
+
+// linearModel holds one-vs-rest weight vectors per label.
+type linearModel struct {
+	mu      sync.RWMutex
+	weights map[string]feature.Vector
+}
+
+func newLinearModel() linearModel {
+	return linearModel{weights: make(map[string]feature.Vector)}
+}
+
+func (m *linearModel) ensureLabelLocked(label string) feature.Vector {
+	w, ok := m.weights[label]
+	if !ok {
+		w = make(feature.Vector)
+		m.weights[label] = w
+	}
+	return w
+}
+
+func (m *linearModel) scores(v feature.Vector) []LabelScore {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]LabelScore, 0, len(m.weights))
+	for label, w := range m.weights {
+		out = append(out, LabelScore{Label: label, Score: w.Dot(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+func (m *linearModel) classify(v feature.Vector) (string, error) {
+	s := m.scores(v)
+	if len(s) == 0 {
+		return "", ErrUntrained
+	}
+	return s[0].Label, nil
+}
+
+func (m *linearModel) labels() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.weights))
+	for l := range m.weights {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// marginsLocked returns the current score for the true label and the best
+// competing label+score (empty if none).
+func (m *linearModel) marginsLocked(v feature.Vector, label string) (truthScore float64, rival string, rivalScore float64) {
+	truthScore = m.weights[label].Dot(v)
+	rivalScore = math.Inf(-1)
+	for l, w := range m.weights {
+		if l == label {
+			continue
+		}
+		if s := w.Dot(v); s > rivalScore {
+			rival, rivalScore = l, s
+		}
+	}
+	return truthScore, rival, rivalScore
+}
+
+// Perceptron is the classic online mistake-driven linear classifier.
+type Perceptron struct {
+	model linearModel
+	// LearningRate defaults to 1.
+	learningRate float64
+}
+
+var _ Classifier = (*Perceptron)(nil)
+
+// NewPerceptron returns a Perceptron with the given learning rate
+// (<=0 means 1).
+func NewPerceptron(learningRate float64) *Perceptron {
+	if learningRate <= 0 {
+		learningRate = 1
+	}
+	return &Perceptron{model: newLinearModel(), learningRate: learningRate}
+}
+
+// Train implements Classifier.
+func (p *Perceptron) Train(v feature.Vector, label string) {
+	p.model.mu.Lock()
+	defer p.model.mu.Unlock()
+	w := p.model.ensureLabelLocked(label)
+	truth, rival, rivalScore := p.model.marginsLocked(v, label)
+	if rival == "" {
+		return // first label ever: nothing to separate yet
+	}
+	if truth <= rivalScore {
+		w.AddScaled(v, p.learningRate)
+		p.model.weights[rival].AddScaled(v, -p.learningRate)
+	}
+}
+
+// Classify implements Classifier.
+func (p *Perceptron) Classify(v feature.Vector) (string, error) { return p.model.classify(v) }
+
+// Scores implements Classifier.
+func (p *Perceptron) Scores(v feature.Vector) []LabelScore { return p.model.scores(v) }
+
+// Labels implements Classifier.
+func (p *Perceptron) Labels() []string { return p.model.labels() }
+
+// PassiveAggressive is the PA-I online classifier (Crammer et al. 2006),
+// the default classifier in Jubatus.
+type PassiveAggressive struct {
+	model linearModel
+	// c is the aggressiveness cap (PA-I regularization).
+	c float64
+}
+
+var _ Classifier = (*PassiveAggressive)(nil)
+
+// NewPassiveAggressive returns a PA-I classifier with regularization c
+// (<=0 means 1).
+func NewPassiveAggressive(c float64) *PassiveAggressive {
+	if c <= 0 {
+		c = 1
+	}
+	return &PassiveAggressive{model: newLinearModel(), c: c}
+}
+
+// Train implements Classifier.
+func (p *PassiveAggressive) Train(v feature.Vector, label string) {
+	p.model.mu.Lock()
+	defer p.model.mu.Unlock()
+	w := p.model.ensureLabelLocked(label)
+	truth, rival, rivalScore := p.model.marginsLocked(v, label)
+	if rival == "" {
+		return
+	}
+	loss := 1 - (truth - rivalScore) // hinge loss with margin 1
+	if loss <= 0 {
+		return
+	}
+	sq := v.SquaredNorm()
+	if sq == 0 {
+		return
+	}
+	// PA-I step: tau = min(C, loss / (2*||v||^2)); the factor 2 accounts
+	// for updating both the true and rival weight vectors.
+	tau := loss / (2 * sq)
+	if tau > p.c {
+		tau = p.c
+	}
+	w.AddScaled(v, tau)
+	p.model.weights[rival].AddScaled(v, -tau)
+}
+
+// Classify implements Classifier.
+func (p *PassiveAggressive) Classify(v feature.Vector) (string, error) { return p.model.classify(v) }
+
+// Scores implements Classifier.
+func (p *PassiveAggressive) Scores(v feature.Vector) []LabelScore { return p.model.scores(v) }
+
+// Labels implements Classifier.
+func (p *PassiveAggressive) Labels() []string { return p.model.labels() }
+
+// AROW implements Adaptive Regularization of Weight Vectors (Crammer et
+// al. 2009) with diagonal confidence, as offered by Jubatus. It adapts the
+// per-feature learning rate by tracked variance, making it robust to noisy
+// streams.
+type AROW struct {
+	mu sync.RWMutex
+	// weights and variances per label; variance defaults to 1 per feature.
+	weights   map[string]feature.Vector
+	variances map[string]feature.Vector
+	r         float64
+}
+
+var _ Classifier = (*AROW)(nil)
+
+// NewAROW returns an AROW classifier with regularization r (<=0 means 0.1).
+func NewAROW(r float64) *AROW {
+	if r <= 0 {
+		r = 0.1
+	}
+	return &AROW{
+		weights:   make(map[string]feature.Vector),
+		variances: make(map[string]feature.Vector),
+		r:         r,
+	}
+}
+
+func (a *AROW) varianceOf(label string, key string) float64 {
+	if vv, ok := a.variances[label][key]; ok {
+		return vv
+	}
+	return 1
+}
+
+// Train implements Classifier.
+func (a *AROW) Train(v feature.Vector, label string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.weights[label]; !ok {
+		a.weights[label] = make(feature.Vector)
+		a.variances[label] = make(feature.Vector)
+	}
+	// Find best rival.
+	rival := ""
+	rivalScore := math.Inf(-1)
+	for l, w := range a.weights {
+		if l == label {
+			continue
+		}
+		if s := w.Dot(v); s > rivalScore {
+			rival, rivalScore = l, s
+		}
+	}
+	if rival == "" {
+		return
+	}
+	truth := a.weights[label].Dot(v)
+	loss := 1 - (truth - rivalScore)
+	if loss <= 0 {
+		return
+	}
+	// Confidence: x^T Sigma x using the two diagonal covariances.
+	var confidence float64
+	for k, x := range v {
+		confidence += x * x * (a.varianceOf(label, k) + a.varianceOf(rival, k))
+	}
+	beta := 1 / (confidence + a.r)
+	alpha := loss * beta
+
+	for k, x := range v {
+		vt := a.varianceOf(label, k)
+		vr := a.varianceOf(rival, k)
+		a.weights[label][k] += alpha * vt * x
+		a.weights[rival][k] -= alpha * vr * x
+		a.variances[label][k] = vt - beta*vt*vt*x*x
+		a.variances[rival][k] = vr - beta*vr*vr*x*x
+	}
+}
+
+// Classify implements Classifier.
+func (a *AROW) Classify(v feature.Vector) (string, error) {
+	s := a.Scores(v)
+	if len(s) == 0 {
+		return "", ErrUntrained
+	}
+	return s[0].Label, nil
+}
+
+// Scores implements Classifier.
+func (a *AROW) Scores(v feature.Vector) []LabelScore {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]LabelScore, 0, len(a.weights))
+	for label, w := range a.weights {
+		out = append(out, LabelScore{Label: label, Score: w.Dot(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Labels implements Classifier.
+func (a *AROW) Labels() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.weights))
+	for l := range a.weights {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

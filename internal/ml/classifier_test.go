@@ -1,0 +1,190 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// twoBlobs generates two linearly separable Gaussian-ish blobs.
+func twoBlobs(rng *rand.Rand, n int) (vecs []feature.Vector, labels []string) {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			vecs = append(vecs, feature.Vector{
+				"x": 2 + rng.NormFloat64()*0.3,
+				"y": 2 + rng.NormFloat64()*0.3,
+			})
+			labels = append(labels, "pos")
+		} else {
+			vecs = append(vecs, feature.Vector{
+				"x": -2 + rng.NormFloat64()*0.3,
+				"y": -2 + rng.NormFloat64()*0.3,
+			})
+			labels = append(labels, "neg")
+		}
+	}
+	return vecs, labels
+}
+
+func trainAndScore(t *testing.T, c Classifier, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	train, trainLabels := twoBlobs(rng, 200)
+	test, testLabels := twoBlobs(rng, 100)
+	for i := range train {
+		c.Train(train[i], trainLabels[i])
+	}
+	correct := 0
+	for i := range test {
+		got, err := c.Classify(test[i])
+		if err != nil {
+			t.Fatalf("Classify: %v", err)
+		}
+		if got == testLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}
+
+func TestPerceptronLearnsSeparableData(t *testing.T) {
+	acc := trainAndScore(t, NewPerceptron(1), 1)
+	if acc < 0.95 {
+		t.Fatalf("perceptron accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestPassiveAggressiveLearnsSeparableData(t *testing.T) {
+	acc := trainAndScore(t, NewPassiveAggressive(1), 2)
+	if acc < 0.95 {
+		t.Fatalf("PA accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestAROWLearnsSeparableData(t *testing.T) {
+	acc := trainAndScore(t, NewAROW(0.1), 3)
+	if acc < 0.95 {
+		t.Fatalf("AROW accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestAROWRobustToLabelNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	arow := NewAROW(0.1)
+	train, labels := twoBlobs(rng, 400)
+	for i := range train {
+		label := labels[i]
+		if rng.Float64() < 0.1 { // 10% label noise
+			if label == "pos" {
+				label = "neg"
+			} else {
+				label = "pos"
+			}
+		}
+		arow.Train(train[i], label)
+	}
+	test, testLabels := twoBlobs(rng, 100)
+	correct := 0
+	for i := range test {
+		if got, _ := arow.Classify(test[i]); got == testLabels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 100; acc < 0.9 {
+		t.Fatalf("AROW accuracy under noise = %.2f, want >= 0.90", acc)
+	}
+}
+
+func TestClassifyUntrained(t *testing.T) {
+	for _, c := range []Classifier{NewPerceptron(0), NewPassiveAggressive(0), NewAROW(0)} {
+		if _, err := c.Classify(feature.Vector{"x": 1}); !errors.Is(err, ErrUntrained) {
+			t.Errorf("%T untrained Classify err = %v, want ErrUntrained", c, err)
+		}
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	c := NewPassiveAggressive(1)
+	c.Train(feature.Vector{"x": 1}, "zebra")
+	c.Train(feature.Vector{"x": -1}, "ant")
+	got := c.Labels()
+	if len(got) != 2 || got[0] != "ant" || got[1] != "zebra" {
+		t.Fatalf("Labels = %v", got)
+	}
+}
+
+func TestScoresOrderedDescending(t *testing.T) {
+	c := NewPassiveAggressive(1)
+	c.Train(feature.Vector{"x": 1}, "a")
+	c.Train(feature.Vector{"x": -1}, "b")
+	c.Train(feature.Vector{"x": 1}, "a")
+	c.Train(feature.Vector{"x": -1}, "b")
+	scores := c.Scores(feature.Vector{"x": 1})
+	if len(scores) != 2 {
+		t.Fatalf("Scores len = %d", len(scores))
+	}
+	if scores[0].Score < scores[1].Score {
+		t.Fatalf("scores not descending: %v", scores)
+	}
+	if scores[0].Label != "a" {
+		t.Fatalf("top label = %q, want a", scores[0].Label)
+	}
+}
+
+func TestPAZeroVectorIsNoOp(t *testing.T) {
+	c := NewPassiveAggressive(1)
+	c.Train(feature.Vector{"x": 1}, "a")
+	c.Train(feature.Vector{}, "b") // zero vector must not panic / corrupt
+	if _, err := c.Classify(feature.Vector{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeClassClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewPassiveAggressive(1)
+	centers := map[string][2]float64{"a": {3, 0}, "b": {-3, 0}, "c": {0, 3}}
+	sample := func(label string) feature.Vector {
+		ctr := centers[label]
+		return feature.Vector{
+			"x": ctr[0] + rng.NormFloat64()*0.3,
+			"y": ctr[1] + rng.NormFloat64()*0.3,
+		}
+	}
+	order := []string{"a", "b", "c"}
+	for i := 0; i < 600; i++ {
+		label := order[i%3]
+		c.Train(sample(label), label)
+	}
+	correct := 0
+	for i := 0; i < 150; i++ {
+		label := order[i%3]
+		if got, _ := c.Classify(sample(label)); got == label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 150; acc < 0.9 {
+		t.Fatalf("3-class accuracy = %.2f, want >= 0.90", acc)
+	}
+}
+
+func TestConcurrentTrainClassify(t *testing.T) {
+	c := NewAROW(0.1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(6))
+		vecs, labels := twoBlobs(rng, 200)
+		for i := range vecs {
+			c.Train(vecs[i], labels[i])
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_, _ = c.Classify(feature.Vector{"x": 1, "y": 1})
+		c.Scores(feature.Vector{"x": -1})
+		c.Labels()
+	}
+	<-done
+}

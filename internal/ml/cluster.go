@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"math"
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// SequentialKMeans is an online k-means clusterer: each point moves its
+// nearest centroid toward it with a per-cluster decaying learning rate
+// (MacQueen's sequential update). New centroids are seeded from the first
+// k distinct points.
+type SequentialKMeans struct {
+	mu        sync.Mutex
+	k         int
+	centroids []feature.Vector
+	counts    []int64
+}
+
+// NewSequentialKMeans returns a clusterer with k clusters (<=0 means 2).
+func NewSequentialKMeans(k int) *SequentialKMeans {
+	if k <= 0 {
+		k = 2
+	}
+	return &SequentialKMeans{k: k}
+}
+
+// Add assigns v to its nearest cluster, updates that centroid, and returns
+// the cluster index.
+func (s *SequentialKMeans) Add(v feature.Vector) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.centroids) < s.k {
+		s.centroids = append(s.centroids, v.Clone())
+		s.counts = append(s.counts, 1)
+		return len(s.centroids) - 1
+	}
+	idx := s.nearestLocked(v)
+	s.counts[idx]++
+	rate := 1 / float64(s.counts[idx])
+	c := s.centroids[idx]
+	// c += rate * (v - c), over the union of keys.
+	for k2, cv := range c {
+		c[k2] = cv + rate*(v[k2]-cv)
+	}
+	for k2, vv := range v {
+		if _, ok := c[k2]; !ok {
+			c[k2] = rate * vv
+		}
+	}
+	return idx
+}
+
+// Assign returns the index of the nearest centroid without updating the
+// model (-1 when the model is empty).
+func (s *SequentialKMeans) Assign(v feature.Vector) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.centroids) == 0 {
+		return -1
+	}
+	return s.nearestLocked(v)
+}
+
+func (s *SequentialKMeans) nearestLocked(v feature.Vector) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range s.centroids {
+		if d := v.SquaredDistance(c); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Centroids returns copies of the current centroids.
+func (s *SequentialKMeans) Centroids() []feature.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]feature.Vector, len(s.centroids))
+	for i, c := range s.centroids {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Counts returns per-cluster point counts.
+func (s *SequentialKMeans) Counts() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.counts...)
+}

@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"errors"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// ErrNothingToMix is returned when Mix receives no models.
+var ErrNothingToMix = errors.New("ml: nothing to mix")
+
+// WeightExporter is implemented by linear models that can share their
+// weights for Jubatus-style MIX averaging across IFoT neuron modules.
+type WeightExporter interface {
+	// ExportWeights returns a deep copy of the per-label weight vectors.
+	ExportWeights() map[string]feature.Vector
+	// ImportWeights replaces the model's weights with a deep copy of w.
+	ImportWeights(w map[string]feature.Vector)
+}
+
+// ExportWeights implements WeightExporter for Perceptron.
+func (p *Perceptron) ExportWeights() map[string]feature.Vector { return p.model.exportWeights() }
+
+// ImportWeights implements WeightExporter for Perceptron.
+func (p *Perceptron) ImportWeights(w map[string]feature.Vector) { p.model.importWeights(w) }
+
+// ExportWeights implements WeightExporter for PassiveAggressive.
+func (p *PassiveAggressive) ExportWeights() map[string]feature.Vector {
+	return p.model.exportWeights()
+}
+
+// ImportWeights implements WeightExporter for PassiveAggressive.
+func (p *PassiveAggressive) ImportWeights(w map[string]feature.Vector) { p.model.importWeights(w) }
+
+func (m *linearModel) exportWeights() map[string]feature.Vector {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]feature.Vector, len(m.weights))
+	for label, w := range m.weights {
+		out[label] = w.Clone()
+	}
+	return out
+}
+
+func (m *linearModel) importWeights(w map[string]feature.Vector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.weights = make(map[string]feature.Vector, len(w))
+	for label, vec := range w {
+		m.weights[label] = vec.Clone()
+	}
+}
+
+// AverageWeights computes the element-wise average of several weight
+// snapshots over the union of labels and features. This is the MIX
+// operation Jubatus performs between distributed learners.
+func AverageWeights(snapshots []map[string]feature.Vector) (map[string]feature.Vector, error) {
+	if len(snapshots) == 0 {
+		return nil, ErrNothingToMix
+	}
+	n := float64(len(snapshots))
+	avg := make(map[string]feature.Vector)
+	for _, snap := range snapshots {
+		for label, w := range snap {
+			dst, ok := avg[label]
+			if !ok {
+				dst = make(feature.Vector, len(w))
+				avg[label] = dst
+			}
+			dst.AddScaled(w, 1/n)
+		}
+	}
+	return avg, nil
+}
+
+// Mix gathers weights from every model, averages them, and pushes the
+// average back into each model — one MIX round of distributed training.
+func Mix(models ...WeightExporter) error {
+	if len(models) == 0 {
+		return ErrNothingToMix
+	}
+	snapshots := make([]map[string]feature.Vector, len(models))
+	for i, m := range models {
+		snapshots[i] = m.ExportWeights()
+	}
+	avg, err := AverageWeights(snapshots)
+	if err != nil {
+		return err
+	}
+	for _, m := range models {
+		m.ImportWeights(avg)
+	}
+	return nil
+}

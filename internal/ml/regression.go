@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"sync"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// Regressor is an online regression learner.
+type Regressor interface {
+	// Train updates the model with one (features, target) pair.
+	Train(v feature.Vector, target float64)
+	// Predict estimates the target for v.
+	Predict(v feature.Vector) float64
+}
+
+// PARegressor implements Passive-Aggressive regression (PA-I with an
+// epsilon-insensitive loss), matching Jubatus's regression engine.
+type PARegressor struct {
+	mu      sync.RWMutex
+	weights feature.Vector
+	bias    float64
+	epsilon float64
+	c       float64
+}
+
+var _ Regressor = (*PARegressor)(nil)
+
+// NewPARegressor returns a PA regressor. epsilon is the insensitive band
+// (<0 means 0.1); c caps the update step (<=0 means 1).
+func NewPARegressor(epsilon, c float64) *PARegressor {
+	if epsilon < 0 {
+		epsilon = 0.1
+	}
+	if c <= 0 {
+		c = 1
+	}
+	return &PARegressor{weights: make(feature.Vector), epsilon: epsilon, c: c}
+}
+
+// Train implements Regressor.
+func (r *PARegressor) Train(v feature.Vector, target float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pred := r.weights.Dot(v) + r.bias
+	err := target - pred
+	loss := abs(err) - r.epsilon
+	if loss <= 0 {
+		return
+	}
+	sq := v.SquaredNorm() + 1 // +1 for the bias term
+	tau := loss / sq
+	if tau > r.c {
+		tau = r.c
+	}
+	if err < 0 {
+		tau = -tau
+	}
+	r.weights.AddScaled(v, tau)
+	r.bias += tau
+}
+
+// Predict implements Regressor.
+func (r *PARegressor) Predict(v feature.Vector) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.weights.Dot(v) + r.bias
+}
+
+// biasKey stores the intercept inside exported weight snapshots; the name
+// cannot collide with real features, which always carry an "@" rule
+// suffix.
+const biasKey = "__bias__"
+
+// ExportWeights implements WeightExporter: the model exports one label
+// ("regression") whose vector carries the weights plus the bias term.
+func (r *PARegressor) ExportWeights() map[string]feature.Vector {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := r.weights.Clone()
+	out[biasKey] = r.bias
+	return map[string]feature.Vector{"regression": out}
+}
+
+// ImportWeights implements WeightExporter.
+func (r *PARegressor) ImportWeights(w map[string]feature.Vector) {
+	snap, ok := w["regression"]
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.weights = snap.Clone()
+	r.bias = r.weights[biasKey]
+	delete(r.weights, biasKey)
+}
+
+var _ WeightExporter = (*PARegressor)(nil)
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,95 @@
+package ml
+
+import (
+	"math"
+	"sync"
+)
+
+// Welford tracks streaming mean and variance using Welford's algorithm.
+// The zero value is ready to use; it is safe for concurrent use.
+type Welford struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+	first bool
+}
+
+// Observe incorporates one sample.
+func (w *Welford) Observe(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.first {
+		w.first = true
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count reports the number of samples seen.
+func (w *Welford) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Mean reports the running mean (0 before any sample).
+func (w *Welford) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.mean
+}
+
+// Variance reports the running population variance.
+func (w *Welford) Variance() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev reports the running population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min reports the smallest observed sample (0 before any sample).
+func (w *Welford) Min() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.min
+}
+
+// Max reports the largest observed sample (0 before any sample).
+func (w *Welford) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max
+}
+
+// ZScore reports how many standard deviations x lies from the running mean;
+// zero when fewer than two samples or zero variance.
+func (w *Welford) ZScore(x float64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 2 {
+		return 0
+	}
+	variance := w.m2 / float64(w.n)
+	if variance <= 0 {
+		return 0
+	}
+	return (x - w.mean) / math.Sqrt(variance)
+}

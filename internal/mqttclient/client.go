@@ -1,0 +1,509 @@
+// Package mqttclient implements an MQTT 3.1.1 client used by the IFoT
+// Publish and Subscribe classes. It supports QoS 0/1 publishing with
+// acknowledgement tracking, wildcard subscriptions with per-subscription
+// handlers, keep-alive pings, wills, and clean/persistent sessions.
+package mqttclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Errors returned by the client.
+var (
+	ErrConnRefused  = errors.New("mqttclient: connection refused")
+	ErrClosed       = errors.New("mqttclient: closed")
+	ErrAckTimeout   = errors.New("mqttclient: acknowledgement timeout")
+	ErrSubRejected  = errors.New("mqttclient: subscription rejected")
+	ErrNotConnected = errors.New("mqttclient: not connected")
+)
+
+// Message is an application message received from the broker.
+type Message struct {
+	Topic   string
+	Payload []byte
+	QoS     wire.QoS
+	Retain  bool
+	Dup     bool
+}
+
+// Handler consumes received messages. Handlers for one client run
+// sequentially on a single dispatch goroutine, preserving per-connection
+// ordering.
+type Handler func(Message)
+
+// Options configures a client connection.
+type Options struct {
+	// ClientID identifies the session; required unless CleanSession.
+	ClientID string
+	// CleanSession requests a fresh session (default true via NewOptions).
+	CleanSession bool
+	// KeepAlive is the keep-alive interval; zero disables pings.
+	KeepAlive time.Duration
+	// AckTimeout bounds waits for PUBACK/SUBACK/UNSUBACK (default 10s).
+	AckTimeout time.Duration
+	// DispatchBuffer sizes the handler dispatch queue (default 256).
+	DispatchBuffer int
+	// Will, when set, is registered as the connection's will message.
+	Will *Message
+	// Username/Password are optional credentials.
+	Username string
+	Password []byte
+	// MaxPacketSize bounds inbound packets (default 1 MiB).
+	MaxPacketSize int
+	// OnDisconnect, when set, is invoked once when the connection ends
+	// for any reason other than an explicit Disconnect call.
+	OnDisconnect func(error)
+	// DefaultHandler, when set, receives messages that match no
+	// registered subscription handler (e.g. persistent-session messages
+	// replayed before Subscribe re-registers its handler).
+	DefaultHandler Handler
+}
+
+// NewOptions returns Options with sensible defaults for the given client ID.
+func NewOptions(clientID string) Options {
+	return Options{
+		ClientID:     clientID,
+		CleanSession: true,
+		KeepAlive:    30 * time.Second,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 10 * time.Second
+	}
+	if o.DispatchBuffer <= 0 {
+		o.DispatchBuffer = 256
+	}
+	if o.MaxPacketSize <= 0 {
+		o.MaxPacketSize = 1 << 20
+	}
+	return o
+}
+
+type subscription struct {
+	id      int64
+	filter  string
+	handler Handler
+}
+
+// HandlerRegistration identifies one registered handler so it can be
+// removed without disturbing other handlers sharing the same filter.
+type HandlerRegistration struct {
+	client *Client
+	id     int64
+	filter string
+}
+
+// Filter reports the topic filter this registration was made under.
+func (r *HandlerRegistration) Filter() string { return r.filter }
+
+// Remove detaches just this handler. No broker traffic is generated; call
+// Client.Unsubscribe when the filter itself is no longer needed.
+func (r *HandlerRegistration) Remove() {
+	r.client.mu.Lock()
+	defer r.client.mu.Unlock()
+	kept := r.client.subs[:0]
+	for _, s := range r.client.subs {
+		if s.id != r.id {
+			kept = append(kept, s)
+		}
+	}
+	r.client.subs = kept
+}
+
+// Client is an MQTT client bound to one connection. Use Connect to create
+// one; all methods are safe for concurrent use.
+type Client struct {
+	opts Options
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes packet writes
+
+	mu           sync.Mutex
+	subs         []subscription
+	subID        int64
+	pending      map[uint16]chan wire.Packet // awaiting acks, keyed by packet ID
+	nextPacketID uint16
+	closed       bool
+	closeErr     error
+
+	dispatch chan Message
+	done     chan struct{} // closed when the reader exits
+	wg       sync.WaitGroup
+}
+
+// Connect establishes an MQTT session over an existing transport
+// connection. On success the client owns conn.
+func Connect(conn net.Conn, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	connect := &wire.ConnectPacket{
+		ClientID:     opts.ClientID,
+		CleanSession: opts.CleanSession,
+		KeepAlive:    uint16(opts.KeepAlive / time.Second),
+	}
+	if opts.Will != nil {
+		connect.WillFlag = true
+		connect.WillTopic = opts.Will.Topic
+		connect.WillMessage = opts.Will.Payload
+		connect.WillQoS = opts.Will.QoS
+		connect.WillRetain = opts.Will.Retain
+	}
+	if opts.Username != "" {
+		connect.HasUsername = true
+		connect.Username = opts.Username
+	}
+	if opts.Password != nil {
+		connect.HasPassword = true
+		connect.Password = opts.Password
+	}
+
+	if err := wire.WritePacket(conn, connect); err != nil {
+		return nil, fmt.Errorf("mqttclient connect: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(opts.AckTimeout))
+	pkt, err := wire.ReadPacket(conn, opts.MaxPacketSize)
+	if err != nil {
+		return nil, fmt.Errorf("mqttclient connack: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	connack, ok := pkt.(*wire.ConnackPacket)
+	if !ok {
+		return nil, fmt.Errorf("%w: expected CONNACK, got %v", ErrConnRefused, pkt.Type())
+	}
+	if connack.Code != wire.ConnAccepted {
+		return nil, fmt.Errorf("%w: code %d", ErrConnRefused, connack.Code)
+	}
+
+	c := &Client{
+		opts:     opts,
+		conn:     conn,
+		pending:  make(map[uint16]chan wire.Packet),
+		dispatch: make(chan Message, opts.DispatchBuffer),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.dispatchLoop()
+	if opts.KeepAlive > 0 {
+		c.wg.Add(1)
+		go c.pingLoop()
+	}
+	return c, nil
+}
+
+// Dial connects a TCP transport to addr and establishes an MQTT session.
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mqttclient dial %s: %w", addr, err)
+	}
+	c, err := Connect(conn, opts)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Publish sends an application message. For QoS1 it blocks until the broker
+// acknowledges (or AckTimeout elapses).
+func (c *Client) Publish(topic string, payload []byte, qos wire.QoS, retain bool) error {
+	pub := &wire.PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	if qos == wire.QoS0 {
+		return c.write(pub)
+	}
+	id, ackCh, err := c.registerPending()
+	if err != nil {
+		return err
+	}
+	pub.PacketID = id
+	if err := c.write(pub); err != nil {
+		c.unregisterPending(id)
+		return err
+	}
+	ack, err := c.waitAck(id, ackCh)
+	if err != nil {
+		return err
+	}
+	if ack.Type() != wire.PUBACK {
+		return fmt.Errorf("mqttclient: unexpected ack %v for publish", ack.Type())
+	}
+	return nil
+}
+
+// Subscribe registers handler for messages matching filter and blocks until
+// the broker confirms the subscription, returning the granted QoS.
+func (c *Client) Subscribe(filter string, qos wire.QoS, handler Handler) (wire.QoS, error) {
+	granted, _, err := c.SubscribeHandle(filter, qos, handler)
+	return granted, err
+}
+
+// SubscribeHandle is Subscribe returning additionally a registration that
+// can remove just this handler (leaving other handlers on the same filter
+// intact).
+func (c *Client) SubscribeHandle(filter string, qos wire.QoS, handler Handler) (wire.QoS, *HandlerRegistration, error) {
+	if handler == nil {
+		return 0, nil, errors.New("mqttclient: nil handler")
+	}
+	if err := wire.ValidateTopicFilter(filter); err != nil {
+		return 0, nil, err
+	}
+	id, ackCh, err := c.registerPending()
+	if err != nil {
+		return 0, nil, err
+	}
+	sub := &wire.SubscribePacket{
+		PacketID:      id,
+		Subscriptions: []wire.Subscription{{TopicFilter: filter, QoS: qos}},
+	}
+	if err := c.write(sub); err != nil {
+		c.unregisterPending(id)
+		return 0, nil, err
+	}
+	ack, err := c.waitAck(id, ackCh)
+	if err != nil {
+		return 0, nil, err
+	}
+	suback, ok := ack.(*wire.SubackPacket)
+	if !ok || len(suback.ReturnCodes) != 1 {
+		return 0, nil, fmt.Errorf("mqttclient: malformed SUBACK")
+	}
+	if suback.ReturnCodes[0] == wire.SubackFailure {
+		return 0, nil, ErrSubRejected
+	}
+
+	c.mu.Lock()
+	c.subID++
+	reg := &HandlerRegistration{client: c, id: c.subID, filter: filter}
+	c.subs = append(c.subs, subscription{id: c.subID, filter: filter, handler: handler})
+	c.mu.Unlock()
+	return wire.QoS(suback.ReturnCodes[0]), reg, nil
+}
+
+// Unsubscribe removes the subscription for filter and its handlers.
+func (c *Client) Unsubscribe(filter string) error {
+	id, ackCh, err := c.registerPending()
+	if err != nil {
+		return err
+	}
+	unsub := &wire.UnsubscribePacket{PacketID: id, TopicFilters: []string{filter}}
+	if err := c.write(unsub); err != nil {
+		c.unregisterPending(id)
+		return err
+	}
+	if _, err := c.waitAck(id, ackCh); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	kept := c.subs[:0]
+	for _, s := range c.subs {
+		if s.filter != filter {
+			kept = append(kept, s)
+		}
+	}
+	c.subs = kept
+	c.mu.Unlock()
+	return nil
+}
+
+// Disconnect sends DISCONNECT and closes the connection gracefully.
+func (c *Client) Disconnect() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.closeErr = ErrClosed
+	c.mu.Unlock()
+
+	_ = c.write(&wire.DisconnectPacket{})
+	_ = c.conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+// Close tears the connection down without the DISCONNECT handshake
+// (the broker will fire the will message, if any).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.closeErr = ErrClosed
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+// Done returns a channel closed when the connection has ended.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) write(p wire.Packet) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := wire.WritePacket(c.conn, p); err != nil {
+		return fmt.Errorf("mqttclient write %v: %w", p.Type(), err)
+	}
+	return nil
+}
+
+func (c *Client) registerPending() (uint16, chan wire.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	for {
+		c.nextPacketID++
+		if c.nextPacketID == 0 {
+			c.nextPacketID = 1
+		}
+		if _, used := c.pending[c.nextPacketID]; !used {
+			break
+		}
+	}
+	ch := make(chan wire.Packet, 1)
+	c.pending[c.nextPacketID] = ch
+	return c.nextPacketID, ch, nil
+}
+
+func (c *Client) unregisterPending(id uint16) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) waitAck(id uint16, ch chan wire.Packet) (wire.Packet, error) {
+	defer c.unregisterPending(id)
+	select {
+	case pkt := <-ch:
+		return pkt, nil
+	case <-c.done:
+		return nil, ErrNotConnected
+	case <-time.After(c.opts.AckTimeout):
+		return nil, ErrAckTimeout
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	var readErr error
+	for {
+		pkt, err := wire.ReadPacket(c.conn, c.opts.MaxPacketSize)
+		if err != nil {
+			readErr = err
+			break
+		}
+		switch p := pkt.(type) {
+		case *wire.PublishPacket:
+			c.handleInboundPublish(p)
+		case *wire.AckPacket:
+			switch p.PacketType {
+			case wire.PUBACK, wire.UNSUBACK:
+				c.resolvePending(p.PacketID, p)
+			case wire.PUBREC:
+				_ = c.write(&wire.AckPacket{PacketType: wire.PUBREL, PacketID: p.PacketID})
+			case wire.PUBCOMP:
+				c.resolvePending(p.PacketID, p)
+			case wire.PUBREL:
+				_ = c.write(&wire.AckPacket{PacketType: wire.PUBCOMP, PacketID: p.PacketID})
+			}
+		case *wire.SubackPacket:
+			c.resolvePending(p.PacketID, p)
+		case *wire.PingrespPacket:
+			// Liveness confirmed; nothing to do.
+		default:
+			// Unexpected packet from broker; ignore.
+		}
+	}
+
+	c.mu.Lock()
+	wasClosed := c.closed
+	c.closed = true
+	if c.closeErr == nil {
+		c.closeErr = readErr
+	}
+	c.mu.Unlock()
+
+	close(c.done)
+	close(c.dispatch)
+	_ = c.conn.Close()
+	if !wasClosed && c.opts.OnDisconnect != nil {
+		c.opts.OnDisconnect(readErr)
+	}
+}
+
+func (c *Client) resolvePending(id uint16, pkt wire.Packet) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	c.mu.Unlock()
+	if ok {
+		select {
+		case ch <- pkt:
+		default:
+		}
+	}
+}
+
+func (c *Client) handleInboundPublish(p *wire.PublishPacket) {
+	if p.QoS == wire.QoS1 {
+		_ = c.write(&wire.AckPacket{PacketType: wire.PUBACK, PacketID: p.PacketID})
+	}
+	// The dispatch send applies TCP backpressure when handlers are slow:
+	// the reader stalls rather than dropping messages.
+	c.dispatch <- Message{
+		Topic:   p.Topic,
+		Payload: p.Payload,
+		QoS:     p.QoS,
+		Retain:  p.Retain,
+		Dup:     p.Dup,
+	}
+}
+
+func (c *Client) dispatchLoop() {
+	defer c.wg.Done()
+	for msg := range c.dispatch {
+		c.mu.Lock()
+		handlers := make([]Handler, 0, len(c.subs))
+		for _, s := range c.subs {
+			if wire.MatchTopic(s.filter, msg.Topic) {
+				handlers = append(handlers, s.handler)
+			}
+		}
+		c.mu.Unlock()
+		if len(handlers) == 0 && c.opts.DefaultHandler != nil {
+			c.opts.DefaultHandler(msg)
+			continue
+		}
+		for _, h := range handlers {
+			h(msg)
+		}
+	}
+}
+
+func (c *Client) pingLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.KeepAlive)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := c.write(&wire.PingreqPacket{}); err != nil {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package netsim models the wireless LAN the paper's testbed used. It
+// provides (a) a Profile describing per-link latency/jitter/loss/bandwidth,
+// usable both by the discrete-event simulator and by real-time transports,
+// and (b) in-memory net.Listener/net.Conn implementations that inject the
+// profile's delays into live connections.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile describes one direction of a network link.
+type Profile struct {
+	// Latency is the fixed propagation delay per message.
+	Latency time.Duration
+	// Jitter is the half-width of a uniform random delay added per
+	// message: U(0, Jitter).
+	Jitter time.Duration
+	// LossRate is the probability a frame needs link-layer retransmission
+	// (modeled as added delay, since MQTT rides on a reliable stream).
+	LossRate float64
+	// RetransmitDelay is the extra delay charged per lost frame.
+	RetransmitDelay time.Duration
+	// BandwidthBps is link throughput in bytes/second; zero means
+	// infinite (no serialization delay).
+	BandwidthBps int64
+}
+
+// DefaultWLAN approximates the common 802.11n wireless LAN of the paper's
+// testbed (Fig. 7): about a millisecond of one-way latency with sub-
+// millisecond jitter, rare link-layer retransmissions, and tens of Mbit/s.
+func DefaultWLAN() Profile {
+	return Profile{
+		Latency:         800 * time.Microsecond,
+		Jitter:          600 * time.Microsecond,
+		LossRate:        0.01,
+		RetransmitDelay: 8 * time.Millisecond,
+		BandwidthBps:    3_000_000, // ~24 Mbit/s effective
+	}
+}
+
+// WAN approximates a round trip to a cloud service: the Fig. 1 baseline.
+func WAN() Profile {
+	return Profile{
+		Latency:         25 * time.Millisecond,
+		Jitter:          10 * time.Millisecond,
+		LossRate:        0.005,
+		RetransmitDelay: 40 * time.Millisecond,
+		BandwidthBps:    1_500_000,
+	}
+}
+
+// Delay samples the one-way delay for a message of size bytes using rng.
+// A nil rng yields the deterministic minimum (no jitter, no loss).
+func (p Profile) Delay(rng *rand.Rand, size int) time.Duration {
+	d := p.Latency
+	if p.BandwidthBps > 0 {
+		d += time.Duration(float64(size) / float64(p.BandwidthBps) * float64(time.Second))
+	}
+	if rng != nil {
+		if p.Jitter > 0 {
+			d += time.Duration(rng.Int63n(int64(p.Jitter) + 1))
+		}
+		if p.LossRate > 0 && rng.Float64() < p.LossRate {
+			d += p.RetransmitDelay
+		}
+	}
+	return d
+}
+
+// MeanDelay reports the expected one-way delay for a message of size bytes.
+func (p Profile) MeanDelay(size int) time.Duration {
+	d := p.Latency + time.Duration(float64(p.Jitter)/2)
+	if p.BandwidthBps > 0 {
+		d += time.Duration(float64(size) / float64(p.BandwidthBps) * float64(time.Second))
+	}
+	if p.LossRate > 0 {
+		d += time.Duration(p.LossRate * float64(p.RetransmitDelay))
+	}
+	return d
+}
+
+// PipeListener is an in-memory net.Listener. Dial creates connected pairs
+// without touching the host network stack; useful for tests and simulations.
+type PipeListener struct {
+	mu     sync.Mutex
+	queue  chan net.Conn
+	closed bool
+	done   chan struct{}
+}
+
+var errListenerClosed = errors.New("netsim: listener closed")
+
+// NewPipeListener returns a ready listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{
+		queue: make(chan net.Conn, 16),
+		done:  make(chan struct{}),
+	}
+}
+
+// Dial creates a new connection to the listener, returning the client end.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, errListenerClosed
+	}
+	l.mu.Unlock()
+	select {
+	case l.queue <- server:
+		return client, nil
+	case <-l.done:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, errListenerClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.queue:
+		return conn, nil
+	case <-l.done:
+		return nil, errListenerClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *PipeListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "netsim" }
+func (pipeAddr) String() string  { return "netsim" }
+
+// DelayConn wraps conn so that written data is delivered to the peer only
+// after the profile's sampled delay. Reads are passed through unchanged, so
+// wrapping one end of a pipe delays one direction. Close drains pending
+// writes before closing the underlying connection.
+type DelayConn struct {
+	net.Conn
+
+	profile Profile
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	writeCh chan delayedWrite
+	errMu   sync.Mutex
+	err     error
+	once    sync.Once
+	closed  chan struct{}
+	pumped  chan struct{}
+}
+
+type delayedWrite struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// NewDelayConn wraps conn with the given delay profile. seed makes the
+// jitter/loss sampling deterministic.
+func NewDelayConn(conn net.Conn, profile Profile, seed int64) *DelayConn {
+	d := &DelayConn{
+		Conn:    conn,
+		profile: profile,
+		rng:     rand.New(rand.NewSource(seed)),
+		writeCh: make(chan delayedWrite, 1024),
+		closed:  make(chan struct{}),
+		pumped:  make(chan struct{}),
+	}
+	go d.pump()
+	return d
+}
+
+// Write implements net.Conn; data is buffered and delivered after the
+// sampled link delay.
+func (d *DelayConn) Write(p []byte) (int, error) {
+	d.errMu.Lock()
+	err := d.err
+	d.errMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	d.rngMu.Lock()
+	delay := d.profile.Delay(d.rng, len(p))
+	d.rngMu.Unlock()
+	// Refuse deterministically once closed (a two-way select could pick
+	// the send case even when closed is ready).
+	select {
+	case <-d.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	buf := append([]byte(nil), p...)
+	select {
+	case d.writeCh <- delayedWrite{data: buf, deliverAt: time.Now().Add(delay)}:
+		return len(p), nil
+	case <-d.closed:
+		return 0, net.ErrClosed
+	}
+}
+
+// Close flushes pending writes, then closes the underlying connection.
+func (d *DelayConn) Close() error {
+	d.once.Do(func() {
+		close(d.closed)
+	})
+	<-d.pumped
+	return d.Conn.Close()
+}
+
+func (d *DelayConn) pump() {
+	defer close(d.pumped)
+	for {
+		select {
+		case w := <-d.writeCh:
+			d.deliverDelayed(w)
+		case <-d.closed:
+			// Drain anything still queued so in-flight messages are
+			// not lost on graceful close.
+			for {
+				select {
+				case w := <-d.writeCh:
+					d.deliverDelayed(w)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (d *DelayConn) deliverDelayed(w delayedWrite) {
+	if wait := time.Until(w.deliverAt); wait > 0 {
+		time.Sleep(wait)
+	}
+	if _, err := d.Conn.Write(w.data); err != nil {
+		d.errMu.Lock()
+		if d.err == nil {
+			d.err = err
+		}
+		d.errMu.Unlock()
+	}
+}

@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestProfileDelayDeterministicWithoutRNG(t *testing.T) {
+	p := Profile{Latency: 2 * time.Millisecond, Jitter: time.Millisecond, LossRate: 1, RetransmitDelay: time.Second}
+	if got := p.Delay(nil, 0); got != 2*time.Millisecond {
+		t.Fatalf("Delay(nil rng) = %v, want pure latency 2ms", got)
+	}
+}
+
+func TestProfileDelayIncludesSerialization(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, BandwidthBps: 1000}
+	// 500 bytes at 1000 B/s = 500ms serialization.
+	if got := p.Delay(nil, 500); got != time.Millisecond+500*time.Millisecond {
+		t.Fatalf("Delay = %v, want 501ms", got)
+	}
+}
+
+func TestProfileDelayJitterBounded(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, Jitter: 2 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := p.Delay(rng, 0)
+		if d < time.Millisecond || d > 3*time.Millisecond {
+			t.Fatalf("Delay = %v, want within [1ms, 3ms]", d)
+		}
+	}
+}
+
+func TestProfileDelayLossAddsRetransmit(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, LossRate: 1, RetransmitDelay: 10 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	if got := p.Delay(rng, 0); got != 11*time.Millisecond {
+		t.Fatalf("Delay with certain loss = %v, want 11ms", got)
+	}
+}
+
+func TestProfileMeanDelay(t *testing.T) {
+	p := Profile{Latency: 10 * time.Millisecond, Jitter: 4 * time.Millisecond, LossRate: 0.5, RetransmitDelay: 8 * time.Millisecond}
+	// 10 + 2 (mean jitter) + 4 (expected retransmit) = 16ms.
+	if got := p.MeanDelay(0); got != 16*time.Millisecond {
+		t.Fatalf("MeanDelay = %v, want 16ms", got)
+	}
+}
+
+func TestDefaultProfilesSane(t *testing.T) {
+	wlan, wan := DefaultWLAN(), WAN()
+	if wlan.Latency <= 0 || wan.Latency <= 0 {
+		t.Fatal("profiles must have positive latency")
+	}
+	if wan.MeanDelay(32) <= wlan.MeanDelay(32) {
+		t.Fatal("WAN must be slower than WLAN for equal payloads")
+	}
+}
+
+func TestPipeListenerRoundTrip(t *testing.T) {
+	l := NewPipeListener()
+	defer l.Close()
+
+	serverGot := make(chan []byte, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err == nil {
+			serverGot <- buf
+		}
+	}()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-serverGot:
+		if string(got) != "hello" {
+			t.Fatalf("server got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no data at server")
+	}
+}
+
+func TestPipeListenerDialAfterClose(t *testing.T) {
+	l := NewPipeListener()
+	_ = l.Close()
+	if _, err := l.Dial(); err == nil {
+		t.Fatal("Dial after Close succeeded")
+	}
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("Accept after Close succeeded")
+	}
+}
+
+func TestPipeListenerAddr(t *testing.T) {
+	l := NewPipeListener()
+	defer l.Close()
+	if l.Addr().Network() != "netsim" {
+		t.Fatalf("Addr().Network() = %q", l.Addr().Network())
+	}
+}
+
+func TestDelayConnDelaysDelivery(t *testing.T) {
+	a, b := net.Pipe()
+	delayed := NewDelayConn(a, Profile{Latency: 50 * time.Millisecond}, 1)
+	defer delayed.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go func() {
+		_, _ = delayed.Write([]byte("ping"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= ~50ms", elapsed)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDelayConnPreservesOrder(t *testing.T) {
+	a, b := net.Pipe()
+	delayed := NewDelayConn(a, Profile{Latency: time.Millisecond, Jitter: 3 * time.Millisecond}, 42)
+	defer delayed.Close()
+	defer b.Close()
+
+	const n = 20
+	go func() {
+		for i := byte(0); i < n; i++ {
+			_, _ = delayed.Write([]byte{i})
+		}
+	}()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < n; i++ {
+		if buf[i] != i {
+			t.Fatalf("byte %d = %d, out of order", i, buf[i])
+		}
+	}
+}
+
+func TestDelayConnCloseFlushesPending(t *testing.T) {
+	a, b := net.Pipe()
+	delayed := NewDelayConn(a, Profile{Latency: 20 * time.Millisecond}, 1)
+	defer b.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(b, buf); err == nil {
+			got <- buf
+		}
+	}()
+	if _, err := delayed.Write([]byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	if err := delayed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case buf := <-got:
+		if string(buf) != "last" {
+			t.Fatalf("got %q", buf)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending write lost on Close")
+	}
+}
+
+func TestDelayConnWriteAfterClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	delayed := NewDelayConn(a, Profile{}, 1)
+	if err := delayed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := delayed.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+func TestDelayConnSerializationDelay(t *testing.T) {
+	a, b := net.Pipe()
+	// 1 KB/s bandwidth: a 100-byte write costs ~100ms of serialization.
+	delayed := NewDelayConn(a, Profile{BandwidthBps: 1000}, 1)
+	defer delayed.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go func() { _, _ = delayed.Write(make([]byte, 100)) }()
+	buf := make([]byte, 100)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= ~100ms of serialization", elapsed)
+	}
+}
+
+// Property-style check: the empirical mean of Delay approaches MeanDelay.
+func TestProfileMeanDelayMatchesEmpirical(t *testing.T) {
+	p := Profile{
+		Latency:         2 * time.Millisecond,
+		Jitter:          4 * time.Millisecond,
+		LossRate:        0.1,
+		RetransmitDelay: 10 * time.Millisecond,
+		BandwidthBps:    1 << 20,
+	}
+	rng := rand.New(rand.NewSource(99))
+	const n = 20000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += p.Delay(rng, 128)
+	}
+	got := float64(sum) / n
+	want := float64(p.MeanDelay(128))
+	if diff := got/want - 1; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("empirical mean %.3fms vs analytic %.3fms (>5%% off)",
+			got/1e6, want/1e6)
+	}
+}

@@ -1,0 +1,22 @@
+package recipe
+
+import "testing"
+
+// FuzzUnmarshal ensures the recipe parser never panics on arbitrary input
+// and that every accepted recipe splits cleanly.
+func FuzzUnmarshal(f *testing.F) {
+	valid, _ := Marshal(monitoringRecipe())
+	f.Add(valid)
+	f.Add([]byte(`{"name":"x","tasks":[{"id":"a","kind":"sense","output":"t"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"name":"x","tasks":[{"id":"a","kind":"custom","after":["a"]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if _, err := Split(r); err != nil {
+			t.Fatalf("accepted recipe does not split: %v", err)
+		}
+	})
+}

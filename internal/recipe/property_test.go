@@ -1,0 +1,150 @@
+package recipe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAGRecipe builds a random valid recipe: dependencies only point at
+// earlier tasks, so the graph is acyclic by construction.
+func randomDAGRecipe(rng *rand.Rand) *Recipe {
+	n := rng.Intn(12) + 1
+	kinds := []Kind{KindSense, KindWindow, KindFilter, KindAggregate,
+		KindTrain, KindPredict, KindAnomaly, KindCluster, KindActuate, KindCustom}
+	r := &Recipe{Name: "prop"}
+	for i := 0; i < n; i++ {
+		t := Task{
+			ID:     fmt.Sprintf("t%d", i),
+			Kind:   kinds[rng.Intn(len(kinds))],
+			Output: fmt.Sprintf("topic/%d", i),
+		}
+		// Random deps on earlier tasks, mixed between After edges and
+		// task-reference inputs.
+		for j := 0; j < i; j++ {
+			switch rng.Intn(6) {
+			case 0:
+				t.After = append(t.After, fmt.Sprintf("t%d", j))
+			case 1:
+				t.Inputs = append(t.Inputs, fmt.Sprintf("task:t%d", j))
+			}
+		}
+		if rng.Intn(4) == 0 {
+			t.Parallelism = rng.Intn(4) + 1
+		}
+		r.Tasks = append(r.Tasks, t)
+	}
+	return r
+}
+
+// TestSplitProperties: for any acyclic recipe, Split succeeds; subtask
+// count equals the sum of parallelism; every dependency lives in a
+// strictly earlier stage.
+func TestSplitProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomDAGRecipe(rng)
+		subtasks, err := Split(r)
+		if err != nil {
+			t.Logf("seed %d: Split error: %v", seed, err)
+			return false
+		}
+
+		wantCount := 0
+		for _, task := range r.Tasks {
+			p := task.Parallelism
+			if p <= 1 {
+				p = 1
+			}
+			wantCount += p
+		}
+		if len(subtasks) != wantCount {
+			t.Logf("seed %d: %d subtasks, want %d", seed, len(subtasks), wantCount)
+			return false
+		}
+
+		stageOf := make(map[string]int)
+		for _, s := range subtasks {
+			stageOf[s.TaskID] = s.Stage
+		}
+		for _, s := range subtasks {
+			task, _ := r.TaskByID(s.TaskID)
+			for _, dep := range r.Dependencies(task) {
+				if stageOf[dep] >= s.Stage {
+					t.Logf("seed %d: dep %s stage %d !< task %s stage %d",
+						seed, dep, stageOf[dep], s.TaskID, s.Stage)
+					return false
+				}
+			}
+		}
+
+		// Names are unique.
+		names := make(map[string]bool, len(subtasks))
+		for _, s := range subtasks {
+			if names[s.Name()] {
+				t.Logf("seed %d: duplicate subtask name %s", seed, s.Name())
+				return false
+			}
+			names[s.Name()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStagesPartitionSubtasks: Stages reorganizes without loss.
+func TestStagesPartitionSubtasks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		subtasks, err := Split(randomDAGRecipe(rng))
+		if err != nil {
+			return false
+		}
+		stages := Stages(subtasks)
+		total := 0
+		for i, stage := range stages {
+			for _, s := range stage {
+				if s.Stage != i {
+					return false
+				}
+			}
+			total += len(stage)
+		}
+		return total == len(subtasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalRoundTripProperty: every generated recipe survives the JSON
+// round trip structurally intact.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomDAGRecipe(rng)
+		data, err := Marshal(r)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if back.Name != r.Name || len(back.Tasks) != len(r.Tasks) {
+			return false
+		}
+		for i := range r.Tasks {
+			if back.Tasks[i].ID != r.Tasks[i].ID || back.Tasks[i].Kind != r.Tasks[i].Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package recipe defines the IFoT Recipe: a declarative task graph
+// describing how an application's data streams are sensed, processed,
+// analyzed, and actuated (Fig. 5 of the paper). It provides the JSON
+// recipe language (one of the paper's future-work items), validation,
+// and the Recipe-split class that divides a recipe into sub-tasks
+// executable in parallel.
+package recipe
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the task types a recipe may contain; each maps to a
+// middleware class that executes it.
+type Kind string
+
+// Task kinds.
+const (
+	// KindSense reads a sensor and publishes its stream.
+	KindSense Kind = "sense"
+	// KindWindow buffers a stream into fixed-size windows.
+	KindWindow Kind = "window"
+	// KindFilter drops records failing a predicate (data cleansing).
+	KindFilter Kind = "filter"
+	// KindAggregate merges/joins multiple input streams.
+	KindAggregate Kind = "aggregate"
+	// KindTrain updates an online model from the stream (Learning class).
+	KindTrain Kind = "train"
+	// KindPredict applies the model to the stream (Judging class).
+	KindPredict Kind = "predict"
+	// KindAnomaly scores stream anomalies (Judging class).
+	KindAnomaly Kind = "anomaly"
+	// KindCluster assigns stream records to clusters (Judging class).
+	KindCluster Kind = "cluster"
+	// KindActuate drives an actuator from decisions.
+	KindActuate Kind = "actuate"
+	// KindCustom is an application-provided stage.
+	KindCustom Kind = "custom"
+)
+
+var validKinds = map[Kind]struct{}{
+	KindSense: {}, KindWindow: {}, KindFilter: {}, KindAggregate: {},
+	KindTrain: {}, KindPredict: {}, KindAnomaly: {}, KindCluster: {},
+	KindActuate: {}, KindCustom: {},
+}
+
+// Errors returned by validation.
+var (
+	ErrInvalid = errors.New("recipe: invalid")
+	ErrCycle   = errors.New("recipe: task graph has a cycle")
+)
+
+// Task is one node of the recipe task graph.
+type Task struct {
+	// ID uniquely names the task within the recipe.
+	ID string `json:"id"`
+	// Kind selects the executing middleware class.
+	Kind Kind `json:"kind"`
+	// Inputs are MQTT topics the task consumes. A reference of the form
+	// "task:<id>" resolves to that task's output topic.
+	Inputs []string `json:"inputs,omitempty"`
+	// Output is the MQTT topic the task publishes to (optional for
+	// actuation tasks).
+	Output string `json:"output,omitempty"`
+	// After lists task IDs that must be scheduled before this task,
+	// in addition to the implicit input/output data dependencies.
+	After []string `json:"after,omitempty"`
+	// Params configures the stage (model type, window size, thresholds…).
+	Params map[string]string `json:"params,omitempty"`
+	// Parallelism > 1 asks the splitter to shard this task into that
+	// many data-parallel subtasks.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Placement optionally pins the task to a module or capability.
+	Placement Placement `json:"placement,omitempty"`
+}
+
+// Placement expresses where a task may run.
+type Placement struct {
+	// Module pins the task to a specific neuron module ID.
+	Module string `json:"module,omitempty"`
+	// Capability requires the module to advertise this capability
+	// (e.g. "camera", "gpu", "sensor:accelerometer").
+	Capability string `json:"capability,omitempty"`
+}
+
+// Recipe is a complete application description.
+type Recipe struct {
+	// Name identifies the application.
+	Name string `json:"name"`
+	// Version lets management software replace older deployments.
+	Version int `json:"version"`
+	// Tasks is the task graph.
+	Tasks []Task `json:"tasks"`
+}
+
+// TaskByID returns the task with the given ID.
+func (r *Recipe) TaskByID(id string) (*Task, bool) {
+	for i := range r.Tasks {
+		if r.Tasks[i].ID == id {
+			return &r.Tasks[i], true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural correctness: non-empty name, unique task IDs,
+// known kinds, resolvable task references, and an acyclic dependency graph.
+func (r *Recipe) Validate() error {
+	if strings.TrimSpace(r.Name) == "" {
+		return fmt.Errorf("%w: empty recipe name", ErrInvalid)
+	}
+	if len(r.Tasks) == 0 {
+		return fmt.Errorf("%w: recipe %q has no tasks", ErrInvalid, r.Name)
+	}
+	seen := make(map[string]struct{}, len(r.Tasks))
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if strings.TrimSpace(t.ID) == "" {
+			return fmt.Errorf("%w: task %d has empty id", ErrInvalid, i)
+		}
+		if _, dup := seen[t.ID]; dup {
+			return fmt.Errorf("%w: duplicate task id %q", ErrInvalid, t.ID)
+		}
+		seen[t.ID] = struct{}{}
+		if _, ok := validKinds[t.Kind]; !ok {
+			return fmt.Errorf("%w: task %q has unknown kind %q", ErrInvalid, t.ID, t.Kind)
+		}
+		if t.Parallelism < 0 {
+			return fmt.Errorf("%w: task %q has negative parallelism", ErrInvalid, t.ID)
+		}
+	}
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		for _, ref := range t.After {
+			if _, ok := seen[ref]; !ok {
+				return fmt.Errorf("%w: task %q after unknown task %q", ErrInvalid, t.ID, ref)
+			}
+		}
+		for _, in := range t.Inputs {
+			if id, isRef := taskRef(in); isRef {
+				if _, ok := seen[id]; !ok {
+					return fmt.Errorf("%w: task %q reads unknown task %q", ErrInvalid, t.ID, id)
+				}
+			}
+		}
+	}
+	if _, err := r.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// taskRef parses the "task:<id>" input notation.
+func taskRef(input string) (id string, ok bool) {
+	const prefix = "task:"
+	if strings.HasPrefix(input, prefix) {
+		return input[len(prefix):], true
+	}
+	return "", false
+}
+
+// Dependencies returns the IDs of tasks that must precede task t: explicit
+// After edges plus data dependencies via "task:<id>" inputs.
+func (r *Recipe) Dependencies(t *Task) []string {
+	var deps []string
+	add := func(id string) {
+		for _, d := range deps {
+			if d == id {
+				return
+			}
+		}
+		deps = append(deps, id)
+	}
+	for _, a := range t.After {
+		add(a)
+	}
+	for _, in := range t.Inputs {
+		if id, ok := taskRef(in); ok {
+			add(id)
+		}
+	}
+	return deps
+}
+
+// ResolveInput maps an input reference to a concrete MQTT topic: plain
+// topics pass through; "task:<id>" resolves to that task's Output.
+func (r *Recipe) ResolveInput(input string) (string, error) {
+	id, ok := taskRef(input)
+	if !ok {
+		return input, nil
+	}
+	t, found := r.TaskByID(id)
+	if !found {
+		return "", fmt.Errorf("%w: unresolved task reference %q", ErrInvalid, input)
+	}
+	if t.Output == "" {
+		return "", fmt.Errorf("%w: task %q referenced as input has no output topic", ErrInvalid, id)
+	}
+	return t.Output, nil
+}
+
+// topoOrder returns the task IDs in a valid topological order, or ErrCycle.
+func (r *Recipe) topoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(r.Tasks))
+	next := make(map[string][]string, len(r.Tasks))
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		deps := r.Dependencies(t)
+		indeg[t.ID] = len(deps)
+		for _, d := range deps {
+			next[d] = append(next[d], t.ID)
+		}
+	}
+	// Deterministic order: scan recipe order for zero-indegree tasks.
+	var order []string
+	ready := make([]string, 0, len(r.Tasks))
+	for i := range r.Tasks {
+		if indeg[r.Tasks[i].ID] == 0 {
+			ready = append(ready, r.Tasks[i].ID)
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, n := range next[id] {
+			indeg[n]--
+			if indeg[n] == 0 {
+				ready = append(ready, n)
+			}
+		}
+	}
+	if len(order) != len(r.Tasks) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}

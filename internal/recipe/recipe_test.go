@@ -1,0 +1,233 @@
+package recipe
+
+import (
+	"errors"
+	"testing"
+)
+
+// monitoringRecipe mirrors the paper's Fig. 5 recipe: four sensing tasks,
+// two anomaly detectors, camera monitoring, state estimation, alerting.
+func monitoringRecipe() *Recipe {
+	return &Recipe{
+		Name:    "elderly-monitoring",
+		Version: 1,
+		Tasks: []Task{
+			{ID: "senseA", Kind: KindSense, Output: "s/a"},
+			{ID: "senseB", Kind: KindSense, Output: "s/b"},
+			{ID: "senseC", Kind: KindSense, Output: "s/c"},
+			{ID: "senseD", Kind: KindSense, Output: "s/d"},
+			{ID: "anomaly1", Kind: KindAnomaly, Inputs: []string{"task:senseA", "task:senseB"}, Output: "an/1"},
+			{ID: "anomaly2", Kind: KindAnomaly, Inputs: []string{"task:senseC", "task:senseD"}, Output: "an/2"},
+			{ID: "camera", Kind: KindCustom, Inputs: []string{"task:anomaly1"}, Output: "cam/1"},
+			{ID: "estimate", Kind: KindPredict, Inputs: []string{"task:anomaly1", "task:anomaly2", "task:camera"}, Output: "est/1"},
+			{ID: "alert", Kind: KindActuate, Inputs: []string{"task:estimate"}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := monitoringRecipe().Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Recipe)
+	}{
+		{"empty name", func(r *Recipe) { r.Name = " " }},
+		{"no tasks", func(r *Recipe) { r.Tasks = nil }},
+		{"empty task id", func(r *Recipe) { r.Tasks[0].ID = "" }},
+		{"duplicate id", func(r *Recipe) { r.Tasks[1].ID = r.Tasks[0].ID }},
+		{"unknown kind", func(r *Recipe) { r.Tasks[0].Kind = "teleport" }},
+		{"negative parallelism", func(r *Recipe) { r.Tasks[0].Parallelism = -1 }},
+		{"after unknown", func(r *Recipe) { r.Tasks[0].After = []string{"ghost"} }},
+		{"input unknown task", func(r *Recipe) { r.Tasks[4].Inputs = []string{"task:ghost"} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := monitoringRecipe()
+			tt.mutate(r)
+			if err := r.Validate(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Validate = %v, want ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	r := &Recipe{
+		Name: "cyclic",
+		Tasks: []Task{
+			{ID: "a", Kind: KindCustom, After: []string{"b"}},
+			{ID: "b", Kind: KindCustom, After: []string{"a"}},
+		},
+	}
+	if err := r.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateSelfCycle(t *testing.T) {
+	r := &Recipe{
+		Name:  "self",
+		Tasks: []Task{{ID: "a", Kind: KindCustom, After: []string{"a"}}},
+	}
+	if err := r.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate = %v, want ErrCycle", err)
+	}
+}
+
+func TestResolveInput(t *testing.T) {
+	r := monitoringRecipe()
+	got, err := r.ResolveInput("task:senseA")
+	if err != nil || got != "s/a" {
+		t.Fatalf("ResolveInput(task:senseA) = %q, %v", got, err)
+	}
+	got, err = r.ResolveInput("raw/topic")
+	if err != nil || got != "raw/topic" {
+		t.Fatalf("ResolveInput(raw) = %q, %v", got, err)
+	}
+	if _, err := r.ResolveInput("task:ghost"); err == nil {
+		t.Fatal("ResolveInput(unknown) succeeded")
+	}
+	// Referenced task without output topic.
+	r2 := &Recipe{Name: "x", Tasks: []Task{
+		{ID: "sink", Kind: KindActuate},
+		{ID: "next", Kind: KindCustom, Inputs: []string{"task:sink"}},
+	}}
+	if _, err := r2.ResolveInput("task:sink"); err == nil {
+		t.Fatal("ResolveInput to output-less task succeeded")
+	}
+}
+
+func TestDependenciesDeduplicated(t *testing.T) {
+	r := monitoringRecipe()
+	task, _ := r.TaskByID("estimate")
+	task.After = []string{"anomaly1"} // also an input dep
+	deps := r.Dependencies(task)
+	count := 0
+	for _, d := range deps {
+		if d == "anomaly1" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("anomaly1 appears %d times in deps %v", count, deps)
+	}
+}
+
+func TestSplitStages(t *testing.T) {
+	subtasks, err := Split(monitoringRecipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subtasks) != 9 {
+		t.Fatalf("subtasks = %d, want 9", len(subtasks))
+	}
+	stages := Stages(subtasks)
+	if len(stages) != 5 {
+		t.Fatalf("stages = %d, want 5 (sense, anomaly, camera, estimate, alert)", len(stages))
+	}
+	if len(stages[0]) != 4 {
+		t.Fatalf("stage 0 = %d tasks, want the 4 parallel sensing tasks", len(stages[0]))
+	}
+	byID := make(map[string]int)
+	for _, s := range subtasks {
+		byID[s.TaskID] = s.Stage
+	}
+	if byID["anomaly1"] != 1 || byID["anomaly2"] != 1 {
+		t.Fatalf("anomaly stages = %d,%d want 1,1", byID["anomaly1"], byID["anomaly2"])
+	}
+	if byID["camera"] != 2 || byID["estimate"] != 3 || byID["alert"] != 4 {
+		t.Fatalf("stages = %v", byID)
+	}
+}
+
+func TestSplitShardsParallelTasks(t *testing.T) {
+	r := &Recipe{
+		Name: "sharded",
+		Tasks: []Task{
+			{ID: "src", Kind: KindSense, Output: "s"},
+			{ID: "train", Kind: KindTrain, Inputs: []string{"task:src"}, Output: "m", Parallelism: 3},
+		},
+	}
+	subtasks, err := Split(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subtasks) != 4 {
+		t.Fatalf("subtasks = %d, want 1 + 3 shards", len(subtasks))
+	}
+	names := make(map[string]bool)
+	for _, s := range subtasks {
+		names[s.Name()] = true
+		if s.TaskID == "train" {
+			if s.ShardCount != 3 {
+				t.Fatalf("ShardCount = %d", s.ShardCount)
+			}
+		}
+	}
+	for _, want := range []string{"sharded/src", "sharded/train#0", "sharded/train#1", "sharded/train#2"} {
+		if !names[want] {
+			t.Fatalf("missing subtask %q in %v", want, names)
+		}
+	}
+}
+
+func TestSplitInvalidRecipe(t *testing.T) {
+	if _, err := Split(&Recipe{}); err == nil {
+		t.Fatal("Split of invalid recipe succeeded")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	r := monitoringRecipe()
+	data, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != r.Name || len(got.Tasks) != len(r.Tasks) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Tasks[4].Inputs[0] != "task:senseA" {
+		t.Fatalf("inputs lost: %+v", got.Tasks[4])
+	}
+}
+
+func TestUnmarshalRejectsBadJSON(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Fatal("Unmarshal of bad JSON succeeded")
+	}
+	if _, err := Unmarshal([]byte(`{"name":"x","tasks":[]}`)); !errors.Is(err, ErrInvalid) {
+		t.Fatal("Unmarshal of invalid recipe succeeded")
+	}
+}
+
+func TestMarshalInvalidRecipe(t *testing.T) {
+	if _, err := Marshal(&Recipe{}); err == nil {
+		t.Fatal("Marshal of invalid recipe succeeded")
+	}
+}
+
+func TestTaskByID(t *testing.T) {
+	r := monitoringRecipe()
+	if task, ok := r.TaskByID("camera"); !ok || task.Kind != KindCustom {
+		t.Fatalf("TaskByID(camera) = %+v, %v", task, ok)
+	}
+	if _, ok := r.TaskByID("nope"); ok {
+		t.Fatal("TaskByID(nope) found something")
+	}
+}
+
+func TestSubTaskNameUnsharded(t *testing.T) {
+	s := SubTask{Recipe: "r", TaskID: "t", ShardCount: 1}
+	if s.Name() != "r/t" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}

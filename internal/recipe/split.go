@@ -1,0 +1,116 @@
+package recipe
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// SubTask is one schedulable unit produced by splitting a recipe. A task
+// with Parallelism > 1 becomes that many shards, each knowing its shard
+// index so data-parallel stages can partition the stream.
+type SubTask struct {
+	// Recipe is the owning recipe name.
+	Recipe string `json:"recipe"`
+	// TaskID is the originating task.
+	TaskID string `json:"taskId"`
+	// Shard and ShardCount describe data-parallel placement
+	// (0 of 1 for unsharded tasks).
+	Shard      int `json:"shard"`
+	ShardCount int `json:"shardCount"`
+	// Task carries the full task definition.
+	Task Task `json:"task"`
+	// Stage is the topological level: all subtasks of the same stage are
+	// independent and can execute in parallel.
+	Stage int `json:"stage"`
+}
+
+// Name returns a unique identifier for the subtask.
+func (s SubTask) Name() string {
+	if s.ShardCount <= 1 {
+		return s.Recipe + "/" + s.TaskID
+	}
+	return s.Recipe + "/" + s.TaskID + "#" + strconv.Itoa(s.Shard)
+}
+
+// Split implements the Recipe-split class: it validates the recipe, orders
+// the task graph topologically, expands data-parallel tasks into shards,
+// and annotates every subtask with its parallel stage.
+func Split(r *Recipe) ([]SubTask, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := r.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Stage = 1 + max(stage of deps); independent tasks share a stage.
+	stages := make(map[string]int, len(r.Tasks))
+	for _, id := range order {
+		t, _ := r.TaskByID(id)
+		stage := 0
+		for _, dep := range r.Dependencies(t) {
+			if s := stages[dep] + 1; s > stage {
+				stage = s
+			}
+		}
+		stages[id] = stage
+	}
+
+	var subtasks []SubTask
+	for _, id := range order {
+		t, _ := r.TaskByID(id)
+		shards := t.Parallelism
+		if shards <= 1 {
+			shards = 1
+		}
+		for shard := 0; shard < shards; shard++ {
+			subtasks = append(subtasks, SubTask{
+				Recipe:     r.Name,
+				TaskID:     t.ID,
+				Shard:      shard,
+				ShardCount: shards,
+				Task:       *t,
+				Stage:      stages[id],
+			})
+		}
+	}
+	return subtasks, nil
+}
+
+// Stages groups subtasks by their parallel stage, in stage order. All
+// subtasks within one group may execute concurrently.
+func Stages(subtasks []SubTask) [][]SubTask {
+	maxStage := -1
+	for _, s := range subtasks {
+		if s.Stage > maxStage {
+			maxStage = s.Stage
+		}
+	}
+	out := make([][]SubTask, maxStage+1)
+	for _, s := range subtasks {
+		out[s.Stage] = append(out[s.Stage], s)
+	}
+	return out
+}
+
+// Marshal renders the recipe in its canonical JSON form (the recipe
+// language the paper lists as future work).
+func Marshal(r *Recipe) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Unmarshal parses and validates a JSON recipe.
+func Unmarshal(data []byte) (*Recipe, error) {
+	var r Recipe
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("recipe: parse: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

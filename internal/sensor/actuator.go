@@ -1,0 +1,99 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Command is an instruction sent to an actuator.
+type Command struct {
+	// Name is the operation, e.g. "set-brightness", "alert".
+	Name string
+	// Value is an optional numeric argument.
+	Value float64
+	// Detail is an optional free-form argument.
+	Detail string
+	// IssuedAt records when the middleware issued the command.
+	IssuedAt time.Time
+}
+
+// Actuator is a device that can apply commands to the environment.
+type Actuator interface {
+	// ID names the actuator.
+	ID() string
+	// Apply executes one command.
+	Apply(cmd Command) error
+}
+
+// ErrUnsupportedCommand is returned for commands an actuator cannot apply.
+var ErrUnsupportedCommand = errors.New("sensor: unsupported command")
+
+// VirtualActuator records every applied command; it stands in for physical
+// appliances (ceiling light, air conditioner, alert speaker, …) in tests,
+// examples, and experiments.
+type VirtualActuator struct {
+	id string
+	// Accepts, when non-empty, whitelists command names.
+	accepts map[string]struct{}
+
+	mu      sync.Mutex
+	history []Command
+	state   map[string]float64
+}
+
+var _ Actuator = (*VirtualActuator)(nil)
+
+// NewVirtualActuator creates an actuator with the given identity. accepts
+// optionally restricts the permitted command names.
+func NewVirtualActuator(id string, accepts ...string) *VirtualActuator {
+	var set map[string]struct{}
+	if len(accepts) > 0 {
+		set = make(map[string]struct{}, len(accepts))
+		for _, a := range accepts {
+			set[a] = struct{}{}
+		}
+	}
+	return &VirtualActuator{id: id, accepts: set, state: make(map[string]float64)}
+}
+
+// ID implements Actuator.
+func (a *VirtualActuator) ID() string { return a.id }
+
+// Apply implements Actuator: the command is recorded and its value stored
+// as the current state under the command name.
+func (a *VirtualActuator) Apply(cmd Command) error {
+	if a.accepts != nil {
+		if _, ok := a.accepts[cmd.Name]; !ok {
+			return fmt.Errorf("%w: %q on actuator %q", ErrUnsupportedCommand, cmd.Name, a.id)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.history = append(a.history, cmd)
+	a.state[cmd.Name] = cmd.Value
+	return nil
+}
+
+// History returns a copy of all applied commands in order.
+func (a *VirtualActuator) History() []Command {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Command(nil), a.history...)
+}
+
+// State returns the last value applied under the given command name.
+func (a *VirtualActuator) State(name string) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.state[name]
+	return v, ok
+}
+
+// CommandCount reports how many commands have been applied.
+func (a *VirtualActuator) CommandCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.history)
+}

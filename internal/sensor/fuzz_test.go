@@ -1,0 +1,29 @@
+package sensor
+
+import "testing"
+
+// FuzzDecodeSample must never panic and accepted samples must round-trip.
+func FuzzDecodeSample(f *testing.F) {
+	f.Add(Sample{SensorIndex: 1, Kind: Accelerometer, Seq: 2}.Encode())
+	f.Add(make([]byte, SampleSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSample(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeSample(s.Encode())
+		if err != nil || back.Seq != s.Seq || back.SensorIndex != s.SensorIndex {
+			t.Fatalf("accepted sample does not round-trip: %+v / %v", back, err)
+		}
+	})
+}
+
+// FuzzLoadTraceCSV must never panic.
+func FuzzLoadTraceCSV(f *testing.F) {
+	f.Add([]byte("1,2,3\n4,5,6"))
+	f.Add([]byte("# comment\n\n1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = LoadTraceCSV(data)
+	})
+}

@@ -1,0 +1,137 @@
+// Package sim is a deterministic discrete-event simulation engine. The
+// experiment harness replays the paper's testbed (Fig. 7/9) on it in
+// virtual time, so latency results reflect the calibrated device and
+// network models rather than host scheduling noise.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. Events scheduled
+// for the same instant run in scheduling order (FIFO), which keeps runs
+// fully deterministic. Engine is not safe for concurrent use; all events
+// run on the caller's goroutine inside Run/Step.
+type Engine struct {
+	now    time.Time
+	queue  eventHeap
+	seq    int64
+	events int64
+}
+
+// NewEngine creates an engine starting at the given instant.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// At schedules fn to run at instant t. Instants in the past run at the
+// current time (never before already-scheduled past work).
+func (e *Engine) At(t time.Time, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now (negative d means now).
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn at t, t+period, t+2*period, … while keep returns true.
+func (e *Engine) Every(start time.Time, period time.Duration, keep func() bool, fn func()) {
+	if period <= 0 || fn == nil {
+		return
+	}
+	var tick func()
+	next := start
+	tick = func() {
+		if keep != nil && !keep() {
+			return
+		}
+		fn()
+		next = next.Add(period)
+		e.At(next, tick)
+	}
+	e.At(start, tick)
+}
+
+// Step executes the next pending event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event lies
+// beyond `until`. The clock finishes at min(until, last event time); it
+// returns the number of events executed.
+func (e *Engine) Run(until time.Time) int64 {
+	var executed int64
+	for e.queue.Len() > 0 && !e.queue[0].at.After(until) {
+		e.Step()
+		executed++
+	}
+	if e.now.Before(until) {
+		e.now = until
+	}
+	return executed
+}
+
+// RunAll drains every pending event (beware self-perpetuating schedules).
+func (e *Engine) RunAll() int64 {
+	var executed int64
+	for e.Step() {
+		executed++
+	}
+	return executed
+}
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Executed reports the total number of events executed so far.
+func (e *Engine) Executed() int64 { return e.events }
+
+type event struct {
+	at  time.Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStationMatchesMD1Theory validates the DES service station against
+// queueing theory: for Poisson arrivals and deterministic service
+// (an M/D/1 queue), the mean waiting time is Wq = ρ·S / (2(1-ρ)).
+// The experiment package's latency results inherit their credibility from
+// this check.
+func TestStationMatchesMD1Theory(t *testing.T) {
+	const (
+		serviceOps = 1.0
+		rateOps    = 100.0             // service time S = 10ms
+		lambda     = 70.0              // arrivals/s → ρ = 0.7
+		horizon    = 600 * time.Second // long run for tight averages
+	)
+	s := serviceOps / rateOps
+	rho := lambda * s
+	wantWq := rho * s / (2 * (1 - rho)) // M/D/1 mean wait: 11.67ms
+
+	e := NewEngine(time.Unix(0, 0))
+	st := NewStation(e, "mdl", rateOps, 0)
+	rng := rand.New(rand.NewSource(42))
+
+	var (
+		totalWait time.Duration
+		served    int
+	)
+	end := time.Unix(0, 0).Add(horizon)
+	var schedule func()
+	schedule = func() {
+		if !e.Now().Before(end) {
+			return
+		}
+		arrival := e.Now()
+		st.Submit(serviceOps, func(done time.Time) {
+			// Waiting time = sojourn − service.
+			totalWait += done.Sub(arrival) - time.Duration(s*float64(time.Second))
+			served++
+		})
+		// Exponential inter-arrival → Poisson process.
+		next := time.Duration(rng.ExpFloat64() / lambda * float64(time.Second))
+		e.After(next, schedule)
+	}
+	e.After(0, schedule)
+	e.RunAll()
+
+	if served < 30000 {
+		t.Fatalf("served only %d jobs", served)
+	}
+	gotWq := (totalWait / time.Duration(served)).Seconds()
+	if math.Abs(gotWq-wantWq)/wantWq > 0.08 {
+		t.Fatalf("M/D/1 mean wait = %.4fs, theory %.4fs (>8%% off)", gotWq, wantWq)
+	}
+}
+
+// TestStationLittlesLaw checks L = λW on the same station.
+func TestStationLittlesLaw(t *testing.T) {
+	const (
+		rateOps = 50.0
+		lambda  = 30.0
+		horizon = 300 * time.Second
+	)
+	e := NewEngine(time.Unix(0, 0))
+	st := NewStation(e, "little", rateOps, 0)
+	rng := rand.New(rand.NewSource(7))
+
+	var (
+		totalSojourn time.Duration
+		served       int
+		areaDepth    float64 // ∫ queue depth dt, via sampling
+	)
+	end := time.Unix(0, 0).Add(horizon)
+
+	// Sample queue depth every 50ms.
+	e.Every(time.Unix(0, 0), 50*time.Millisecond, func() bool { return e.Now().Before(end) }, func() {
+		areaDepth += float64(st.QueueDepth()) * 0.05
+	})
+
+	var schedule func()
+	schedule = func() {
+		if !e.Now().Before(end) {
+			return
+		}
+		arrival := e.Now()
+		st.Submit(1, func(done time.Time) {
+			totalSojourn += done.Sub(arrival)
+			served++
+		})
+		e.After(time.Duration(rng.ExpFloat64()/lambda*float64(time.Second)), schedule)
+	}
+	e.After(0, schedule)
+	e.RunAll()
+
+	W := (totalSojourn / time.Duration(served)).Seconds()
+	L := areaDepth / horizon.Seconds()
+	effLambda := float64(served) / horizon.Seconds()
+	want := effLambda * W
+	if math.Abs(L-want)/want > 0.1 {
+		t.Fatalf("Little's law violated: L = %.3f, λW = %.3f", L, want)
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var start = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(start)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := e.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestEngineTiesFIFO(t *testing.T) {
+	e := NewEngine(start)
+	var order []int
+	at := start.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEnginePastEventRunsNow(t *testing.T) {
+	e := NewEngine(start)
+	var ranAt time.Time
+	e.After(time.Second, func() {
+		e.At(start, func() { ranAt = e.Now() }) // scheduled in the past
+	})
+	e.RunAll()
+	if !ranAt.Equal(start.Add(time.Second)) {
+		t.Fatalf("past event ran at %v, want clamped to %v", ranAt, start.Add(time.Second))
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(start)
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	executed := e.Run(start.Add(5 * time.Second))
+	if executed != 5 || count != 5 {
+		t.Fatalf("executed %d (count %d), want 5", executed, count)
+	}
+	if got := e.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v, want advance to until", got)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(start)
+	count := 0
+	e.Every(start.Add(time.Second), time.Second, func() bool { return count < 5 }, func() { count++ })
+	e.Run(start.Add(time.Minute))
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestEngineEveryBadPeriod(t *testing.T) {
+	e := NewEngine(start)
+	e.Every(start, 0, nil, func() {})
+	if e.Pending() != 0 {
+		t.Fatal("Every with period 0 scheduled events")
+	}
+}
+
+func TestEngineNilEventIgnored(t *testing.T) {
+	e := NewEngine(start)
+	e.After(time.Second, nil)
+	if e.Pending() != 0 {
+		t.Fatal("nil event scheduled")
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := NewEngine(start)
+	e.After(time.Second, func() {})
+	e.After(2*time.Second, func() {})
+	e.RunAll()
+	if e.Executed() != 2 {
+		t.Fatalf("Executed = %d", e.Executed())
+	}
+}
+
+func TestStationServesSequentially(t *testing.T) {
+	e := NewEngine(start)
+	st := NewStation(e, "cpu", 10, 0) // 10 ops/s: 1 op = 100ms
+	var done []time.Time
+	record := func(at time.Time) { done = append(done, at) }
+	// Two 1-op jobs submitted together: second waits for the first.
+	st.Submit(1, record)
+	st.Submit(1, record)
+	e.RunAll()
+	if len(done) != 2 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	if want := start.Add(100 * time.Millisecond); !done[0].Equal(want) {
+		t.Fatalf("first done at %v, want %v", done[0], want)
+	}
+	if want := start.Add(200 * time.Millisecond); !done[1].Equal(want) {
+		t.Fatalf("second done at %v, want %v (queued)", done[1], want)
+	}
+	if st.Served() != 2 {
+		t.Fatalf("Served = %d", st.Served())
+	}
+}
+
+func TestStationIdleGapResetsStart(t *testing.T) {
+	e := NewEngine(start)
+	st := NewStation(e, "cpu", 10, 0)
+	var second time.Time
+	st.Submit(1, nil)
+	e.After(time.Second, func() {
+		st.Submit(1, func(at time.Time) { second = at })
+	})
+	e.RunAll()
+	if want := start.Add(time.Second + 100*time.Millisecond); !second.Equal(want) {
+		t.Fatalf("second done at %v, want %v (no queueing after idle)", second, want)
+	}
+}
+
+func TestStationBoundedQueueDrops(t *testing.T) {
+	e := NewEngine(start)
+	st := NewStation(e, "cpu", 1, 3) // slow: 1 op = 1s, queue cap 3
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if st.Submit(1, nil) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted = %d, want 3", accepted)
+	}
+	if st.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", st.Dropped())
+	}
+	e.RunAll()
+	if st.Served() != 3 {
+		t.Fatalf("Served = %d, want 3", st.Served())
+	}
+	// Queue drained: new submissions accepted again.
+	if !st.Submit(1, nil) {
+		t.Fatal("submission rejected after queue drained")
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	e := NewEngine(start)
+	st := NewStation(e, "cpu", 10, 0)
+	st.Submit(5, nil) // 500ms of work
+	e.Run(start.Add(time.Second))
+	u := st.Utilization(start)
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestStationQueueDepth(t *testing.T) {
+	e := NewEngine(start)
+	st := NewStation(e, "cpu", 1, 0)
+	st.Submit(1, nil)
+	st.Submit(1, nil)
+	if st.QueueDepth() != 2 {
+		t.Fatalf("QueueDepth = %d, want 2", st.QueueDepth())
+	}
+	e.RunAll()
+	if st.QueueDepth() != 0 {
+		t.Fatalf("QueueDepth after drain = %d", st.QueueDepth())
+	}
+}
+
+// Saturation property: past the service rate, a bounded queue's latency
+// plateaus near queueLimit/serviceRate — the mechanism behind the paper's
+// Table II latency blow-up between 20 Hz and 40 Hz.
+func TestStationSaturationLatencyPlateau(t *testing.T) {
+	e := NewEngine(start)
+	const rate = 20.0 // ops/s; service = 50ms per 1-op job
+	st := NewStation(e, "trainer", rate, 20)
+	var latencies []time.Duration
+	// Offered load 2x capacity for 10 seconds.
+	e.Every(start, 25*time.Millisecond, func() bool { return e.Now().Before(start.Add(10 * time.Second)) }, func() {
+		submitted := e.Now()
+		st.Submit(1, func(at time.Time) {
+			latencies = append(latencies, at.Sub(submitted))
+		})
+	})
+	e.RunAll()
+	if len(latencies) == 0 {
+		t.Fatal("no jobs completed")
+	}
+	var max time.Duration
+	for _, l := range latencies {
+		if l > max {
+			max = l
+		}
+	}
+	plateau := time.Duration(20.0 / rate * float64(time.Second)) // queueLimit/rate = 1s
+	if max < plateau/2 || max > plateau+200*time.Millisecond {
+		t.Fatalf("max latency = %v, want near plateau %v", max, plateau)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"time"
+)
+
+// Station models a single-worker FIFO service queue on the engine — the
+// compute model of one neuron module's CPU. Jobs carry a cost in abstract
+// operations; the station serves RateOps operations per second. A bounded
+// queue drops jobs on overflow, reproducing the back-pressure of the real
+// middleware's finite buffers.
+type Station struct {
+	// Name identifies the station in diagnostics.
+	Name string
+
+	engine     *Engine
+	rateOps    float64
+	queueLimit int
+
+	busyUntil time.Time
+	inFlight  int
+
+	served  int64
+	dropped int64
+	busy    time.Duration
+}
+
+// NewStation creates a station serving rateOps operations/second with at
+// most queueLimit jobs queued or in service (0 means unbounded).
+func NewStation(engine *Engine, name string, rateOps float64, queueLimit int) *Station {
+	if rateOps <= 0 {
+		rateOps = 1
+	}
+	return &Station{Name: name, engine: engine, rateOps: rateOps, queueLimit: queueLimit}
+}
+
+// Submit enqueues a job of the given cost. done (optional) runs at the
+// job's completion instant. Submit reports false when the queue is full
+// and the job was dropped.
+func (s *Station) Submit(cost float64, done func(completedAt time.Time)) bool {
+	if s.queueLimit > 0 && s.inFlight >= s.queueLimit {
+		s.dropped++
+		return false
+	}
+	now := s.engine.Now()
+	start := s.busyUntil
+	if start.Before(now) {
+		start = now
+	}
+	service := time.Duration(cost / s.rateOps * float64(time.Second))
+	finish := start.Add(service)
+	s.busyUntil = finish
+	s.inFlight++
+	s.busy += service
+	s.engine.At(finish, func() {
+		s.inFlight--
+		s.served++
+		if done != nil {
+			done(finish)
+		}
+	})
+	return true
+}
+
+// QueueDepth reports jobs queued or in service.
+func (s *Station) QueueDepth() int { return s.inFlight }
+
+// Served reports completed jobs.
+func (s *Station) Served() int64 { return s.served }
+
+// Dropped reports jobs rejected due to a full queue.
+func (s *Station) Dropped() int64 { return s.dropped }
+
+// BusyTime reports cumulative service time committed so far.
+func (s *Station) BusyTime() time.Duration { return s.busy }
+
+// Utilization reports busy time as a fraction of the elapsed simulation
+// time since start (clamped to [0, 1]).
+func (s *Station) Utilization(start time.Time) float64 {
+	elapsed := s.engine.Now().Sub(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(s.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

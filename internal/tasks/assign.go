@@ -1,0 +1,195 @@
+// Package tasks implements the IFoT Task-assignment class: strategies that
+// map the subtasks produced by the Recipe-split class onto neuron modules,
+// honoring placement hints and balancing estimated load.
+package tasks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+)
+
+// Errors returned by assigners.
+var (
+	ErrNoModules    = errors.New("tasks: no modules available")
+	ErrUnplaceable  = errors.New("tasks: no module satisfies placement constraint")
+	ErrUnknownModel = errors.New("tasks: unknown strategy")
+)
+
+// ModuleInfo describes one neuron module from the assigner's viewpoint.
+type ModuleInfo struct {
+	// ID is the module's identity.
+	ID string
+	// Capabilities lists what the module can do
+	// (e.g. "sensor:accelerometer", "actuator:light", "camera").
+	Capabilities []string
+	// CapacityOps is the module's processing capacity in abstract
+	// operations/second (Raspberry Pi 2 ≈ its calibrated ops rate).
+	CapacityOps float64
+	// BaseLoad is pre-existing load in the same units.
+	BaseLoad float64
+}
+
+func (m ModuleInfo) hasCapability(c string) bool {
+	for _, cap := range m.Capabilities {
+		if cap == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignment maps subtask names to module IDs.
+type Assignment map[string]string
+
+// Strategy selects modules for subtasks.
+type Strategy interface {
+	// Assign maps every subtask to a module. It fails if any subtask
+	// cannot be placed.
+	Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assignment, error)
+}
+
+// DefaultCosts estimates the per-sample processing cost of each task kind
+// in abstract operations. Training dominates, matching the Table II vs
+// Table III asymmetry in the paper.
+var DefaultCosts = map[recipe.Kind]float64{
+	recipe.KindSense:     1,
+	recipe.KindWindow:    1,
+	recipe.KindFilter:    1,
+	recipe.KindAggregate: 2,
+	recipe.KindTrain:     20,
+	recipe.KindPredict:   8,
+	recipe.KindAnomaly:   10,
+	recipe.KindCluster:   6,
+	recipe.KindActuate:   1,
+	recipe.KindCustom:    4,
+}
+
+// CostOf estimates a subtask's processing cost, honoring a numeric "cost"
+// param override. Sharded tasks split their cost across shards.
+func CostOf(s recipe.SubTask) float64 {
+	cost, ok := DefaultCosts[s.Task.Kind]
+	if !ok {
+		cost = 4
+	}
+	if raw, ok := s.Task.Params["cost"]; ok {
+		var v float64
+		if _, err := fmt.Sscanf(raw, "%g", &v); err == nil && v > 0 {
+			cost = v
+		}
+	}
+	if s.ShardCount > 1 {
+		cost /= float64(s.ShardCount)
+	}
+	return cost
+}
+
+// eligible filters modules by a subtask's placement constraints.
+func eligible(s recipe.SubTask, modules []ModuleInfo) []ModuleInfo {
+	var out []ModuleInfo
+	for _, m := range modules {
+		if s.Task.Placement.Module != "" && m.ID != s.Task.Placement.Module {
+			continue
+		}
+		if s.Task.Placement.Capability != "" && !m.hasCapability(s.Task.Placement.Capability) {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// RoundRobin distributes subtasks across eligible modules in rotation.
+type RoundRobin struct{}
+
+var _ Strategy = RoundRobin{}
+
+// Assign implements Strategy.
+func (RoundRobin) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assignment, error) {
+	if len(modules) == 0 {
+		return nil, ErrNoModules
+	}
+	out := make(Assignment, len(subtasks))
+	cursor := 0
+	for _, s := range subtasks {
+		cands := eligible(s, modules)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: subtask %s (placement %+v)", ErrUnplaceable, s.Name(), s.Task.Placement)
+		}
+		out[s.Name()] = cands[cursor%len(cands)].ID
+		cursor++
+	}
+	return out, nil
+}
+
+// LeastLoaded greedily places each subtask on the eligible module with the
+// lowest relative load (assigned cost / capacity), processing costlier
+// subtasks first.
+type LeastLoaded struct{}
+
+var _ Strategy = LeastLoaded{}
+
+// Assign implements Strategy.
+func (LeastLoaded) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assignment, error) {
+	if len(modules) == 0 {
+		return nil, ErrNoModules
+	}
+	loads := make(map[string]float64, len(modules))
+	caps := make(map[string]float64, len(modules))
+	for _, m := range modules {
+		loads[m.ID] = m.BaseLoad
+		capacity := m.CapacityOps
+		if capacity <= 0 {
+			capacity = 1
+		}
+		caps[m.ID] = capacity
+	}
+
+	// Longest-processing-time-first greedy for better balance.
+	ordered := make([]recipe.SubTask, len(subtasks))
+	copy(ordered, subtasks)
+	sort.SliceStable(ordered, func(i, j int) bool { return CostOf(ordered[i]) > CostOf(ordered[j]) })
+
+	out := make(Assignment, len(subtasks))
+	for _, s := range ordered {
+		cands := eligible(s, modules)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: subtask %s (placement %+v)", ErrUnplaceable, s.Name(), s.Task.Placement)
+		}
+		best := cands[0].ID
+		bestLoad := (loads[best] + CostOf(s)) / caps[best]
+		for _, m := range cands[1:] {
+			if l := (loads[m.ID] + CostOf(s)) / caps[m.ID]; l < bestLoad {
+				best, bestLoad = m.ID, l
+			}
+		}
+		loads[best] += CostOf(s)
+		out[s.Name()] = best
+	}
+	return out, nil
+}
+
+// NewStrategy returns a Strategy by name: "round-robin" or "least-loaded".
+func NewStrategy(name string) (Strategy, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin{}, nil
+	case "least-loaded", "":
+		return LeastLoaded{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+}
+
+// LoadPerModule computes the total assigned cost per module.
+func LoadPerModule(subtasks []recipe.SubTask, a Assignment) map[string]float64 {
+	loads := make(map[string]float64)
+	for _, s := range subtasks {
+		if id, ok := a[s.Name()]; ok {
+			loads[id] += CostOf(s)
+		}
+	}
+	return loads
+}

@@ -1,0 +1,184 @@
+package tasks
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+)
+
+func sub(id string, kind recipe.Kind) recipe.SubTask {
+	return recipe.SubTask{
+		Recipe:     "r",
+		TaskID:     id,
+		ShardCount: 1,
+		Task:       recipe.Task{ID: id, Kind: kind},
+	}
+}
+
+func modules(ids ...string) []ModuleInfo {
+	out := make([]ModuleInfo, len(ids))
+	for i, id := range ids {
+		out[i] = ModuleInfo{ID: id, CapacityOps: 100}
+	}
+	return out
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	subtasks := []recipe.SubTask{
+		sub("a", recipe.KindSense), sub("b", recipe.KindSense),
+		sub("c", recipe.KindSense), sub("d", recipe.KindSense),
+	}
+	a, err := RoundRobin{}.Assign(subtasks, modules("m1", "m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, m := range a {
+		counts[m]++
+	}
+	if counts["m1"] != 2 || counts["m2"] != 2 {
+		t.Fatalf("distribution = %v, want 2/2", counts)
+	}
+}
+
+func TestRoundRobinNoModules(t *testing.T) {
+	if _, err := (RoundRobin{}).Assign([]recipe.SubTask{sub("a", recipe.KindSense)}, nil); !errors.Is(err, ErrNoModules) {
+		t.Fatalf("err = %v, want ErrNoModules", err)
+	}
+}
+
+func TestLeastLoadedBalancesCost(t *testing.T) {
+	subtasks := []recipe.SubTask{
+		sub("train", recipe.KindTrain),   // cost 20
+		sub("p1", recipe.KindPredict),    // 8
+		sub("p2", recipe.KindPredict),    // 8
+		sub("s1", recipe.KindSense),      // 1
+		sub("agg", recipe.KindAggregate), // 2
+		sub("anom", recipe.KindAnomaly),  // 10
+	}
+	a, err := LeastLoaded{}.Assign(subtasks, modules("m1", "m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadPerModule(subtasks, a)
+	diff := math.Abs(loads["m1"] - loads["m2"])
+	if diff > 10 {
+		t.Fatalf("imbalance %v too large: %v", diff, loads)
+	}
+}
+
+func TestLeastLoadedRespectsCapacity(t *testing.T) {
+	// m-small has a tenth of the capacity: it must get far less load.
+	mods := []ModuleInfo{
+		{ID: "m-big", CapacityOps: 1000},
+		{ID: "m-small", CapacityOps: 100},
+	}
+	var subtasks []recipe.SubTask
+	for i := 0; i < 22; i++ {
+		subtasks = append(subtasks, sub(string(rune('a'+i)), recipe.KindPredict))
+	}
+	a, err := LeastLoaded{}.Assign(subtasks, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadPerModule(subtasks, a)
+	if loads["m-big"] <= loads["m-small"] {
+		t.Fatalf("big module got %v, small got %v; want capacity-proportional", loads["m-big"], loads["m-small"])
+	}
+}
+
+func TestPlacementModulePin(t *testing.T) {
+	s := sub("cam", recipe.KindCustom)
+	s.Task.Placement.Module = "m2"
+	a, err := LeastLoaded{}.Assign([]recipe.SubTask{s}, modules("m1", "m2", "m3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[s.Name()] != "m2" {
+		t.Fatalf("assigned to %q, want pinned m2", a[s.Name()])
+	}
+}
+
+func TestPlacementCapability(t *testing.T) {
+	s := sub("cam", recipe.KindCustom)
+	s.Task.Placement.Capability = "camera"
+	mods := []ModuleInfo{
+		{ID: "m1", CapacityOps: 100},
+		{ID: "m2", CapacityOps: 100, Capabilities: []string{"camera"}},
+	}
+	for _, strat := range []Strategy{RoundRobin{}, LeastLoaded{}} {
+		a, err := strat.Assign([]recipe.SubTask{s}, mods)
+		if err != nil {
+			t.Fatalf("%T: %v", strat, err)
+		}
+		if a[s.Name()] != "m2" {
+			t.Fatalf("%T assigned to %q, want m2", strat, a[s.Name()])
+		}
+	}
+}
+
+func TestPlacementUnsatisfiable(t *testing.T) {
+	s := sub("cam", recipe.KindCustom)
+	s.Task.Placement.Capability = "x-ray"
+	for _, strat := range []Strategy{RoundRobin{}, LeastLoaded{}} {
+		if _, err := strat.Assign([]recipe.SubTask{s}, modules("m1")); !errors.Is(err, ErrUnplaceable) {
+			t.Fatalf("%T err = %v, want ErrUnplaceable", strat, err)
+		}
+	}
+}
+
+func TestCostOfShardsSplitCost(t *testing.T) {
+	s := sub("train", recipe.KindTrain)
+	whole := CostOf(s)
+	s.ShardCount = 4
+	if got := CostOf(s); math.Abs(got-whole/4) > 1e-12 {
+		t.Fatalf("sharded cost = %v, want %v", got, whole/4)
+	}
+}
+
+func TestCostOfParamOverride(t *testing.T) {
+	s := sub("x", recipe.KindSense)
+	s.Task.Params = map[string]string{"cost": "42.5"}
+	if got := CostOf(s); got != 42.5 {
+		t.Fatalf("cost = %v, want override 42.5", got)
+	}
+	s.Task.Params["cost"] = "bogus"
+	if got := CostOf(s); got != DefaultCosts[recipe.KindSense] {
+		t.Fatalf("cost with bad override = %v, want default", got)
+	}
+}
+
+func TestCostOfUnknownKind(t *testing.T) {
+	s := sub("x", recipe.Kind("weird"))
+	if got := CostOf(s); got <= 0 {
+		t.Fatalf("cost for unknown kind = %v, want positive default", got)
+	}
+}
+
+func TestNewStrategy(t *testing.T) {
+	if _, err := NewStrategy("round-robin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStrategy(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStrategy("quantum"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestBaseLoadConsidered(t *testing.T) {
+	mods := []ModuleInfo{
+		{ID: "busy", CapacityOps: 100, BaseLoad: 90},
+		{ID: "idle", CapacityOps: 100},
+	}
+	a, err := LeastLoaded{}.Assign([]recipe.SubTask{sub("t", recipe.KindTrain)}, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["r/t"] != "idle" {
+		t.Fatalf("assigned to %q, want idle module", a["r/t"])
+	}
+}

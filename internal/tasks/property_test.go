@@ -1,0 +1,123 @@
+package tasks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+)
+
+func randomWorkload(rng *rand.Rand) ([]recipe.SubTask, []ModuleInfo) {
+	kinds := []recipe.Kind{recipe.KindSense, recipe.KindTrain, recipe.KindPredict,
+		recipe.KindAnomaly, recipe.KindAggregate, recipe.KindCustom}
+	nModules := rng.Intn(5) + 1
+	modules := make([]ModuleInfo, nModules)
+	caps := []string{"camera", "gpu", "sensor:a"}
+	for i := range modules {
+		modules[i] = ModuleInfo{
+			ID:          fmt.Sprintf("m%d", i),
+			CapacityOps: float64(rng.Intn(2000) + 100),
+		}
+		if rng.Intn(3) == 0 {
+			modules[i].Capabilities = []string{caps[rng.Intn(len(caps))]}
+		}
+	}
+
+	nTasks := rng.Intn(15) + 1
+	subtasks := make([]recipe.SubTask, nTasks)
+	for i := range subtasks {
+		subtasks[i] = recipe.SubTask{
+			Recipe:     "prop",
+			TaskID:     fmt.Sprintf("t%d", i),
+			ShardCount: 1,
+			Task:       recipe.Task{ID: fmt.Sprintf("t%d", i), Kind: kinds[rng.Intn(len(kinds))]},
+		}
+		// Occasionally constrain to a module that definitely exists.
+		if rng.Intn(5) == 0 {
+			subtasks[i].Task.Placement.Module = modules[rng.Intn(nModules)].ID
+		}
+	}
+	return subtasks, modules
+}
+
+// TestAssignProperties: both strategies assign every subtask to an
+// existing module, honoring module pins.
+func TestAssignProperties(t *testing.T) {
+	strategies := []Strategy{RoundRobin{}, LeastLoaded{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		subtasks, modules := randomWorkload(rng)
+		moduleSet := make(map[string]bool, len(modules))
+		for _, m := range modules {
+			moduleSet[m.ID] = true
+		}
+		for _, strat := range strategies {
+			a, err := strat.Assign(subtasks, modules)
+			if err != nil {
+				t.Logf("seed %d: %T: %v", seed, strat, err)
+				return false
+			}
+			if len(a) != len(subtasks) {
+				t.Logf("seed %d: %T assigned %d/%d", seed, strat, len(a), len(subtasks))
+				return false
+			}
+			for _, s := range subtasks {
+				target, ok := a[s.Name()]
+				if !ok || !moduleSet[target] {
+					t.Logf("seed %d: %T: %s -> %q invalid", seed, strat, s.Name(), target)
+					return false
+				}
+				if pin := s.Task.Placement.Module; pin != "" && target != pin {
+					t.Logf("seed %d: %T ignored pin %s for %s", seed, strat, pin, s.Name())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeastLoadedNeverWorseThanWorstCase: the greedy balance keeps the
+// most-loaded module within (max single cost + fair share) of optimal —
+// the classic LPT bound sanity check, stated loosely.
+func TestLeastLoadedNeverWorseThanWorstCase(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		subtasks, _ := randomWorkload(rng)
+		// Uniform modules so relative load equals absolute load.
+		modules := []ModuleInfo{
+			{ID: "m0", CapacityOps: 100},
+			{ID: "m1", CapacityOps: 100},
+		}
+		for i := range subtasks {
+			subtasks[i].Task.Placement = recipe.Placement{}
+		}
+		a, err := LeastLoaded{}.Assign(subtasks, modules)
+		if err != nil {
+			return false
+		}
+		loads := LoadPerModule(subtasks, a)
+		var total, maxCost float64
+		for _, s := range subtasks {
+			c := CostOf(s)
+			total += c
+			if c > maxCost {
+				maxCost = c
+			}
+		}
+		worst := loads["m0"]
+		if loads["m1"] > worst {
+			worst = loads["m1"]
+		}
+		// LPT guarantee (2 machines): worst <= total/2 + maxCost.
+		return worst <= total/2+maxCost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

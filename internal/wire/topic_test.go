@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTopicName(t *testing.T) {
+	tests := []struct {
+		topic string
+		ok    bool
+	}{
+		{"a", true},
+		{"a/b/c", true},
+		{"/leading", true},
+		{"trailing/", true},
+		{"with space", true},
+		{"", false},
+		{"a/+/b", false},
+		{"a/#", false},
+		{"nul\x00byte", false},
+		{strings.Repeat("x", maxTopicLength+1), false},
+	}
+	for _, tt := range tests {
+		err := ValidateTopicName(tt.topic)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateTopicName(%q) err = %v, want ok=%v", tt.topic, err, tt.ok)
+		}
+	}
+}
+
+func TestValidateTopicFilter(t *testing.T) {
+	tests := []struct {
+		filter string
+		ok     bool
+	}{
+		{"a", true},
+		{"a/b", true},
+		{"+", true},
+		{"#", true},
+		{"a/+/c", true},
+		{"a/#", true},
+		{"+/+/+", true},
+		{"", false},
+		{"a/b#", false},
+		{"a/#/b", false},
+		{"a+/b", false},
+		{"a/+b", false},
+		{"nul\x00", false},
+	}
+	for _, tt := range tests {
+		err := ValidateTopicFilter(tt.filter)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateTopicFilter(%q) err = %v, want ok=%v", tt.filter, err, tt.ok)
+		}
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	tests := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b/d", false},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/+/c", "a/b/x/c", false},
+		{"+", "a", true},
+		{"+", "a/b", false},
+		{"#", "a", true},
+		{"#", "a/b/c", true},
+		{"a/#", "a", true},
+		{"a/#", "a/b", true},
+		{"a/#", "a/b/c", true},
+		{"a/#", "b", false},
+		{"a/b", "a", false},
+		{"a", "a/b", false},
+		{"+/+", "a/b", true},
+		{"+/+", "a", false},
+		{"+/b/#", "a/b/c/d", true},
+		// $-prefixed topics are not matched by leading wildcards.
+		{"#", "$SYS/broker", false},
+		{"+/broker", "$SYS/broker", false},
+		{"$SYS/#", "$SYS/broker", true},
+		// Empty levels are significant.
+		{"a//c", "a//c", true},
+		{"a/+/c", "a//c", true},
+	}
+	for _, tt := range tests {
+		if got := MatchTopic(tt.filter, tt.topic); got != tt.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", tt.filter, tt.topic, got, tt.want)
+		}
+	}
+}
+
+func TestMatchTopicExactAlwaysMatchesItself(t *testing.T) {
+	for _, topic := range []string{"a", "a/b", "ifot/sensor/acc/1", "x/y/z/w"} {
+		if !MatchTopic(topic, topic) {
+			t.Errorf("MatchTopic(%q, %q) = false, want true", topic, topic)
+		}
+	}
+}

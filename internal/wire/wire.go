@@ -1,0 +1,775 @@
+// Package wire implements the MQTT 3.1.1 wire protocol: fixed headers,
+// variable headers, and payloads for every control packet type. It is the
+// transport substrate for the IFoT flow-distribution function (the paper's
+// prototype used Mosquitto; this package plus internal/broker replaces it).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PacketType identifies an MQTT control packet.
+type PacketType byte
+
+// MQTT 3.1.1 control packet types (spec section 2.2.1).
+const (
+	CONNECT     PacketType = 1
+	CONNACK     PacketType = 2
+	PUBLISH     PacketType = 3
+	PUBACK      PacketType = 4
+	PUBREC      PacketType = 5
+	PUBREL      PacketType = 6
+	PUBCOMP     PacketType = 7
+	SUBSCRIBE   PacketType = 8
+	SUBACK      PacketType = 9
+	UNSUBSCRIBE PacketType = 10
+	UNSUBACK    PacketType = 11
+	PINGREQ     PacketType = 12
+	PINGRESP    PacketType = 13
+	DISCONNECT  PacketType = 14
+)
+
+// String returns the spec name of the packet type.
+func (t PacketType) String() string {
+	names := map[PacketType]string{
+		CONNECT: "CONNECT", CONNACK: "CONNACK", PUBLISH: "PUBLISH",
+		PUBACK: "PUBACK", PUBREC: "PUBREC", PUBREL: "PUBREL",
+		PUBCOMP: "PUBCOMP", SUBSCRIBE: "SUBSCRIBE", SUBACK: "SUBACK",
+		UNSUBSCRIBE: "UNSUBSCRIBE", UNSUBACK: "UNSUBACK",
+		PINGREQ: "PINGREQ", PINGRESP: "PINGRESP", DISCONNECT: "DISCONNECT",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("UNKNOWN(%d)", byte(t))
+}
+
+// QoS is an MQTT quality-of-service level.
+type QoS byte
+
+// Supported QoS levels.
+const (
+	QoS0 QoS = 0 // at most once
+	QoS1 QoS = 1 // at least once
+	QoS2 QoS = 2 // exactly once
+)
+
+// ConnackCode is a CONNACK return code (spec table 3.1).
+type ConnackCode byte
+
+// CONNACK return codes.
+const (
+	ConnAccepted          ConnackCode = 0
+	ConnRefusedVersion    ConnackCode = 1
+	ConnRefusedIdentifier ConnackCode = 2
+	ConnRefusedUnavail    ConnackCode = 3
+	ConnRefusedBadAuth    ConnackCode = 4
+	ConnRefusedNotAuth    ConnackCode = 5
+)
+
+// SubackFailure is the SUBACK return code for a rejected subscription.
+const SubackFailure byte = 0x80
+
+// Errors returned by the codec.
+var (
+	ErrMalformedPacket  = errors.New("wire: malformed packet")
+	ErrPacketTooLarge   = errors.New("wire: packet exceeds maximum size")
+	ErrInvalidQoS       = errors.New("wire: invalid QoS")
+	ErrInvalidTopic     = errors.New("wire: invalid topic")
+	ErrUnknownPacket    = errors.New("wire: unknown packet type")
+	ErrProtocolViolated = errors.New("wire: protocol violation")
+)
+
+// MaxRemainingLength is the largest representable remaining length
+// (spec 2.2.3: four bytes of varint).
+const MaxRemainingLength = 268435455
+
+// Packet is any MQTT control packet.
+type Packet interface {
+	// Type reports the control packet type.
+	Type() PacketType
+	// encode writes the variable header + payload into buf and returns
+	// the fixed-header flag nibble.
+	encode(buf *[]byte) (flags byte, err error)
+	// decode parses the variable header + payload from body given the
+	// fixed-header flag nibble.
+	decode(flags byte, body []byte) error
+}
+
+// ConnectPacket is the client connection request.
+type ConnectPacket struct {
+	ClientID     string
+	CleanSession bool
+	KeepAlive    uint16 // seconds
+	// ProtocolLevel is the MQTT revision: 4 for MQTT 3.1.1 (default when
+	// zero), 3 for the legacy MQTT 3.1 ("MQIsdp") dialect.
+	ProtocolLevel byte
+
+	WillFlag    bool
+	WillTopic   string
+	WillMessage []byte
+	WillQoS     QoS
+	WillRetain  bool
+
+	Username    string
+	HasUsername bool
+	Password    []byte
+	HasPassword bool
+}
+
+// ConnackPacket is the broker's connection acknowledgement.
+type ConnackPacket struct {
+	SessionPresent bool
+	Code           ConnackCode
+}
+
+// PublishPacket carries an application message.
+type PublishPacket struct {
+	Topic    string
+	Payload  []byte
+	QoS      QoS
+	Retain   bool
+	Dup      bool
+	PacketID uint16 // present only for QoS > 0
+}
+
+// AckPacket covers PUBACK, PUBREC, PUBREL, PUBCOMP, and UNSUBACK, which all
+// carry just a packet identifier.
+type AckPacket struct {
+	PacketType PacketType
+	PacketID   uint16
+}
+
+// Subscription pairs a topic filter with a requested QoS.
+type Subscription struct {
+	TopicFilter string
+	QoS         QoS
+}
+
+// SubscribePacket requests one or more subscriptions.
+type SubscribePacket struct {
+	PacketID      uint16
+	Subscriptions []Subscription
+}
+
+// SubackPacket acknowledges a SUBSCRIBE; one return code per subscription.
+type SubackPacket struct {
+	PacketID    uint16
+	ReturnCodes []byte
+}
+
+// UnsubscribePacket removes subscriptions.
+type UnsubscribePacket struct {
+	PacketID     uint16
+	TopicFilters []string
+}
+
+// PingreqPacket is a keep-alive probe.
+type PingreqPacket struct{}
+
+// PingrespPacket is the keep-alive response.
+type PingrespPacket struct{}
+
+// DisconnectPacket is the client's graceful goodbye.
+type DisconnectPacket struct{}
+
+// Type implementations.
+
+// Type implements Packet.
+func (*ConnectPacket) Type() PacketType { return CONNECT }
+
+// Type implements Packet.
+func (*ConnackPacket) Type() PacketType { return CONNACK }
+
+// Type implements Packet.
+func (*PublishPacket) Type() PacketType { return PUBLISH }
+
+// Type implements Packet.
+func (p *AckPacket) Type() PacketType { return p.PacketType }
+
+// Type implements Packet.
+func (*SubscribePacket) Type() PacketType { return SUBSCRIBE }
+
+// Type implements Packet.
+func (*SubackPacket) Type() PacketType { return SUBACK }
+
+// Type implements Packet.
+func (*UnsubscribePacket) Type() PacketType { return UNSUBSCRIBE }
+
+// Type implements Packet.
+func (*PingreqPacket) Type() PacketType { return PINGREQ }
+
+// Type implements Packet.
+func (*PingrespPacket) Type() PacketType { return PINGRESP }
+
+// Type implements Packet.
+func (*DisconnectPacket) Type() PacketType { return DISCONNECT }
+
+// WritePacket encodes p and writes it to w as a single Write call.
+func WritePacket(w io.Writer, p Packet) error {
+	data, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Encode serializes a packet to its full wire representation.
+func Encode(p Packet) ([]byte, error) {
+	var body []byte
+	flags, err := p.encode(&body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxRemainingLength {
+		return nil, ErrPacketTooLarge
+	}
+	header := make([]byte, 0, 5+len(body))
+	header = append(header, byte(p.Type())<<4|flags)
+	header = appendRemainingLength(header, len(body))
+	return append(header, body...), nil
+}
+
+// ReadPacket reads and decodes exactly one packet from r. maxSize bounds the
+// remaining length to defend against hostile peers; pass 0 for the protocol
+// maximum.
+func ReadPacket(r io.Reader, maxSize int) (Packet, error) {
+	if maxSize <= 0 || maxSize > MaxRemainingLength {
+		maxSize = MaxRemainingLength
+	}
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, err
+	}
+	pt := PacketType(first[0] >> 4)
+	flags := first[0] & 0x0F
+
+	remaining, err := readRemainingLength(r)
+	if err != nil {
+		return nil, err
+	}
+	if remaining > maxSize {
+		return nil, ErrPacketTooLarge
+	}
+	body := make([]byte, remaining)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(pt, flags, body)
+}
+
+// Decode parses a packet body given its type and fixed-header flags.
+func Decode(pt PacketType, flags byte, body []byte) (Packet, error) {
+	var p Packet
+	switch pt {
+	case CONNECT:
+		p = &ConnectPacket{}
+	case CONNACK:
+		p = &ConnackPacket{}
+	case PUBLISH:
+		p = &PublishPacket{}
+	case PUBACK, PUBREC, PUBREL, PUBCOMP, UNSUBACK:
+		p = &AckPacket{PacketType: pt}
+	case SUBSCRIBE:
+		p = &SubscribePacket{}
+	case SUBACK:
+		p = &SubackPacket{}
+	case UNSUBSCRIBE:
+		p = &UnsubscribePacket{}
+	case PINGREQ:
+		p = &PingreqPacket{}
+	case PINGRESP:
+		p = &PingrespPacket{}
+	case DISCONNECT:
+		p = &DisconnectPacket{}
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrUnknownPacket, pt)
+	}
+	if err := p.decode(flags, body); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- CONNECT ---
+
+// Protocol identifiers for the two supported MQTT revisions.
+const (
+	protocolName311 = "MQTT"   // MQTT 3.1.1 (level 4)
+	protocolName31  = "MQIsdp" // MQTT 3.1 (level 3)
+
+	// ProtocolLevel31 and ProtocolLevel311 are the CONNECT protocol
+	// levels of MQTT 3.1 and 3.1.1.
+	ProtocolLevel31  byte = 3
+	ProtocolLevel311 byte = 4
+)
+
+func (p *ConnectPacket) encode(buf *[]byte) (byte, error) {
+	level := p.ProtocolLevel
+	if level == 0 {
+		level = ProtocolLevel311
+	}
+	name := protocolName311
+	if level == ProtocolLevel31 {
+		name = protocolName31
+	}
+	b := appendString(nil, name)
+	b = append(b, level)
+
+	var connectFlags byte
+	if p.CleanSession {
+		connectFlags |= 1 << 1
+	}
+	if p.WillFlag {
+		if p.WillQoS > QoS2 {
+			return 0, ErrInvalidQoS
+		}
+		connectFlags |= 1 << 2
+		connectFlags |= byte(p.WillQoS) << 3
+		if p.WillRetain {
+			connectFlags |= 1 << 5
+		}
+	}
+	if p.HasPassword {
+		connectFlags |= 1 << 6
+	}
+	if p.HasUsername {
+		connectFlags |= 1 << 7
+	}
+	b = append(b, connectFlags)
+	b = appendUint16(b, p.KeepAlive)
+	b = appendString(b, p.ClientID)
+	if p.WillFlag {
+		b = appendString(b, p.WillTopic)
+		b = appendBytes(b, p.WillMessage)
+	}
+	if p.HasUsername {
+		b = appendString(b, p.Username)
+	}
+	if p.HasPassword {
+		b = appendBytes(b, p.Password)
+	}
+	*buf = b
+	return 0, nil
+}
+
+func (p *ConnectPacket) decode(flags byte, body []byte) error {
+	if flags != 0 {
+		return ErrProtocolViolated
+	}
+	r := reader{buf: body}
+	name, err := r.string()
+	if err != nil {
+		return err
+	}
+	level, err := r.byte()
+	if err != nil {
+		return err
+	}
+	// Accept both MQTT 3.1.1 ("MQTT", level 4) and the legacy MQTT 3.1
+	// ("MQIsdp", level 3). Unknown names are malformed; unknown levels
+	// decode fine so the broker can answer with CONNACK return code 1
+	// (unacceptable protocol version) as the spec requires.
+	if name != protocolName311 && name != protocolName31 {
+		return fmt.Errorf("%w: protocol name %q", ErrMalformedPacket, name)
+	}
+	p.ProtocolLevel = level
+	cf, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if cf&1 != 0 { // reserved bit must be zero
+		return ErrProtocolViolated
+	}
+	p.CleanSession = cf&(1<<1) != 0
+	p.WillFlag = cf&(1<<2) != 0
+	p.WillQoS = QoS((cf >> 3) & 0x3)
+	p.WillRetain = cf&(1<<5) != 0
+	p.HasPassword = cf&(1<<6) != 0
+	p.HasUsername = cf&(1<<7) != 0
+	if !p.WillFlag && (p.WillQoS != 0 || p.WillRetain) {
+		return ErrProtocolViolated
+	}
+	if p.WillQoS > QoS2 {
+		return ErrInvalidQoS
+	}
+	if p.KeepAlive, err = r.uint16(); err != nil {
+		return err
+	}
+	if p.ClientID, err = r.string(); err != nil {
+		return err
+	}
+	if p.WillFlag {
+		if p.WillTopic, err = r.string(); err != nil {
+			return err
+		}
+		if p.WillMessage, err = r.bytes(); err != nil {
+			return err
+		}
+	}
+	if p.HasUsername {
+		if p.Username, err = r.string(); err != nil {
+			return err
+		}
+	}
+	if p.HasPassword {
+		if p.Password, err = r.bytes(); err != nil {
+			return err
+		}
+	}
+	return r.expectEOF()
+}
+
+// --- CONNACK ---
+
+func (p *ConnackPacket) encode(buf *[]byte) (byte, error) {
+	var ack byte
+	if p.SessionPresent {
+		ack = 1
+	}
+	*buf = []byte{ack, byte(p.Code)}
+	return 0, nil
+}
+
+func (p *ConnackPacket) decode(flags byte, body []byte) error {
+	if flags != 0 || len(body) != 2 {
+		return ErrMalformedPacket
+	}
+	if body[0] > 1 {
+		return ErrMalformedPacket
+	}
+	p.SessionPresent = body[0] == 1
+	p.Code = ConnackCode(body[1])
+	return nil
+}
+
+// --- PUBLISH ---
+
+func (p *PublishPacket) encode(buf *[]byte) (byte, error) {
+	if p.QoS > QoS2 {
+		return 0, ErrInvalidQoS
+	}
+	if err := ValidateTopicName(p.Topic); err != nil {
+		return 0, err
+	}
+	var flags byte
+	if p.Dup {
+		flags |= 1 << 3
+	}
+	flags |= byte(p.QoS) << 1
+	if p.Retain {
+		flags |= 1
+	}
+	b := appendString(nil, p.Topic)
+	if p.QoS > QoS0 {
+		if p.PacketID == 0 {
+			return 0, fmt.Errorf("%w: QoS>0 publish requires nonzero packet id", ErrProtocolViolated)
+		}
+		b = appendUint16(b, p.PacketID)
+	}
+	b = append(b, p.Payload...)
+	*buf = b
+	return flags, nil
+}
+
+func (p *PublishPacket) decode(flags byte, body []byte) error {
+	p.Dup = flags&(1<<3) != 0
+	p.QoS = QoS((flags >> 1) & 0x3)
+	p.Retain = flags&1 != 0
+	if p.QoS > QoS2 {
+		return ErrInvalidQoS
+	}
+	r := reader{buf: body}
+	var err error
+	if p.Topic, err = r.string(); err != nil {
+		return err
+	}
+	if err := ValidateTopicName(p.Topic); err != nil {
+		return err
+	}
+	if p.QoS > QoS0 {
+		if p.PacketID, err = r.uint16(); err != nil {
+			return err
+		}
+		if p.PacketID == 0 {
+			return ErrProtocolViolated
+		}
+	}
+	p.Payload = r.rest()
+	return nil
+}
+
+// --- PUBACK / PUBREC / PUBREL / PUBCOMP / UNSUBACK ---
+
+func (p *AckPacket) encode(buf *[]byte) (byte, error) {
+	*buf = appendUint16(nil, p.PacketID)
+	if p.PacketType == PUBREL {
+		return 0x2, nil // spec: PUBREL fixed-header flags are 0010
+	}
+	return 0, nil
+}
+
+func (p *AckPacket) decode(flags byte, body []byte) error {
+	want := byte(0)
+	if p.PacketType == PUBREL {
+		want = 0x2
+	}
+	if flags != want || len(body) != 2 {
+		return ErrMalformedPacket
+	}
+	p.PacketID = uint16(body[0])<<8 | uint16(body[1])
+	return nil
+}
+
+// --- SUBSCRIBE ---
+
+func (p *SubscribePacket) encode(buf *[]byte) (byte, error) {
+	if len(p.Subscriptions) == 0 {
+		return 0, fmt.Errorf("%w: SUBSCRIBE requires at least one topic filter", ErrProtocolViolated)
+	}
+	if p.PacketID == 0 {
+		return 0, fmt.Errorf("%w: SUBSCRIBE requires nonzero packet id", ErrProtocolViolated)
+	}
+	b := appendUint16(nil, p.PacketID)
+	for _, s := range p.Subscriptions {
+		if s.QoS > QoS2 {
+			return 0, ErrInvalidQoS
+		}
+		if err := ValidateTopicFilter(s.TopicFilter); err != nil {
+			return 0, err
+		}
+		b = appendString(b, s.TopicFilter)
+		b = append(b, byte(s.QoS))
+	}
+	*buf = b
+	return 0x2, nil
+}
+
+func (p *SubscribePacket) decode(flags byte, body []byte) error {
+	if flags != 0x2 {
+		return ErrProtocolViolated
+	}
+	r := reader{buf: body}
+	var err error
+	if p.PacketID, err = r.uint16(); err != nil {
+		return err
+	}
+	for !r.eof() {
+		filter, err := r.string()
+		if err != nil {
+			return err
+		}
+		if err := ValidateTopicFilter(filter); err != nil {
+			return err
+		}
+		q, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if QoS(q) > QoS2 {
+			return ErrInvalidQoS
+		}
+		p.Subscriptions = append(p.Subscriptions, Subscription{TopicFilter: filter, QoS: QoS(q)})
+	}
+	if len(p.Subscriptions) == 0 {
+		return ErrProtocolViolated
+	}
+	return nil
+}
+
+// --- SUBACK ---
+
+func (p *SubackPacket) encode(buf *[]byte) (byte, error) {
+	b := appendUint16(nil, p.PacketID)
+	b = append(b, p.ReturnCodes...)
+	*buf = b
+	return 0, nil
+}
+
+func (p *SubackPacket) decode(flags byte, body []byte) error {
+	if flags != 0 || len(body) < 3 {
+		return ErrMalformedPacket
+	}
+	p.PacketID = uint16(body[0])<<8 | uint16(body[1])
+	p.ReturnCodes = append([]byte(nil), body[2:]...)
+	return nil
+}
+
+// --- UNSUBSCRIBE ---
+
+func (p *UnsubscribePacket) encode(buf *[]byte) (byte, error) {
+	if len(p.TopicFilters) == 0 {
+		return 0, fmt.Errorf("%w: UNSUBSCRIBE requires at least one topic filter", ErrProtocolViolated)
+	}
+	b := appendUint16(nil, p.PacketID)
+	for _, f := range p.TopicFilters {
+		if err := ValidateTopicFilter(f); err != nil {
+			return 0, err
+		}
+		b = appendString(b, f)
+	}
+	*buf = b
+	return 0x2, nil
+}
+
+func (p *UnsubscribePacket) decode(flags byte, body []byte) error {
+	if flags != 0x2 {
+		return ErrProtocolViolated
+	}
+	r := reader{buf: body}
+	var err error
+	if p.PacketID, err = r.uint16(); err != nil {
+		return err
+	}
+	for !r.eof() {
+		f, err := r.string()
+		if err != nil {
+			return err
+		}
+		if err := ValidateTopicFilter(f); err != nil {
+			return err
+		}
+		p.TopicFilters = append(p.TopicFilters, f)
+	}
+	if len(p.TopicFilters) == 0 {
+		return ErrProtocolViolated
+	}
+	return nil
+}
+
+// --- PINGREQ / PINGRESP / DISCONNECT ---
+
+func (*PingreqPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+
+func (*PingreqPacket) decode(flags byte, body []byte) error {
+	if flags != 0 || len(body) != 0 {
+		return ErrMalformedPacket
+	}
+	return nil
+}
+
+func (*PingrespPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+
+func (*PingrespPacket) decode(flags byte, body []byte) error {
+	if flags != 0 || len(body) != 0 {
+		return ErrMalformedPacket
+	}
+	return nil
+}
+
+func (*DisconnectPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+
+func (*DisconnectPacket) decode(flags byte, body []byte) error {
+	if flags != 0 || len(body) != 0 {
+		return ErrMalformedPacket
+	}
+	return nil
+}
+
+// --- primitive encoding helpers ---
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUint16(b, uint16(len(p)))
+	return append(b, p...)
+}
+
+func appendRemainingLength(b []byte, n int) []byte {
+	for {
+		digit := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			digit |= 0x80
+		}
+		b = append(b, digit)
+		if n == 0 {
+			return b
+		}
+	}
+}
+
+func readRemainingLength(r io.Reader) (int, error) {
+	var (
+		value      int
+		multiplier = 1
+		buf        [1]byte
+	)
+	for i := 0; i < 4; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		value += int(buf[0]&0x7F) * multiplier
+		if buf[0]&0x80 == 0 {
+			return value, nil
+		}
+		multiplier *= 128
+	}
+	return 0, fmt.Errorf("%w: remaining length exceeds 4 bytes", ErrMalformedPacket)
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) eof() bool { return r.off >= len(r.buf) }
+
+func (r *reader) expectEOF() error {
+	if !r.eof() {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformedPacket, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off+1 > len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	if r.off+2 > len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := uint16(r.buf[r.off])<<8 | uint16(r.buf[r.off+1])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) string() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) rest() []byte {
+	b := append([]byte(nil), r.buf[r.off:]...)
+	r.off = len(r.buf)
+	return b
+}
