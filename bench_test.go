@@ -264,7 +264,11 @@ func BenchmarkBatchCodec(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DecodeBatch(core.EncodeBatch(batch)); err != nil {
+		encoded, err := core.EncodeBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DecodeBatch(encoded); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ifot-bench -table 2          # Table II, measured vs paper
+//	ifot-bench -table 2 -breakdown  # + per-stage latency decomposition
 //	ifot-bench -table 3          # Table III
 //	ifot-bench -sweep            # both tables + shape check
 //	ifot-bench -ablation all     # cloud/broker/parallel/qos/scale
@@ -25,6 +26,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/device"
 	"github.com/ifot-middleware/ifot/internal/experiment"
 	"github.com/ifot-middleware/ifot/internal/metrics"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 func main() {
@@ -36,15 +38,16 @@ func main() {
 
 func run() error {
 	var (
-		table    = flag.Int("table", 0, "reproduce one table (2 or 3)")
-		sweep    = flag.Bool("sweep", false, "run the full rate sweep (both tables + shape check)")
-		ablation = flag.String("ablation", "", "run ablations: cloud|broker|parallel|qos|scale|all")
-		topology = flag.Bool("topology", false, "print the Fig. 7 evaluation topology")
-		realtime = flag.Bool("realtime", false, "run the Fig. 9 pipeline on the live middleware stack")
-		trace    = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
-		csvPath  = flag.String("csv", "", "also write the sweep series as CSV to this file")
-		duration = flag.Duration("duration", 30*time.Second, "virtual duration per run")
-		seed     = flag.Int64("seed", 1, "random seed")
+		table     = flag.Int("table", 0, "reproduce one table (2 or 3)")
+		sweep     = flag.Bool("sweep", false, "run the full rate sweep (both tables + shape check)")
+		ablation  = flag.String("ablation", "", "run ablations: cloud|broker|parallel|qos|scale|all")
+		topology  = flag.Bool("topology", false, "print the Fig. 7 evaluation topology")
+		breakdown = flag.Bool("breakdown", false, "decompose table latencies per pipeline stage")
+		realtime  = flag.Bool("realtime", false, "run the Fig. 9 pipeline on the live middleware stack")
+		trace     = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
+		csvPath   = flag.String("csv", "", "also write the sweep series as CSV to this file")
+		duration  = flag.Duration("duration", 30*time.Second, "virtual duration per run")
+		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
@@ -66,9 +69,21 @@ func run() error {
 		results := experiment.RunSweep(experiment.PaperRates, mutate)
 		if *table == 2 || *sweep {
 			fmt.Println(experiment.Format(experiment.Table2SensingTraining, results))
+			if *breakdown {
+				printBreakdown("sensing→training", results,
+					func(r experiment.Result) ([]telemetry.StageStat, time.Duration) {
+						return r.TrainStages, r.Training.Mean
+					})
+			}
 		}
 		if *table == 3 || *sweep {
 			fmt.Println(experiment.Format(experiment.Table3SensingPredict, results))
+			if *breakdown {
+				printBreakdown("sensing→predicting", results,
+					func(r experiment.Result) ([]telemetry.StageStat, time.Duration) {
+						return r.PredictStages, r.Predicting.Mean
+					})
+			}
 		}
 		if *csvPath != "" {
 			if err := writeCSV(*csvPath, results); err != nil {
@@ -131,6 +146,39 @@ func printTrace() {
     Sensor class (A/B/C) -> Publish class -> [WLAN] -> Broker class (D)
       -> [WLAN] -> Subscribe class (F) -> join(A,B,C) -> Predict class (F)
       -> Actuator class`)
+	fmt.Println()
+}
+
+// printBreakdown renders the per-stage decomposition of one path's
+// latency: each cell is that stage's mean contribution in ms, and the
+// stage means telescope, so Σstages should equal the e2e average (the
+// final column reports the residual, expected ≈0).
+func printBreakdown(path string, results []experiment.Result,
+	pick func(experiment.Result) ([]telemetry.StageStat, time.Duration)) {
+	if len(results) == 0 {
+		return
+	}
+	stages, _ := pick(results[0])
+	fmt.Printf("Stage decomposition, %s avg (ms):\n", path)
+	fmt.Printf("%-10s", "rate(Hz)")
+	for _, st := range stages {
+		fmt.Printf(" %-10s", st.Stage)
+	}
+	fmt.Printf(" %-10s %-10s\n", "Σstages", "e2e(Δ%)")
+	for _, r := range results {
+		stages, e2e := pick(r)
+		fmt.Printf("%-10.0f", r.Config.RateHz)
+		var sum time.Duration
+		for _, st := range stages {
+			fmt.Printf(" %-10.1f", metrics.Millis(st.Mean))
+			sum += st.Mean
+		}
+		delta := 0.0
+		if e2e > 0 {
+			delta = 100 * (float64(sum) - float64(e2e)) / float64(e2e)
+		}
+		fmt.Printf(" %-10.1f %.1f (%+.2f%%)\n", metrics.Millis(sum), metrics.Millis(e2e), delta)
+	}
 	fmt.Println()
 }
 

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	ifot-broker [-addr :1883] [-max-qos 1] [-v]
+//	ifot-broker [-addr :1883] [-max-qos 1] [-telemetry :9090] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/bridge"
 	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -33,6 +35,7 @@ func run() error {
 		addr      = flag.String("addr", ":1883", "TCP listen address")
 		maxQoS    = flag.Int("max-qos", 1, "maximum QoS granted to subscriptions (0 or 1)")
 		verbose   = flag.Bool("v", false, "log connection events")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics and /debug/pprof (empty = off)")
 		stats     = flag.Duration("stats", 0, "print broker stats at this interval (0 = off)")
 		bridgeTo  = flag.String("bridge", "", "remote broker address to bridge with")
 		bridgeOut stringsFlag
@@ -46,7 +49,18 @@ func run() error {
 	if *verbose {
 		opts.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
+	if *telAddr != "" {
+		opts.Registry = telemetry.NewRegistry()
+	}
 	b := broker.New(opts)
+	if *telAddr != "" {
+		bound, shutdown, err := telemetry.StartServer(*telAddr, opts.Registry, nil)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown(context.Background()) }()
+		log.Printf("telemetry on http://%s/metrics", bound)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/core"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/tasks"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		strategy  = flag.String("strategy", "least-loaded", "task assignment strategy (least-loaded|round-robin)")
 		settle    = flag.Duration("settle", 2*time.Second, "time to wait for module announcements")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -49,11 +51,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mgr := core.NewManager(core.ManagerConfig{
+	mcfg := core.ManagerConfig{
 		Strategy: strat,
 		Dial:     func() (net.Conn, error) { return net.Dial("tcp", *brokerStr) },
 		Logger:   log.New(os.Stderr, "", log.LstdFlags),
-	})
+	}
+	if *telAddr != "" {
+		mcfg.Telemetry = telemetry.NewRegistry()
+		bound, shutdown, err := telemetry.StartServer(*telAddr, mcfg.Telemetry, nil)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown(context.Background()) }()
+		log.Printf("telemetry on http://%s/metrics", bound)
+	}
+	mgr := core.NewManager(mcfg)
 	if err := mgr.Start(); err != nil {
 		return err
 	}

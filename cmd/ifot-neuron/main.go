@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +24,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/ifot-middleware/ifot/internal/core"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 type stringsFlag []string
@@ -50,6 +53,8 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		capacity  = flag.Float64("capacity", 1000, "advertised processing capacity (ops/s)")
 		verbose   = flag.Bool("v", false, "log middleware events")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces and /debug/pprof (empty = off)")
+		sysEvery  = flag.Duration("sys-stats", 0, "publish module metrics retained under $SYS/modules/<id>/ at this interval (0 = off)")
 		sensors   stringsFlag
 		actuators stringsFlag
 		caps      stringsFlag
@@ -69,6 +74,18 @@ func run() error {
 		Dial: func() (net.Conn, error) {
 			return net.Dial("tcp", *brokerStr)
 		},
+	}
+	if *telAddr != "" || *sysEvery > 0 {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Tracer = telemetry.NewTracer(nil, telemetry.DefaultTraceCapacity)
+	}
+	if *telAddr != "" {
+		bound, shutdown, err := telemetry.StartServer(*telAddr, cfg.Telemetry, cfg.Tracer)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown(context.Background()) }()
+		log.Printf("telemetry on http://%s/metrics", bound)
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -103,6 +120,33 @@ func run() error {
 	}
 	log.Printf("neuron %s connected to %s (%d sensors, %d actuators)",
 		*id, *brokerStr, len(sensors), len(actuators))
+
+	if *sysEvery > 0 {
+		// Mirror this module's metrics into the broker's $SYS tree so
+		// fleet state is inspectable with any MQTT client.
+		exp := telemetry.NewMQTTExporter("$SYS/modules/"+*id+"/", cfg.Telemetry,
+			func(topic string, payload []byte, retain bool) {
+				if retain {
+					_ = m.PublishRetained(topic, payload)
+				} else {
+					_ = m.Publish(topic, payload)
+				}
+			})
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*sysEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					exp.PublishOnce()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

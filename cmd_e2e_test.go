@@ -2,13 +2,18 @@ package ifot_test
 
 import (
 	"bytes"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
 // TestBinariesEndToEnd builds the four command-line tools and drives a
@@ -44,13 +49,17 @@ func TestBinariesEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Pick a free port.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
 	}
-	addr := l.Addr().String()
-	_ = l.Close()
+	addr := freePort()
+	brokerTel := freePort()
+	neuronTel := freePort()
 
 	start := func(name string, args ...string) *exec.Cmd {
 		cmd := exec.Command(name, args...)
@@ -70,11 +79,11 @@ func TestBinariesEndToEnd(t *testing.T) {
 		return cmd
 	}
 
-	start(brokerBin, "-addr", addr)
+	start(brokerBin, "-addr", addr, "-telemetry", brokerTel, "-stats", "500ms")
 	waitForPort(t, addr)
 
 	start(neuronBin, "-id", "moduleA", "-broker", addr,
-		"-sensor", "acc1:accelerometer:20")
+		"-sensor", "acc1:accelerometer:20", "-telemetry", neuronTel)
 	start(neuronBin, "-id", "moduleB", "-broker", addr,
 		"-actuator", "light")
 
@@ -111,6 +120,78 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	if !assignedTo(text, "monitoring/alert", "moduleB") {
 		t.Fatalf("alert not on moduleB:\n%s", text)
+	}
+
+	// Both daemons must serve parseable Prometheus metrics over HTTP.
+	scrapeMetrics(t, brokerTel, "ifot_broker_uptime_seconds", "ifot_broker_messages_received_total")
+	scrapeMetrics(t, neuronTel, "ifot_module_tasks_running", "ifot_client_publish_total")
+
+	// The broker must expose Mosquitto-style retained uptime under $SYS.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysClient, err := mqttclient.Connect(conn, mqttclient.NewOptions("e2e-sys-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysClient.Close()
+	uptime := make(chan mqttclient.Message, 4)
+	if _, err := sysClient.Subscribe("$SYS/broker/uptime", wire.QoS0, func(m mqttclient.Message) {
+		select {
+		case uptime <- m:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-uptime:
+		if !strings.HasSuffix(strings.TrimSpace(string(m.Payload)), "seconds") {
+			t.Fatalf("$SYS/broker/uptime payload = %q, want \"N seconds\"", m.Payload)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no $SYS/broker/uptime message")
+	}
+}
+
+// scrapeMetrics pulls /metrics from a daemon and checks it is valid
+// Prometheus text exposition containing the wanted series.
+func scrapeMetrics(t *testing.T, addr string, want ...string) {
+	t.Helper()
+	var body string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+					t.Fatalf("%s /metrics Content-Type = %q", addr, ct)
+				}
+				body = string(data)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scraping %s: %v", addr, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	for _, name := range want {
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Fatalf("%s /metrics missing %q:\n%s", addr, name, body)
+		}
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("%s /metrics line not `series value`: %q", addr, line)
+		}
 	}
 }
 

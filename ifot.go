@@ -154,7 +154,8 @@ const (
 var (
 	// EncodeJSON marshals control/decision payloads.
 	EncodeJSON = core.EncodeJSON
-	// EncodeBatch serializes a joined sample batch.
+	// EncodeBatch serializes a joined sample batch; it returns
+	// core.ErrBatchTooLarge beyond core.MaxBatchSamples.
 	EncodeBatch = core.EncodeBatch
 	// DecodeBatch parses a joined sample batch.
 	DecodeBatch = core.DecodeBatch

@@ -155,7 +155,11 @@ func TestPayloadHelpers(t *testing.T) {
 	if err != nil || len(single) != 1 || single[0].Seq != 5 {
 		t.Fatalf("DecodeSamples(single) = %v, %v", single, err)
 	}
-	batch, err := ifot.DecodeSamples(ifot.EncodeBatch([]ifot.Sample{s, s}))
+	encoded, err := ifot.EncodeBatch([]ifot.Sample{s, s})
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	batch, err := ifot.DecodeSamples(encoded)
 	if err != nil || len(batch) != 2 {
 		t.Fatalf("DecodeSamples(batch) = %v, %v", batch, err)
 	}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -38,6 +40,10 @@ type Options struct {
 	Authenticator Authenticator
 	// Logger receives diagnostic messages; nil silences them.
 	Logger *log.Logger
+	// Registry, when set, receives broker metrics (message counters,
+	// per-topic publish counts, connection gauges) for Prometheus/MQTT
+	// exposition.
+	Registry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -75,7 +81,8 @@ type retainedMsg struct {
 // Broker is an MQTT broker. Create one with New, feed it connections with
 // Serve or ServeConn, and stop it with Close.
 type Broker struct {
-	opts Options
+	opts  Options
+	start time.Time
 
 	mu        sync.Mutex
 	sessions  map[string]*session // all sessions (connected and parked)
@@ -87,19 +94,72 @@ type Broker struct {
 	received  int64
 	delivered int64
 
-	trie *subTrie
-	wg   sync.WaitGroup
+	// pubByTopic counts publishes per topic, bounded to maxPublishTopics
+	// distinct keys (overflow lands in overflowTopicKey) so an adversarial
+	// topic stream cannot grow broker memory or metric cardinality.
+	pubByTopic map[string]int64
+
+	trie    *subTrie
+	wg      sync.WaitGroup
+	metrics *brokerMetrics
 }
+
+// maxPublishTopics bounds the per-topic publish accounting (and the
+// telemetry series derived from it).
+const maxPublishTopics = 64
+
+// overflowTopicKey aggregates publishes on topics beyond maxPublishTopics.
+const overflowTopicKey = "~other"
 
 // New creates a broker with the given options.
 func New(opts Options) *Broker {
-	return &Broker{
-		opts:     opts.withDefaults(),
-		sessions: make(map[string]*session),
-		conns:    make(map[string]net.Conn),
-		retained: make(map[string]retainedMsg),
-		trie:     newSubTrie(),
+	b := &Broker{
+		opts:       opts.withDefaults(),
+		start:      time.Now(),
+		sessions:   make(map[string]*session),
+		conns:      make(map[string]net.Conn),
+		retained:   make(map[string]retainedMsg),
+		pubByTopic: make(map[string]int64),
+		trie:       newSubTrie(),
 	}
+	if b.opts.Registry != nil {
+		b.metrics = newBrokerMetrics(b.opts.Registry, b)
+	}
+	return b
+}
+
+// Uptime reports how long ago the broker was created.
+func (b *Broker) Uptime() time.Duration { return time.Since(b.start) }
+
+// brokerMetrics holds the broker's telemetry handles. perTopic is guarded
+// by Broker.mu (it is only touched from publish).
+type brokerMetrics struct {
+	reg       *telemetry.Registry
+	received  *telemetry.Counter
+	delivered *telemetry.Counter
+	dropped   *telemetry.Counter
+	perTopic  map[string]*telemetry.Counter
+}
+
+func newBrokerMetrics(reg *telemetry.Registry, b *Broker) *brokerMetrics {
+	m := &brokerMetrics{
+		reg:       reg,
+		received:  reg.Counter("ifot_broker_messages_received_total", "PUBLISH packets received from clients"),
+		delivered: reg.Counter("ifot_broker_messages_delivered_total", "PUBLISH packets written to subscriber connections"),
+		dropped:   reg.Counter("ifot_broker_messages_dropped_total", "messages not accepted by a matching session (queue full or offline)"),
+		perTopic:  make(map[string]*telemetry.Counter),
+	}
+	reg.GaugeFunc("ifot_broker_clients_connected", "currently connected clients",
+		func() float64 { return float64(b.Stats().ConnectedClients) })
+	reg.GaugeFunc("ifot_broker_sessions", "sessions including parked persistent ones",
+		func() float64 { return float64(b.Stats().Sessions) })
+	reg.GaugeFunc("ifot_broker_subscriptions", "active subscriptions",
+		func() float64 { return float64(b.Stats().Subscriptions) })
+	reg.GaugeFunc("ifot_broker_retained_messages", "retained messages stored",
+		func() float64 { return float64(b.Stats().RetainedMessages) })
+	reg.GaugeFunc("ifot_broker_uptime_seconds", "seconds since the broker was created",
+		func() float64 { return b.Uptime().Seconds() })
+	return m
 }
 
 // Serve accepts connections from l until the broker or listener is closed.
@@ -251,6 +311,9 @@ func (b *Broker) handleConn(conn net.Conn) {
 				b.mu.Lock()
 				b.delivered++
 				b.mu.Unlock()
+				if b.metrics != nil {
+					b.metrics.delivered.Inc()
+				}
 			}
 		}
 	}()
@@ -266,7 +329,9 @@ func (b *Broker) handleConn(conn net.Conn) {
 	<-writerDone
 
 	if !normal && will != nil {
-		b.route(will, sess.clientID)
+		// The unified path also honors WillRetain (spec 3.1.2-17): the
+		// will is stored retained before fan-out, atomically.
+		b.publish(will, sess.clientID)
 	}
 	b.logf("broker: client %q disconnected (graceful=%v)", sess.clientID, normal)
 }
@@ -377,6 +442,9 @@ func (b *Broker) handlePublish(sess *session, p *wire.PublishPacket) {
 	b.mu.Lock()
 	b.received++
 	b.mu.Unlock()
+	if b.metrics != nil {
+		b.metrics.received.Inc()
+	}
 
 	deliver := true
 	switch p.QoS {
@@ -389,21 +457,34 @@ func (b *Broker) handlePublish(sess *session, p *wire.PublishPacket) {
 	if !deliver {
 		return
 	}
+	b.publish(p, sess.clientID)
+}
 
+// Publish injects a message into the broker as if published by an internal
+// client — the path the $SYS publisher and telemetry exporters use.
+func (b *Broker) Publish(topic string, payload []byte, qos wire.QoS, retain bool) {
+	b.publish(&wire.PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}, "$internal")
+}
+
+// publish is the broker's single publish path. Retained-message storage and
+// subscriber fan-out happen under one mu hold, making store+route atomic: a
+// client subscribing concurrently with a stream of retained publishes can
+// never observe the live stream going backwards relative to the retained
+// snapshot it was replayed. (session.deliver is a non-blocking queue
+// insert and never acquires Broker.mu, so holding mu across fan-out cannot
+// deadlock or block on a slow subscriber.)
+func (b *Broker) publish(p *wire.PublishPacket, fromClientID string) {
+	_ = fromClientID // brokers may loop messages back to the publisher; MQTT allows it
+	var droppedHere int64
+	b.mu.Lock()
 	if p.Retain {
-		b.mu.Lock()
 		if len(p.Payload) == 0 {
 			delete(b.retained, p.Topic)
 		} else {
 			b.retained[p.Topic] = retainedMsg{payload: append([]byte(nil), p.Payload...), qos: p.QoS}
 		}
-		b.mu.Unlock()
 	}
-	b.route(p, sess.clientID)
-}
-
-// route fans a message out to all matching subscribers.
-func (b *Broker) route(p *wire.PublishPacket, fromClientID string) {
+	b.notePublishLocked(p.Topic)
 	for _, sub := range b.trie.match(p.Topic) {
 		out := &wire.PublishPacket{
 			Topic:   p.Topic,
@@ -413,9 +494,48 @@ func (b *Broker) route(p *wire.PublishPacket, fromClientID string) {
 			// (spec 3.3.1-9); it is true only for retained-message
 			// replay at subscribe time.
 		}
-		sub.session.deliver(out)
-		_ = fromClientID // brokers may loop messages back to the publisher; MQTT allows it
+		if !sub.session.deliver(out) {
+			droppedHere++
+		}
 	}
+	b.mu.Unlock()
+	if b.metrics != nil && droppedHere > 0 {
+		b.metrics.dropped.Add(droppedHere)
+	}
+}
+
+// notePublishLocked records a publish against its (bounded) topic key.
+// Broker-internal topics ($SYS, …) are excluded so self-statistics never
+// feed back into the statistics. Caller holds b.mu.
+func (b *Broker) notePublishLocked(topic string) {
+	if strings.HasPrefix(topic, "$") {
+		return
+	}
+	key := topic
+	if _, seen := b.pubByTopic[key]; !seen && len(b.pubByTopic) >= maxPublishTopics {
+		key = overflowTopicKey
+	}
+	b.pubByTopic[key]++
+	if b.metrics != nil {
+		c, ok := b.metrics.perTopic[key]
+		if !ok {
+			c = b.metrics.reg.Counter("ifot_broker_publish_total",
+				"publishes routed per topic (bounded cardinality)", telemetry.L("topic", key))
+			b.metrics.perTopic[key] = c
+		}
+		c.Inc()
+	}
+}
+
+// PublishCounts snapshots the bounded per-topic publish counters.
+func (b *Broker) PublishCounts() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.pubByTopic))
+	for k, v := range b.pubByTopic {
+		out[k] = v
+	}
+	return out
 }
 
 func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
@@ -429,29 +549,23 @@ func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
 	sess.send(&wire.SubackPacket{PacketID: p.PacketID, ReturnCodes: codes})
 
 	// Replay retained messages matching the new filters (spec 3.3.1-6).
+	// Delivery happens under the same mu hold that publish uses for
+	// store+route, so the replayed snapshot is consistent with the live
+	// stream the subscriber is now attached to.
 	b.mu.Lock()
-	type replay struct {
-		topic string
-		msg   retainedMsg
-		qos   wire.QoS
-	}
-	var replays []replay
 	for i, sub := range p.Subscriptions {
 		for topic, msg := range b.retained {
 			if wire.MatchTopic(sub.TopicFilter, topic) {
-				replays = append(replays, replay{topic: topic, msg: msg, qos: wire.QoS(codes[i])})
+				sess.deliver(&wire.PublishPacket{
+					Topic:   topic,
+					Payload: msg.payload,
+					QoS:     minQoS(msg.qos, wire.QoS(codes[i])),
+					Retain:  true,
+				})
 			}
 		}
 	}
 	b.mu.Unlock()
-	for _, r := range replays {
-		sess.deliver(&wire.PublishPacket{
-			Topic:   r.topic,
-			Payload: r.msg.payload,
-			QoS:     minQoS(r.msg.qos, r.qos),
-			Retain:  true,
-		})
-	}
 }
 
 func (b *Broker) handleUnsubscribe(sess *session, p *wire.UnsubscribePacket) {

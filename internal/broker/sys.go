@@ -1,7 +1,9 @@
 package broker
 
 import (
+	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/wire"
@@ -11,6 +13,10 @@ import (
 // Mosquitto's $SYS hierarchy. Wildcard subscriptions never match these
 // (spec 4.7.2); clients must subscribe under $SYS explicitly.
 const SysTopicPrefix = "$SYS/broker/"
+
+// Version is the broker implementation version advertised on
+// $SYS/broker/version.
+const Version = "ifot-broker 0.2"
 
 // PublishSysStats starts a goroutine that publishes broker statistics as
 // retained messages under $SYS/broker/ every interval, until stop is
@@ -25,8 +31,13 @@ func (b *Broker) PublishSysStats(interval time.Duration, stop <-chan struct{}) <
 		defer close(done)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		var prev map[string]int64
+		var prevAt time.Time
 		for {
-			b.publishSysStatsOnce()
+			now := time.Now()
+			counts := b.PublishCounts()
+			b.publishSysStatsOnce(counts, prev, now.Sub(prevAt))
+			prev, prevAt = counts, now
 			select {
 			case <-ticker.C:
 			case <-stop:
@@ -44,7 +55,11 @@ func (b *Broker) PublishSysStats(interval time.Duration, stop <-chan struct{}) <
 }
 
 // publishSysStatsOnce routes one snapshot of Stats into the topic tree.
-func (b *Broker) publishSysStatsOnce() {
+// Every topic goes through the broker's unified publish path, so the
+// retained store and the live fan-out update atomically: a subscriber
+// arriving mid-snapshot sees a retained value at least as fresh as any
+// live update it receives, never fresher.
+func (b *Broker) publishSysStatsOnce(counts, prev map[string]int64, elapsed time.Duration) {
 	s := b.Stats()
 	for topic, value := range map[string]int64{
 		SysTopicPrefix + "clients/connected":  int64(s.ConnectedClients),
@@ -55,12 +70,32 @@ func (b *Broker) publishSysStatsOnce() {
 		SysTopicPrefix + "messages/delivered": s.MessagesDelivered,
 		SysTopicPrefix + "messages/dropped":   s.MessagesDropped,
 	} {
-		payload := []byte(strconv.FormatInt(value, 10))
-		pkt := &wire.PublishPacket{Topic: topic, Payload: payload, Retain: true}
-		// Store retained so late subscribers see the latest snapshot.
-		b.mu.Lock()
-		b.retained[topic] = retainedMsg{payload: payload, qos: wire.QoS0}
-		b.mu.Unlock()
-		b.route(pkt, "$SYS")
+		b.Publish(topic, []byte(strconv.FormatInt(value, 10)), wire.QoS0, true)
 	}
+	// Mosquitto-style uptime ("<seconds> seconds") and version strings.
+	uptime := fmt.Sprintf("%d seconds", int64(b.Uptime().Seconds()))
+	b.Publish(SysTopicPrefix+"uptime", []byte(uptime), wire.QoS0, true)
+	b.Publish(SysTopicPrefix+"version", []byte(Version), wire.QoS0, true)
+
+	// Per-topic publish rates (messages/second since the previous
+	// snapshot) under $SYS/broker/load/publish/<topic>. Cardinality is
+	// bounded by the broker's per-topic accounting; overflow traffic
+	// appears under .../other.
+	if prev != nil && elapsed > 0 {
+		for topic, n := range counts {
+			rate := float64(n-prev[topic]) / elapsed.Seconds()
+			b.Publish(SysTopicPrefix+"load/publish/"+sysTopicKey(topic),
+				[]byte(strconv.FormatFloat(rate, 'f', 2, 64)), wire.QoS0, true)
+		}
+	}
+}
+
+// sysTopicKey maps a publish-accounting key to a $SYS sub-topic.
+func sysTopicKey(topic string) string {
+	if topic == overflowTopicKey {
+		return "other"
+	}
+	// Topics already use '/' separators and nest naturally; strip any
+	// leading separator so the $SYS path stays well-formed.
+	return strings.TrimPrefix(topic, "/")
 }

@@ -214,7 +214,7 @@ func mixTopic(recipeName, taskID string) string {
 
 // --- Sense (Sensor class + Publish class) ---
 
-func (m *Module) startSense(inst *taskInstance, _ recipe.Recipe, sub recipe.SubTask) error {
+func (m *Module) startSense(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask) error {
 	if sub.Task.Output == "" {
 		return fmt.Errorf("core: sense task %s needs an output topic", sub.Name())
 	}
@@ -245,7 +245,9 @@ func (m *Module) startSense(inst *taskInstance, _ recipe.Recipe, sub recipe.SubT
 		_ = s.Run(ctx, func(smp sensor.Sample) {
 			if err := m.publishData(sub.Task.Output, smp.Encode()); err != nil {
 				m.logf("sense %s publish: %v", sub.Name(), err)
+				return
 			}
+			m.traceStage(rec.Name, sub.TaskID, smp.Seq, "publish", smp.Timestamp)
 		})
 	}()
 	return nil
@@ -263,7 +265,12 @@ func (m *Module) startWindow(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 	}
 	size := paramInt(sub, "size", 16)
 	w := flow.NewCountWindow(size, func(batch []sensor.Sample) {
-		if err := m.publishData(sub.Task.Output, EncodeBatch(batch)); err != nil {
+		payload, err := EncodeBatch(batch)
+		if err != nil {
+			m.logf("window %s encode: %v", sub.Name(), err)
+			return
+		}
+		if err := m.publishData(sub.Task.Output, payload); err != nil {
 			m.logf("window %s publish: %v", sub.Name(), err)
 		}
 	})
@@ -320,8 +327,14 @@ func (m *Module) startAggregate(inst *taskInstance, rec recipe.Recipe, sub recip
 		return err
 	}
 	maxLag := uint32(paramInt(sub, "maxLag", 64))
-	joiner := flow.NewJoiner(topics, maxLag, func(_ uint32, batch []sensor.Sample) {
-		if err := m.publishData(sub.Task.Output, EncodeBatch(batch)); err != nil {
+	joiner := flow.NewJoiner(topics, maxLag, func(seq uint32, batch []sensor.Sample) {
+		payload, err := EncodeBatch(batch)
+		if err != nil {
+			m.logf("aggregate %s encode: %v", sub.Name(), err)
+			return
+		}
+		m.traceStage(rec.Name, sub.TaskID, seq, "join", EarliestTimestamp(batch))
+		if err := m.publishData(sub.Task.Output, payload); err != nil {
 			m.logf("aggregate %s publish: %v", sub.Name(), err)
 		}
 	})
@@ -388,6 +401,7 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 			At:       m.now(),
 			Examples: count,
 		}
+		m.noteTrainEvent(ev)
 		if sub.Task.Output != "" {
 			if err := m.publishData(sub.Task.Output, EncodeJSON(ev)); err != nil {
 				m.logf("train %s publish: %v", sub.Name(), err)
@@ -534,6 +548,7 @@ func (m *Module) startTrainRegression(inst *taskInstance, rec recipe.Recipe, sub
 			At:       m.now(),
 			Examples: count,
 		}
+		m.noteTrainEvent(ev)
 		if sub.Task.Output != "" {
 			if err := m.publishData(sub.Task.Output, EncodeJSON(ev)); err != nil {
 				m.logf("train %s publish: %v", sub.Name(), err)
@@ -821,7 +836,9 @@ func (m *Module) startActuate(inst *taskInstance, rec recipe.Recipe, sub recipe.
 		}
 		if err := act.Apply(cmd); err != nil {
 			m.logf("actuate %s: %v", sub.Name(), err)
+			return
 		}
+		m.traceStage(d.Recipe, d.TaskID, d.Seq, "actuate", d.SensedAt)
 	})
 }
 
@@ -844,10 +861,23 @@ func (m *Module) startCustom(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 	})
 }
 
+// noteTrainEvent records the Learning-class stage span and counter for one
+// model update.
+func (m *Module) noteTrainEvent(ev TrainEvent) {
+	m.traceStage(ev.Recipe, ev.TaskID, ev.Seq, "learn", ev.SensedAt)
+	if m.metrics != nil {
+		m.metrics.trained.Inc()
+	}
+}
+
 func (m *Module) emitDecision(rec recipe.Recipe, sub recipe.SubTask, d Decision) {
 	d.Recipe = rec.Name
 	d.TaskID = sub.TaskID
 	d.At = m.now()
+	m.traceStage(d.Recipe, d.TaskID, d.Seq, "judge", d.SensedAt)
+	if m.metrics != nil {
+		m.metrics.decisions.Inc()
+	}
 	if sub.Task.Output != "" {
 		if err := m.publishData(sub.Task.Output, EncodeJSON(d)); err != nil {
 			m.logf("%s %s publish: %v", sub.Task.Kind, sub.Name(), err)

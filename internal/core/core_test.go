@@ -85,12 +85,33 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 		{SensorIndex: 1, Kind: sensor.Sound, Seq: 9, Timestamp: time.Unix(5, 0), Values: [3]float32{1, 2, 3}},
 		{SensorIndex: 2, Kind: sensor.Motion, Seq: 9, Timestamp: time.Unix(6, 0)},
 	}
-	got, err := DecodeBatch(EncodeBatch(batch))
+	encoded, err := EncodeBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(encoded)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0].SensorIndex != 1 || got[1].Kind != sensor.Motion {
 		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+// TestEncodeBatchTooLarge is the regression test for the uint16 count
+// truncation: a batch beyond MaxBatchSamples must be rejected, not encoded
+// with a wrapped-around count that DecodeBatch then misreads.
+func TestEncodeBatchTooLarge(t *testing.T) {
+	if _, err := EncodeBatch(make([]sensor.Sample, MaxBatchSamples+1)); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("EncodeBatch(oversized) err = %v, want ErrBatchTooLarge", err)
+	}
+	// The boundary itself still encodes and round-trips.
+	payload, err := EncodeBatch(make([]sensor.Sample, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeBatch(payload); err != nil || len(got) != 3 {
+		t.Fatalf("boundary round trip = %d samples, %v", len(got), err)
 	}
 }
 

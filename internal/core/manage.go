@@ -14,6 +14,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/tasks"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -41,6 +42,10 @@ type ManagerConfig struct {
 	// hosted on modules that leave or crash (failover is on by default —
 	// the paper's dynamic join/leave future-work item).
 	DisableFailover bool
+	// Telemetry, when set, receives manager gauges (known modules,
+	// deployments, registered streams) and is passed to the manager's
+	// MQTT client.
+	Telemetry *telemetry.Registry
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -147,12 +152,28 @@ type Manager struct {
 
 // NewManager creates an unstarted manager.
 func NewManager(cfg ManagerConfig) *Manager {
-	return &Manager{
+	mgr := &Manager{
 		cfg:         cfg.withDefaults(),
 		modules:     make(map[string]*moduleState),
 		deployments: make(map[string]*Deployment),
 		streams:     make(map[string]StreamInfo),
 	}
+	if reg := mgr.cfg.Telemetry; reg != nil {
+		count := func(f func() int) func() float64 {
+			return func() float64 {
+				mgr.mu.Lock()
+				defer mgr.mu.Unlock()
+				return float64(f())
+			}
+		}
+		reg.GaugeFunc("ifot_mgmt_modules_known", "modules currently announced to the manager",
+			count(func() int { return len(mgr.modules) }))
+		reg.GaugeFunc("ifot_mgmt_deployments", "recipes currently deployed",
+			count(func() int { return len(mgr.deployments) }))
+		reg.GaugeFunc("ifot_mgmt_streams", "streams in the discovery registry",
+			count(func() int { return len(mgr.streams) }))
+	}
+	return mgr
 }
 
 // Start connects to the broker and begins tracking modules.
@@ -166,6 +187,7 @@ func (mgr *Manager) Start() error {
 	}
 	opts := mqttclient.NewOptions(mgr.cfg.ID)
 	opts.KeepAlive = 30 * time.Second
+	opts.Registry = mgr.cfg.Telemetry
 	client, err := mqttclient.Connect(conn, opts)
 	if err != nil {
 		_ = conn.Close()

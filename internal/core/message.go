@@ -38,9 +38,14 @@ const (
 
 // Errors returned by the codec.
 var (
-	ErrBadBatch   = errors.New("core: malformed batch")
-	ErrBadMessage = errors.New("core: malformed control message")
+	ErrBadBatch      = errors.New("core: malformed batch")
+	ErrBadMessage    = errors.New("core: malformed control message")
+	ErrBatchTooLarge = errors.New("core: batch exceeds wire format capacity")
 )
+
+// MaxBatchSamples is the largest batch EncodeBatch can represent: the wire
+// format carries the sample count in a 2-byte big-endian prefix.
+const MaxBatchSamples = 1<<16 - 1
 
 // Announce is a module presence beacon.
 type Announce struct {
@@ -161,14 +166,20 @@ func DecodeJSON(data []byte, v any) error {
 }
 
 // EncodeBatch serializes a joined batch of samples: a 2-byte big-endian
-// count followed by each sample's 32-byte encoding.
-func EncodeBatch(batch []sensor.Sample) []byte {
+// count followed by each sample's 32-byte encoding. Batches longer than
+// MaxBatchSamples return ErrBatchTooLarge — silently truncating the uint16
+// count would make DecodeBatch read a batch whose declared length disagrees
+// with its payload.
+func EncodeBatch(batch []sensor.Sample) ([]byte, error) {
+	if len(batch) > MaxBatchSamples {
+		return nil, fmt.Errorf("%w: %d samples > %d", ErrBatchTooLarge, len(batch), MaxBatchSamples)
+	}
 	out := make([]byte, 2, 2+len(batch)*sensor.SampleSize)
 	binary.BigEndian.PutUint16(out, uint16(len(batch)))
 	for _, s := range batch {
 		out = append(out, s.Encode()...)
 	}
-	return out
+	return out, nil
 }
 
 // DecodeBatch parses an EncodeBatch payload.

@@ -13,6 +13,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	// ReconnectBackoff is the initial redial delay (default 200ms,
 	// doubling up to 30x).
 	ReconnectBackoff time.Duration
+	// Telemetry, when set, receives module metrics (decision/train-event
+	// counters, running-task gauge, per-stage latency histograms).
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span per pipeline stage a message
+	// passes through on this module (publish, join, learn, judge,
+	// actuate). Spans correlate across modules via (recipe, taskID, seq),
+	// which the middleware already carries on the wire.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +116,8 @@ type Module struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	metrics *moduleMetrics
 }
 
 // taskSpec is the durable description of an assigned subtask, kept so
@@ -118,13 +129,69 @@ type taskSpec struct {
 
 // NewModule creates an unstarted module.
 func NewModule(cfg Config) *Module {
-	return &Module{
+	m := &Module{
 		cfg:       cfg.withDefaults(),
 		sensors:   make(map[string]*sensor.Sensor),
 		actuators: make(map[string]sensor.Actuator),
 		customs:   make(map[string]CustomFunc),
 		running:   make(map[string]*taskInstance),
 		specs:     make(map[string]taskSpec),
+	}
+	if reg := m.cfg.Telemetry; reg != nil {
+		id := telemetry.L("module", m.cfg.ID)
+		m.metrics = &moduleMetrics{
+			decisions: reg.Counter("ifot_module_decisions_total", "Judging-class decisions emitted", id),
+			trained:   reg.Counter("ifot_module_train_events_total", "Learning-class model updates", id),
+			stageLat:  make(map[string]*telemetry.Histogram),
+			reg:       reg,
+		}
+		reg.GaugeFunc("ifot_module_tasks_running", "subtasks currently hosted", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.running))
+		}, id)
+	}
+	return m
+}
+
+// moduleMetrics holds a module's telemetry handles. stageLat is guarded by
+// mu (stages appear rarely; the hot path only reads).
+type moduleMetrics struct {
+	decisions *telemetry.Counter
+	trained   *telemetry.Counter
+	reg       *telemetry.Registry
+	mu        sync.Mutex
+	stageLat  map[string]*telemetry.Histogram
+}
+
+func (mm *moduleMetrics) stage(moduleID, stage string) *telemetry.Histogram {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	h, ok := mm.stageLat[stage]
+	if !ok {
+		h = mm.reg.Histogram("ifot_stage_latency_seconds",
+			"latency from sensing to completion of each pipeline stage", nil,
+			telemetry.L("module", moduleID), telemetry.L("stage", stage))
+		mm.stageLat[stage] = h
+	}
+	return h
+}
+
+// traceStage records one span for a pipeline stage this module completed:
+// it spans from the batch's sensing instant to now, so per-stage
+// aggregates read as cumulative latency at that stage — the decomposition
+// the paper's Tables II/III report. No-op without a Tracer.
+func (m *Module) traceStage(recipeName, taskID string, seq uint32, stage string, from time.Time) {
+	end := m.now()
+	if from.IsZero() || from.After(end) {
+		from = end
+	}
+	if tr := m.cfg.Tracer; tr != nil {
+		tr.ObserveStage(telemetry.TraceKey{Recipe: recipeName, TaskID: taskID, Seq: seq},
+			stage, m.cfg.ID, from, end)
+	}
+	if m.metrics != nil {
+		m.metrics.stage(m.cfg.ID, stage).ObserveDuration(end.Sub(from))
 	}
 }
 
@@ -193,6 +260,7 @@ func (m *Module) connect() (*mqttclient.Client, error) {
 	}
 	opts := mqttclient.NewOptions(m.cfg.ID)
 	opts.KeepAlive = 30 * time.Second
+	opts.Registry = m.cfg.Telemetry
 	opts.Will = &mqttclient.Message{
 		Topic:   TopicLeavePrefix + m.cfg.ID,
 		Payload: EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}),
@@ -343,6 +411,17 @@ func (m *Module) Publish(topic string, payload []byte) error {
 		return ErrNotStarted
 	}
 	return client.Publish(topic, payload, m.cfg.DataQoS, false)
+}
+
+// PublishRetained publishes with the retained flag set, so late
+// subscribers see the latest value immediately ($SYS-style snapshots,
+// telemetry exports).
+func (m *Module) PublishRetained(topic string, payload []byte) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	return client.Publish(topic, payload, m.cfg.DataQoS, true)
 }
 
 // Subscribe exposes the Subscribe class for application code.

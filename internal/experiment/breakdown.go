@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/telemetry"
+)
+
+// Stage names of the latency decomposition, in pipeline order. The spans
+// telescope: each stage starts where the previous one ended, so the
+// per-stage means sum exactly to the end-to-end mean of Tables II/III.
+const (
+	// StagePublish is sensing → publish complete (Sensor/Publish classes:
+	// read, serialize, MQTT send, including queueing at the sensor module).
+	StagePublish = "publish"
+	// StageUplink is the wireless hop from the sensor module to the broker.
+	StageUplink = "uplink"
+	// StageBroker is routing inside the broker module (queueing + match).
+	StageBroker = "broker"
+	// StageDownlink is the wireless hop from the broker to the subscriber.
+	StageDownlink = "downlink"
+	// StageDecode is the Subscribe class: receive and deserialize.
+	StageDecode = "decode"
+	// StageJoinWait is how long the first-arriving sample waited for its
+	// siblings from the other sensor modules before the join fired.
+	StageJoinWait = "join-wait"
+	// StageAnalyze is join fire → Learning/Judging completion (admission
+	// queueing + model update or classification).
+	StageAnalyze = "analyze"
+	// StageReturn is the WAN hop carrying a cloud decision back to the
+	// edge (PlaceCloud only).
+	StageReturn = "return"
+)
+
+// breakdownWindow bounds the per-sequence bookkeeping. The joiners slide
+// a 64-sequence window, so anything this far behind the newest sequence
+// can no longer complete and is discarded.
+const breakdownWindow = 256
+
+// stageTimes holds one sample's timestamps along one analysis path.
+type stageTimes struct {
+	sensed, published, uplinked, routed, downlinked, decoded time.Time
+}
+
+func (st *stageTimes) complete() bool {
+	return !st.sensed.IsZero() && !st.published.IsZero() && !st.uplinked.IsZero() &&
+		!st.routed.IsZero() && !st.downlinked.IsZero() && !st.decoded.IsZero()
+}
+
+type joinedTimes struct {
+	rep  *stageTimes
+	fire time.Time
+}
+
+// breakdown records the telescoping per-stage latency decomposition of
+// one analysis path (sensing→training or sensing→predicting). Spans are
+// emitted only when a batch completes analysis — for the representative
+// source, the one decoded earliest — so every stage is aggregated over
+// the same population and the decomposition is exact, not approximate.
+// All methods run on the simulation engine's goroutine; they add no
+// events and draw no randomness, preserving run-for-run determinism.
+type breakdown struct {
+	path    string
+	tracer  *telemetry.Tracer
+	pending map[uint32]map[string]*stageTimes // seq → source → timestamps
+	joined  map[uint32]*joinedTimes           // seq → representative + fire time
+}
+
+func newBreakdown(path string, tracer *telemetry.Tracer) *breakdown {
+	return &breakdown{
+		path:    path,
+		tracer:  tracer,
+		pending: make(map[uint32]map[string]*stageTimes),
+		joined:  make(map[uint32]*joinedTimes),
+	}
+}
+
+func (b *breakdown) times(seq uint32, src string) *stageTimes {
+	bySrc := b.pending[seq]
+	if bySrc == nil {
+		bySrc = make(map[string]*stageTimes)
+		b.pending[seq] = bySrc
+	}
+	st := bySrc[src]
+	if st == nil {
+		st = &stageTimes{}
+		bySrc[src] = st
+	}
+	return st
+}
+
+func (b *breakdown) sensed(seq uint32, src string, at time.Time)    { b.times(seq, src).sensed = at }
+func (b *breakdown) published(seq uint32, src string, at time.Time) { b.times(seq, src).published = at }
+func (b *breakdown) uplinked(seq uint32, src string, at time.Time)  { b.times(seq, src).uplinked = at }
+func (b *breakdown) routed(seq uint32, src string, at time.Time)    { b.times(seq, src).routed = at }
+func (b *breakdown) downlinked(seq uint32, src string, at time.Time) {
+	b.times(seq, src).downlinked = at
+}
+func (b *breakdown) decoded(seq uint32, src string, at time.Time) { b.times(seq, src).decoded = at }
+
+// fired retires the pending entry for seq and selects the representative
+// source: the earliest-decoded sample (ties broken by source name), whose
+// wait for its siblings is the join-wait stage.
+func (b *breakdown) fired(seq uint32, at time.Time) {
+	bySrc := b.pending[seq]
+	delete(b.pending, seq)
+	var rep *stageTimes
+	var repSrc string
+	for src, st := range bySrc {
+		if !st.complete() {
+			continue
+		}
+		if rep == nil || st.decoded.Before(rep.decoded) ||
+			(st.decoded.Equal(rep.decoded) && src < repSrc) {
+			rep, repSrc = st, src
+		}
+	}
+	if rep == nil {
+		return
+	}
+	b.joined[seq] = &joinedTimes{rep: rep, fire: at}
+}
+
+// drop forgets a batch shed at a saturated admission queue.
+func (b *breakdown) drop(seq uint32) { delete(b.joined, seq) }
+
+// complete emits the telescoping spans for a finished batch. analyzedAt
+// is the Learning/Judging completion; finalAt is when the result became
+// usable at the edge (later than analyzedAt only for cloud placement,
+// which adds the return hop).
+func (b *breakdown) complete(seq uint32, analyzedAt, finalAt time.Time) {
+	jt := b.joined[seq]
+	delete(b.joined, seq)
+	if jt == nil || b.tracer == nil {
+		return
+	}
+	rep := jt.rep
+	key := telemetry.TraceKey{Recipe: b.path, Seq: seq}
+	obs := func(stage string, from, to time.Time) {
+		b.tracer.ObserveStage(key, stage, b.path, from, to)
+	}
+	obs(StagePublish, rep.sensed, rep.published)
+	obs(StageUplink, rep.published, rep.uplinked)
+	obs(StageBroker, rep.uplinked, rep.routed)
+	obs(StageDownlink, rep.routed, rep.downlinked)
+	obs(StageDecode, rep.downlinked, rep.decoded)
+	obs(StageJoinWait, rep.decoded, jt.fire)
+	obs(StageAnalyze, jt.fire, analyzedAt)
+	if finalAt.After(analyzedAt) {
+		obs(StageReturn, analyzedAt, finalAt)
+	}
+}
+
+// prune discards bookkeeping for sequences too old to ever complete.
+func (b *breakdown) prune(current uint32) {
+	if current < breakdownWindow {
+		return
+	}
+	floor := current - breakdownWindow
+	for seq := range b.pending {
+		if seq < floor {
+			delete(b.pending, seq)
+		}
+	}
+	for seq := range b.joined {
+		if seq < floor {
+			delete(b.joined, seq)
+		}
+	}
+}
+
+func (b *breakdown) stats() []telemetry.StageStat {
+	if b.tracer == nil {
+		return nil
+	}
+	return b.tracer.StageStats()
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBreakdownTelescopes checks the acceptance criterion for the stage
+// decomposition: at every Table II/III rate, the per-stage means sum to
+// within 10% of the end-to-end average (by construction they should
+// agree to float rounding).
+func TestBreakdownTelescopes(t *testing.T) {
+	order := []string{StagePublish, StageUplink, StageBroker, StageDownlink,
+		StageDecode, StageJoinWait, StageAnalyze}
+	for _, rate := range []float64{5, 10, 20, 40, 80} {
+		cfg := DefaultConfig(rate)
+		cfg.Duration = 10 * time.Second
+		res := Run(cfg)
+
+		for _, pc := range []struct {
+			path      string
+			e2eMean   time.Duration
+			completed int64
+		}{
+			{"train", res.Training.Mean, res.TrainCompleted},
+			{"predict", res.Predicting.Mean, res.PredictCompleted},
+		} {
+			stages := res.TrainStages
+			if pc.path == "predict" {
+				stages = res.PredictStages
+			}
+			if len(stages) != len(order) {
+				t.Fatalf("%v Hz %s: got %d stages, want %d", rate, pc.path, len(stages), len(order))
+			}
+			var sum time.Duration
+			for i, st := range stages {
+				if st.Stage != order[i] {
+					t.Fatalf("%v Hz %s: stage[%d] = %q, want %q", rate, pc.path, i, st.Stage, order[i])
+				}
+				if st.Count != pc.completed {
+					t.Fatalf("%v Hz %s/%s: count = %d, want %d (completed)",
+						rate, pc.path, st.Stage, st.Count, pc.completed)
+				}
+				sum += st.Mean
+			}
+			diff := math.Abs(float64(sum-pc.e2eMean)) / float64(pc.e2eMean)
+			if diff > 0.10 {
+				t.Fatalf("%v Hz %s: stage means sum to %v, e2e mean %v (%.1f%% off)",
+					rate, pc.path, sum, pc.e2eMean, diff*100)
+			}
+		}
+	}
+}
+
+// TestBreakdownCloudAddsReturnStage checks the WAN feedback hop shows up
+// as an eighth stage under cloud placement.
+func TestBreakdownCloudAddsReturnStage(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Duration = 10 * time.Second
+	cfg.Placement = PlaceCloud
+	res := Run(cfg)
+	found := false
+	for _, st := range res.PredictStages {
+		if st.Stage == StageReturn {
+			found = true
+			if st.Count != res.PredictCompleted {
+				t.Fatalf("return count = %d, want %d", st.Count, res.PredictCompleted)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cloud placement produced no return stage")
+	}
+	for _, st := range res.TrainStages {
+		if st.Stage == StageReturn {
+			t.Fatal("train path has a return stage (training output stays in the cloud)")
+		}
+	}
+}
+
+// TestBreakdownDeterministic guards the calibration: recording the stage
+// decomposition must not perturb the simulation (no RNG draws, no extra
+// events), so stage stats themselves are reproducible.
+func TestBreakdownDeterministic(t *testing.T) {
+	cfg := DefaultConfig(20)
+	cfg.Duration = 5 * time.Second
+	a, b := Run(cfg), Run(cfg)
+	if len(a.TrainStages) != len(b.TrainStages) {
+		t.Fatalf("stage counts differ: %d vs %d", len(a.TrainStages), len(b.TrainStages))
+	}
+	for i := range a.TrainStages {
+		if a.TrainStages[i] != b.TrainStages[i] {
+			t.Fatalf("stage %q differs across same-seed runs:\n%+v\n%+v",
+				a.TrainStages[i].Stage, a.TrainStages[i], b.TrainStages[i])
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/netsim"
 	"github.com/ifot-middleware/ifot/internal/sensor"
 	"github.com/ifot-middleware/ifot/internal/sim"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 // Placement selects the processing architecture under test.
@@ -173,6 +174,13 @@ type Result struct {
 	PredictDropped int64
 	// Utilization per pipeline station at the end of the run.
 	Utilization map[string]float64
+	// TrainStages / PredictStages decompose the end-to-end latency into
+	// telescoping pipeline stages (publish, uplink, broker, downlink,
+	// decode, join-wait, analyze; plus return for cloud placement). Each
+	// stage is aggregated over the same completed batches as the e2e
+	// summaries, so the stage means sum to the e2e mean.
+	TrainStages   []telemetry.StageStat
+	PredictStages []telemetry.StageStat
 }
 
 const (
@@ -190,6 +198,14 @@ func Run(cfg Config) Result {
 	res := Result{Config: cfg, Utilization: make(map[string]float64)}
 	trainRec := metrics.NewLatencyRecorder()
 	predictRec := metrics.NewLatencyRecorder()
+
+	// Per-stage latency decomposition (ifot-bench -breakdown). Recording
+	// only captures timestamps inside existing callbacks — no extra
+	// engine events, no randomness — so instrumented runs are
+	// bit-identical to uninstrumented ones.
+	engineClk := engine.Clock()
+	bdTrain := newBreakdown("train", telemetry.NewTracer(engineClk, telemetry.DefaultTraceCapacity))
+	bdPredict := newBreakdown("predict", telemetry.NewTracer(engineClk, telemetry.DefaultTraceCapacity))
 
 	// --- stations ---
 	sensors := make([]*sim.Station, cfg.SensorCount)
@@ -278,47 +294,52 @@ func Run(cfg Config) Result {
 		routeCost += 0.5   // acknowledgement generation at the broker
 	}
 
-	completeTrain := func(sensedAt time.Time, at time.Time) {
+	completeTrain := func(seq uint32, sensedAt time.Time, at time.Time) {
 		trainRec.Record(at.Sub(sensedAt))
 		res.TrainCompleted++
+		bdTrain.complete(seq, at, at)
 	}
-	completePredict := func(sensedAt time.Time, at time.Time) {
+	completePredict := func(seq uint32, sensedAt time.Time, at time.Time) {
 		if cfg.Placement == PlaceCloud {
 			// Decisions must return to the edge over the WAN before
 			// they are usable for actuation (Fig. 1's feedback loop).
 			hop(cfg.WAN, sampleWireBytes, func() {
 				predictRec.Record(engine.Now().Sub(sensedAt))
 				res.PredictCompleted++
+				bdPredict.complete(seq, at, engine.Now())
 			})
 			return
 		}
 		predictRec.Record(at.Sub(sensedAt))
 		res.PredictCompleted++
+		bdPredict.complete(seq, at, at)
 	}
 
-	newJoiner := func(host func(seq uint32) *sim.Station, batchCost float64, admitLimit int,
-		dropped *int64, complete func(time.Time, time.Time)) *flow.Joiner {
+	newJoiner := func(bd *breakdown, host func(seq uint32) *sim.Station, batchCost float64, admitLimit int,
+		dropped *int64, complete func(uint32, time.Time, time.Time)) *flow.Joiner {
 		admitted := 0
 		return flow.NewJoiner(sources, 64, func(seq uint32, batch []sensor.Sample) {
 			sensedAt := earliest(batch)
+			bd.fired(seq, engine.Now())
 			if admitted >= admitLimit {
 				*dropped++
+				bd.drop(seq)
 				return
 			}
 			admitted++
 			st := host(seq)
 			st.Submit(jitterCost(batchCost), func(at time.Time) {
 				admitted--
-				complete(sensedAt, at)
+				complete(seq, sensedAt, at)
 			})
 		})
 	}
 	trainShardFor := func(seq uint32) *sim.Station {
 		return trainers[int(seq)%len(trainers)]
 	}
-	joinerE := newJoiner(trainShardFor, cfg.Costs.TrainBatch, cfg.TrainQueueLimit*cfg.TrainShards,
+	joinerE := newJoiner(bdTrain, trainShardFor, cfg.Costs.TrainBatch, cfg.TrainQueueLimit*cfg.TrainShards,
 		&res.TrainDropped, completeTrain)
-	joinerF := newJoiner(func(uint32) *sim.Station { return predictor }, cfg.Costs.PredictBatch,
+	joinerF := newJoiner(bdPredict, func(uint32) *sim.Station { return predictor }, cfg.Costs.PredictBatch,
 		cfg.PredictQueueLimit, &res.PredictDropped, completePredict)
 
 	// brokerFor spreads sensors across the (possibly federated) brokers.
@@ -329,19 +350,26 @@ func Run(cfg Config) Result {
 	// deliver models the broker fanning one sample out to the two
 	// analysis subscribers (E and F paths).
 	deliver := func(src string, smp sensor.Sample) {
+		arrived := engine.Now()
+		bdTrain.uplinked(smp.Seq, src, arrived)
+		bdPredict.uplinked(smp.Seq, src, arrived)
 		targets := []struct {
 			host   *sim.Station
 			joiner *flow.Joiner
+			bd     *breakdown
 		}{
-			{trainerIO, joinerE},
-			{predictorIO, joinerF},
+			{trainerIO, joinerE, bdTrain},
+			{predictorIO, joinerF, bdPredict},
 		}
 		brokerSt := brokerFor(int(smp.SensorIndex))
 		for _, tgt := range targets {
 			tgt := tgt
-			brokerSt.Submit(jitterCost(routeCost), func(time.Time) {
+			brokerSt.Submit(jitterCost(routeCost), func(at time.Time) {
+				tgt.bd.routed(smp.Seq, src, at)
 				hop(cfg.LAN, sampleWireBytes, func() {
-					tgt.host.Submit(jitterCost(cfg.Costs.SubscribeDecode), func(time.Time) {
+					tgt.bd.downlinked(smp.Seq, src, engine.Now())
+					tgt.host.Submit(jitterCost(cfg.Costs.SubscribeDecode), func(at time.Time) {
+						tgt.bd.decoded(smp.Seq, src, at)
 						tgt.joiner.Push(src, smp)
 					})
 				})
@@ -356,6 +384,8 @@ func Run(cfg Config) Result {
 	engine.Every(start.Add(period), period, func() bool { return engine.Now().Before(end) }, func() {
 		seq++
 		currentSeq := seq
+		bdTrain.prune(currentSeq)
+		bdPredict.prune(currentSeq)
 		for i, sensorSt := range sensors {
 			src := moduleName(i)
 			smp := sensor.Sample{
@@ -365,7 +395,11 @@ func Run(cfg Config) Result {
 				Timestamp:   engine.Now(),
 			}
 			res.SamplesSent++
-			sensorSt.Submit(jitterCost(cfg.Costs.SensorRead+publishCost), func(time.Time) {
+			bdTrain.sensed(currentSeq, src, smp.Timestamp)
+			bdPredict.sensed(currentSeq, src, smp.Timestamp)
+			sensorSt.Submit(jitterCost(cfg.Costs.SensorRead+publishCost), func(at time.Time) {
+				bdTrain.published(currentSeq, src, at)
+				bdPredict.published(currentSeq, src, at)
 				hop(uplink, sampleWireBytes, func() {
 					deliver(src, smp)
 				})
@@ -379,6 +413,8 @@ func Run(cfg Config) Result {
 
 	res.Training = trainRec.Snapshot()
 	res.Predicting = predictRec.Snapshot()
+	res.TrainStages = bdTrain.stats()
+	res.PredictStages = bdPredict.stats()
 	util := func(st *sim.Station) float64 {
 		u := float64(st.BusyTime()) / float64(cfg.Duration)
 		if u > 1 {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -63,6 +64,9 @@ type Options struct {
 	// registered subscription handler (e.g. persistent-session messages
 	// replayed before Subscribe re-registers its handler).
 	DefaultHandler Handler
+	// Registry, when set, receives client metrics: publish/receive
+	// counters and a QoS1 publish→PUBACK round-trip histogram.
+	Registry *telemetry.Registry
 }
 
 // NewOptions returns Options with sensible defaults for the given client ID.
@@ -137,6 +141,27 @@ type Client struct {
 	dispatch chan Message
 	done     chan struct{} // closed when the reader exits
 	wg       sync.WaitGroup
+
+	metrics *clientMetrics
+}
+
+// clientMetrics holds the client's telemetry handles (nil when no Registry
+// was configured). Series are labeled by client ID so several clients can
+// share one registry.
+type clientMetrics struct {
+	published *telemetry.Counter
+	received  *telemetry.Counter
+	ackRTT    *telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry, clientID string) *clientMetrics {
+	id := telemetry.L("client", clientID)
+	return &clientMetrics{
+		published: reg.Counter("ifot_client_publish_total", "PUBLISH packets sent", id),
+		received:  reg.Counter("ifot_client_received_total", "PUBLISH packets received", id),
+		ackRTT: reg.Histogram("ifot_client_puback_seconds",
+			"QoS1 publish to PUBACK round-trip", nil, id),
+	}
 }
 
 // Connect establishes an MQTT session over an existing transport
@@ -188,6 +213,9 @@ func Connect(conn net.Conn, opts Options) (*Client, error) {
 		dispatch: make(chan Message, opts.DispatchBuffer),
 		done:     make(chan struct{}),
 	}
+	if opts.Registry != nil {
+		c.metrics = newClientMetrics(opts.Registry, opts.ClientID)
+	}
 	c.wg.Add(2)
 	go c.readLoop()
 	go c.dispatchLoop()
@@ -217,13 +245,18 @@ func Dial(addr string, opts Options) (*Client, error) {
 func (c *Client) Publish(topic string, payload []byte, qos wire.QoS, retain bool) error {
 	pub := &wire.PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}
 	if qos == wire.QoS0 {
-		return c.write(pub)
+		err := c.write(pub)
+		if err == nil && c.metrics != nil {
+			c.metrics.published.Inc()
+		}
+		return err
 	}
 	id, ackCh, err := c.registerPending()
 	if err != nil {
 		return err
 	}
 	pub.PacketID = id
+	sentAt := time.Now()
 	if err := c.write(pub); err != nil {
 		c.unregisterPending(id)
 		return err
@@ -234,6 +267,10 @@ func (c *Client) Publish(topic string, payload []byte, qos wire.QoS, retain bool
 	}
 	if ack.Type() != wire.PUBACK {
 		return fmt.Errorf("mqttclient: unexpected ack %v for publish", ack.Type())
+	}
+	if c.metrics != nil {
+		c.metrics.published.Inc()
+		c.metrics.ackRTT.ObserveDuration(time.Since(sentAt))
 	}
 	return nil
 }
@@ -457,6 +494,9 @@ func (c *Client) resolvePending(id uint16, pkt wire.Packet) {
 }
 
 func (c *Client) handleInboundPublish(p *wire.PublishPacket) {
+	if c.metrics != nil {
+		c.metrics.received.Inc()
+	}
 	if p.QoS == wire.QoS1 {
 		_ = c.write(&wire.AckPacket{PacketType: wire.PUBACK, PacketID: p.PacketID})
 	}

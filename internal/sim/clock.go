@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/clock"
+)
+
+// engineClock adapts an Engine to the clock.Clock interface so
+// clock-driven components (telemetry tracers, timeouts) can run inside a
+// simulation without knowing about the event loop.
+type engineClock struct{ e *Engine }
+
+// Clock returns a clock.Clock view of the engine's virtual time.
+//
+// Now and After are safe from event callbacks. Sleep blocks the calling
+// goroutine until the timer fires, so it must never be called from the
+// engine's own goroutine (events run on the caller of Run/Step — Sleep
+// there would deadlock the loop it is waiting on).
+func (e *Engine) Clock() clock.Clock { return engineClock{e} }
+
+func (c engineClock) Now() time.Time { return c.e.Now() }
+
+// After schedules an engine event at now+d that delivers the then-current
+// time. The channel has capacity 1, so firing never blocks event
+// execution even if the receiver has gone away.
+func (c engineClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.e.After(d, func() { ch <- c.e.Now() })
+	return ch
+}
+
+func (c engineClock) Sleep(d time.Duration) { <-c.After(d) }

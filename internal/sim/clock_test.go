@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineClockNowAndAfter(t *testing.T) {
+	start := time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	e := NewEngine(start)
+	clk := e.Clock()
+
+	if !clk.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", clk.Now(), start)
+	}
+
+	ch := clk.After(250 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before the engine ran")
+	default:
+	}
+
+	e.RunAll()
+	want := start.Add(250 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if !at.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer never fired")
+	}
+	if !clk.Now().Equal(want) {
+		t.Fatalf("Now() after run = %v, want %v", clk.Now(), want)
+	}
+}
+
+// TestEngineClockAfterNonBlocking checks that an abandoned timer channel
+// does not wedge the event loop.
+func TestEngineClockAfterNonBlocking(t *testing.T) {
+	e := NewEngine(time.Unix(0, 0))
+	clk := e.Clock()
+	_ = clk.After(time.Second) // receiver abandoned
+	done := false
+	e.After(2*time.Second, func() { done = true })
+	e.RunAll()
+	if !done {
+		t.Fatal("engine stalled behind an abandoned clock timer")
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler exposes a registry and tracer over HTTP:
+//
+//	/metrics       Prometheus text exposition format
+//	/traces        recent end-to-end traces as JSON (?limit=N)
+//	/spans         raw retained spans as JSON
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Either reg or tr may be nil, disabling the corresponding endpoints.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if tr != nil {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			traces := tr.Traces()
+			if limStr := r.URL.Query().Get("limit"); limStr != "" {
+				if lim, err := strconv.Atoi(limStr); err == nil && lim >= 0 && lim < len(traces) {
+					traces = traces[len(traces)-lim:] // newest traces
+				}
+			}
+			writeJSON(w, map[string]any{"traces": traces, "totalSpans": tr.TotalSpans()})
+		})
+		mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, map[string]any{"spans": tr.Spans(), "totalSpans": tr.TotalSpans()})
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// StartServer listens on addr and serves Handler(reg, tr) in the
+// background. It returns the bound address (useful with ":0") and a
+// shutdown function. Daemons call this behind their -telemetry flag.
+func StartServer(addr string, reg *Registry, tr *Tracer) (string, func(context.Context) error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), srv.Shutdown, nil
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PublishFunc publishes one message into an MQTT topic tree. Implementations
+// typically wrap Broker.Publish (in-process) or Client.Publish (over the
+// wire); retain should be honored so late subscribers see the last value.
+type PublishFunc func(topic string, payload []byte, retain bool)
+
+// MQTTExporter mirrors a Registry into an MQTT topic hierarchy, extending
+// the Mosquitto-style $SYS tree with registry-backed topics. Each sample
+// maps to prefix + metric name with underscores as topic separators, with
+// label values appended as sub-levels:
+//
+//	ifot_broker_publish_total{topic="rt/s0"} → <prefix>ifot/broker/publish/total/rt/s0
+type MQTTExporter struct {
+	prefix string
+	reg    *Registry
+	pub    PublishFunc
+}
+
+// NewMQTTExporter creates an exporter publishing reg's samples under prefix
+// (e.g. "$SYS/broker/metrics/").
+func NewMQTTExporter(prefix string, reg *Registry, pub PublishFunc) *MQTTExporter {
+	return &MQTTExporter{prefix: prefix, reg: reg, pub: pub}
+}
+
+// PublishOnce walks the registry and publishes every sample as a retained
+// message. Callers drive the cadence (commonly the broker's $SYS ticker).
+func (e *MQTTExporter) PublishOnce() {
+	for _, s := range e.reg.Samples() {
+		e.pub(e.prefix+sampleTopic(s), []byte(FormatValue(s.Value)), true)
+	}
+}
+
+// sampleTopic renders a metric sample's topic suffix.
+func sampleTopic(s Sample) string {
+	var sb strings.Builder
+	sb.WriteString(strings.ReplaceAll(s.Name, "_", "/"))
+	for _, l := range s.Labels {
+		sb.WriteByte('/')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// FormatValue renders a metric value the way Mosquitto renders $SYS
+// payloads: integers without a decimal point, floats with two decimals.
+func FormatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -1,0 +1,348 @@
+// Package telemetry is the IFoT observability subsystem: a metrics
+// registry (counters, gauges, histograms — all with bounded memory, unlike
+// the experiment harness's sample-accumulating LatencyRecorder), a
+// per-message span/trace model for end-to-end flow tracing, and exporters
+// (Prometheus text format over HTTP, pprof, and Mosquitto-style MQTT
+// topics). The tracer is parameterized by clock.Clock so the same span
+// pipeline instruments both the real-time middleware and the virtual-time
+// simulator.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind enumerates metric types, mirroring the Prometheus exposition types.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add increments by delta (negative deltas are ignored — counters only go
+// up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64 // non-nil for GaugeFunc-backed gauges
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		niu := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, niu) {
+			return
+		}
+	}
+}
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric with bounded memory:
+// per-bucket counts plus a running sum, never the raw samples.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds (seconds for latencies)
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+// DefLatencyBuckets spans 1ms–30s, chosen to cover both the paper's
+// sub-second pipeline latencies and saturation behaviour.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a latency sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot returns the bucket upper bounds, cumulative counts per bound,
+// the total sample count, and the sum of all samples.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64, count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = h.bounds // immutable after construction
+	cumulative = make([]int64, len(h.counts))
+	var running int64
+	for i, c := range h.counts {
+		running += c
+		cumulative[i] = running
+	}
+	return bounds, cumulative, h.total, h.sum
+}
+
+// Count reports the number of observed samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// series is one (labels → value) instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name  string
+	help  string
+	kind  Kind
+	order []string // label signatures, insertion order
+	by    map[string]*series
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// All methods are safe for concurrent use; Counter/Gauge/Histogram are
+// get-or-create, so hot paths may call them repeatedly (though caching the
+// returned handle is cheaper).
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	fams  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// It panics if name is invalid or already registered with a different kind
+// (programmer error, caught in tests).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.series(name, help, KindCounter, labels)
+	return s.c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.series(name, help, KindGauge, labels)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at collection
+// time (e.g. uptime, queue depths owned by another subsystem).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.series(name, help, KindGauge, labels)
+	s.g.fn = fn
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use with the given ascending bucket upper bounds (nil = DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds must be ascending", name))
+		}
+	}
+	s := r.seriesWith(name, help, KindHistogram, labels, func() *series {
+		return &series{h: &Histogram{bounds: bounds, counts: make([]int64, len(bounds))}}
+	})
+	return s.h
+}
+
+func (r *Registry) series(name, help string, kind Kind, labels []Label) *series {
+	return r.seriesWith(name, help, kind, labels, func() *series {
+		switch kind {
+		case KindCounter:
+			return &series{c: &Counter{}}
+		default:
+			return &series{g: &Gauge{}}
+		}
+	})
+}
+
+func (r *Registry) seriesWith(name, help string, kind Kind, labels []Label, mk func() *series) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.fams[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, by: make(map[string]*series)}
+		r.fams[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %v, requested as %v", name, fam.kind, kind))
+	}
+	sig := labelSignature(labels)
+	s, ok := fam.by[sig]
+	if !ok {
+		s = mk()
+		s.labels = append([]Label(nil), labels...)
+		sort.Slice(s.labels, func(i, j int) bool { return s.labels[i].Name < s.labels[j].Name })
+		fam.by[sig] = s
+		fam.order = append(fam.order, sig)
+	}
+	return s
+}
+
+// SeriesCount reports the number of series registered under name (0 when
+// the family does not exist). Useful for bounding label cardinality.
+func (r *Registry) SeriesCount(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.fams[name]
+	if !ok {
+		return 0
+	}
+	return len(fam.order)
+}
+
+// Sample is one exported metric value (histograms contribute _count and
+// _sum samples).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Samples snapshots every counter and gauge (and histogram count/sum) in
+// registration order — the walk the MQTT exporter publishes. Like
+// WritePrometheus, it reads metric values after releasing the registry
+// lock: GaugeFuncs may acquire subsystem locks (e.g. the broker's) that
+// are themselves held while registering metrics.
+func (r *Registry) Samples() []Sample {
+	type snap struct {
+		name string
+		kind Kind
+		s    *series
+	}
+	r.mu.Lock()
+	snaps := make([]snap, 0, len(r.order))
+	for _, name := range r.order {
+		fam := r.fams[name]
+		for _, sig := range fam.order {
+			snaps = append(snaps, snap{name: name, kind: fam.kind, s: fam.by[sig]})
+		}
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, sn := range snaps {
+		switch sn.kind {
+		case KindCounter:
+			out = append(out, Sample{Name: sn.name, Labels: sn.s.labels, Value: float64(sn.s.c.Value())})
+		case KindGauge:
+			out = append(out, Sample{Name: sn.name, Labels: sn.s.labels, Value: sn.s.g.Value()})
+		case KindHistogram:
+			_, _, count, sum := sn.s.h.Snapshot()
+			out = append(out, Sample{Name: sn.name + "_count", Labels: sn.s.labels, Value: float64(count)})
+			out = append(out, Sample{Name: sn.name + "_sum", Labels: sn.s.labels, Value: sum})
+		}
+	}
+	return out
+}
+
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	for _, l := range ls {
+		sb.WriteString(l.Name)
+		sb.WriteByte(1)
+		sb.WriteString(l.Value)
+		sb.WriteByte(2)
+	}
+	return sb.String()
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/clock"
+)
+
+// TraceKey identifies one end-to-end flow through the pipeline. It is built
+// from identifiers the middleware already carries on the wire
+// (core.Decision / core.TrainEvent), so correlating spans into traces needs
+// no wire-format change.
+type TraceKey struct {
+	Recipe string `json:"recipe"`
+	TaskID string `json:"taskId"`
+	Seq    uint32 `json:"seq"`
+}
+
+// Span is one pipeline hop of a flow: Sensor publish, Broker route,
+// Subscribe deliver, join, Learning/Judging, Actuate, …
+type Span struct {
+	Key    TraceKey  `json:"key"`
+	Stage  string    `json:"stage"`
+	Module string    `json:"module,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Duration is the span's elapsed time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Trace is the ordered set of spans sharing one TraceKey.
+type Trace struct {
+	Key   TraceKey `json:"key"`
+	Spans []Span   `json:"spans"`
+}
+
+// Start is the earliest span start (zero for an empty trace).
+func (t Trace) Start() time.Time {
+	if len(t.Spans) == 0 {
+		return time.Time{}
+	}
+	return t.Spans[0].Start
+}
+
+// End is the latest span end.
+func (t Trace) End() time.Time {
+	var end time.Time
+	for _, s := range t.Spans {
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Duration is the end-to-end elapsed time covered by the trace.
+func (t Trace) Duration() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	return t.End().Sub(t.Start())
+}
+
+// StageStat summarizes every span observed for one stage name. Stats are
+// running aggregates (count/sum/max), so memory stays constant no matter
+// how many spans flow through.
+type StageStat struct {
+	Stage string        `json:"stage"`
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	Max   time.Duration `json:"max"`
+	Total time.Duration `json:"total"`
+}
+
+type stageAgg struct {
+	count int64
+	sum   time.Duration
+	max   time.Duration
+}
+
+// Tracer collects spans into a fixed-capacity ring buffer (old spans are
+// overwritten, bounding memory) and maintains per-stage running statistics
+// over every span ever recorded. It reads time from a clock.Clock, so the
+// same tracer instruments the wall-clock middleware and the virtual-time
+// simulator. All methods are safe for concurrent use.
+type Tracer struct {
+	clk clock.Clock
+
+	mu         sync.Mutex
+	ring       []Span
+	next       int
+	total      uint64
+	stages     map[string]*stageAgg
+	stageOrder []string
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer creates a tracer reading time from clk (nil = wall clock)
+// retaining the most recent capacity spans.
+func NewTracer(clk clock.Clock, capacity int) *Tracer {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{
+		clk:    clk,
+		ring:   make([]Span, 0, capacity),
+		stages: make(map[string]*stageAgg),
+	}
+}
+
+// Now exposes the tracer's clock reading, letting instrumented code stamp
+// events on the same timeline as the spans.
+func (t *Tracer) Now() time.Time { return t.clk.Now() }
+
+// ActiveSpan is an in-progress span started by Begin.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// Begin starts a span at the tracer clock's current instant. Call End (or
+// EndAt) to record it.
+func (t *Tracer) Begin(key TraceKey, stage, module string) *ActiveSpan {
+	return &ActiveSpan{t: t, span: Span{Key: key, Stage: stage, Module: module, Start: t.clk.Now()}}
+}
+
+// End completes the span at the tracer clock's current instant and records
+// it.
+func (a *ActiveSpan) End() { a.EndAt(a.t.clk.Now()) }
+
+// EndAt completes the span at the given instant and records it.
+func (a *ActiveSpan) EndAt(end time.Time) {
+	a.span.End = end
+	a.t.Record(a.span)
+}
+
+// Record stores a fully formed span (virtual-time pipelines record spans
+// with explicitly computed instants rather than Begin/End pairs).
+func (t *Tracer) Record(s Span) {
+	if s.End.Before(s.Start) {
+		s.End = s.Start // clock skew must not create negative durations
+	}
+	d := s.End.Sub(s.Start)
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	agg, ok := t.stages[s.Stage]
+	if !ok {
+		agg = &stageAgg{}
+		t.stages[s.Stage] = agg
+		t.stageOrder = append(t.stageOrder, s.Stage)
+	}
+	agg.count++
+	agg.sum += d
+	if d > agg.max {
+		agg.max = d
+	}
+	t.mu.Unlock()
+}
+
+// ObserveStage records a span for stage with explicit bounds — a
+// convenience wrapper around Record.
+func (t *Tracer) ObserveStage(key TraceKey, stage, module string, start, end time.Time) {
+	t.Record(Span{Key: key, Stage: stage, Module: module, Start: start, End: end})
+}
+
+// TotalSpans reports how many spans were ever recorded (including those
+// already evicted from the ring).
+func (t *Tracer) TotalSpans() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Capacity reports the ring buffer size.
+func (t *Tracer) Capacity() int { return cap(t.ring) }
+
+// Spans snapshots the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Traces groups the retained spans into end-to-end traces by TraceKey.
+// Traces appear in order of their earliest retained span; spans within a
+// trace are sorted by start time.
+func (t *Tracer) Traces() []Trace {
+	spans := t.Spans()
+	byKey := make(map[TraceKey]int)
+	var traces []Trace
+	for _, s := range spans {
+		idx, ok := byKey[s.Key]
+		if !ok {
+			idx = len(traces)
+			byKey[s.Key] = idx
+			traces = append(traces, Trace{Key: s.Key})
+		}
+		traces[idx].Spans = append(traces[idx].Spans, s)
+	}
+	for i := range traces {
+		sp := traces[i].Spans
+		sort.SliceStable(sp, func(a, b int) bool { return sp[a].Start.Before(sp[b].Start) })
+	}
+	return traces
+}
+
+// StageStats reports the per-stage running aggregates in first-seen order
+// (which, for a pipeline recording stages in flow order, is pipeline
+// order).
+func (t *Tracer) StageStats() []StageStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStat, 0, len(t.stageOrder))
+	for _, stage := range t.stageOrder {
+		agg := t.stages[stage]
+		mean := time.Duration(0)
+		if agg.count > 0 {
+			mean = agg.sum / time.Duration(agg.count)
+		}
+		out = append(out, StageStat{Stage: stage, Count: agg.count, Mean: mean, Max: agg.max, Total: agg.sum})
+	}
+	return out
+}
+
+// Reset discards all retained spans and stage statistics.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+	t.stages = make(map[string]*stageAgg)
+	t.stageOrder = nil
+	t.mu.Unlock()
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/clock"
+)
+
+func TestTracerSpansAndTraces(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	tr := NewTracer(clk, 16)
+	key := TraceKey{Recipe: "heatstroke", TaskID: "t1", Seq: 7}
+
+	sp := tr.Begin(key, "publish", "sensor-0")
+	clk.Advance(5 * time.Millisecond)
+	sp.End()
+
+	tr.ObserveStage(key, "broker", "broker", clk.Now(), clk.Now().Add(2*time.Millisecond))
+	clk.Advance(2 * time.Millisecond)
+	tr.ObserveStage(key, "analyze", "learn-0", clk.Now(), clk.Now().Add(10*time.Millisecond))
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	trace := traces[0]
+	if trace.Key != key {
+		t.Fatalf("key = %+v", trace.Key)
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(trace.Spans))
+	}
+	if got := trace.Spans[0].Stage; got != "publish" {
+		t.Fatalf("first span stage = %s (want publish, spans sorted by start)", got)
+	}
+	if got, want := trace.Duration(), 17*time.Millisecond; got != want {
+		t.Fatalf("trace duration = %v, want %v", got, want)
+	}
+	if got, want := trace.Spans[0].Duration(), 5*time.Millisecond; got != want {
+		t.Fatalf("publish span duration = %v, want %v", got, want)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(clock.NewVirtual(time.Unix(0, 0)), 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Key: TraceKey{Seq: uint32(i)}, Stage: "s"})
+	}
+	if got := tr.TotalSpans(); got != 10 {
+		t.Fatalf("TotalSpans = %d, want 10", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained = %d, want capacity 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint32(6 + i); s.Key.Seq != want {
+			t.Fatalf("span[%d].Seq = %d, want %d (oldest-first after wrap)", i, s.Key.Seq, want)
+		}
+	}
+	// Stage stats survive eviction: they aggregate over all 10 spans.
+	stats := tr.StageStats()
+	if len(stats) != 1 || stats[0].Count != 10 {
+		t.Fatalf("stage stats = %+v, want one stage with count 10", stats)
+	}
+}
+
+func TestTracerStageStats(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	tr := NewTracer(clk, 8)
+	base := clk.Now()
+	tr.ObserveStage(TraceKey{Seq: 1}, "publish", "", base, base.Add(2*time.Millisecond))
+	tr.ObserveStage(TraceKey{Seq: 2}, "publish", "", base, base.Add(4*time.Millisecond))
+	tr.ObserveStage(TraceKey{Seq: 1}, "broker", "", base, base.Add(1*time.Millisecond))
+
+	stats := tr.StageStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Stage != "publish" || stats[1].Stage != "broker" {
+		t.Fatalf("stage order = %v, want first-seen order", []string{stats[0].Stage, stats[1].Stage})
+	}
+	if stats[0].Count != 2 || stats[0].Mean != 3*time.Millisecond || stats[0].Max != 4*time.Millisecond {
+		t.Fatalf("publish stats = %+v", stats[0])
+	}
+
+	tr.Reset()
+	if len(tr.StageStats()) != 0 || tr.TotalSpans() != 0 || len(tr.Spans()) != 0 {
+		t.Fatal("Reset did not clear tracer")
+	}
+}
+
+func TestTracerNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer(nil, 2)
+	now := time.Now()
+	tr.ObserveStage(TraceKey{}, "skewed", "", now, now.Add(-time.Second))
+	if d := tr.Spans()[0].Duration(); d != 0 {
+		t.Fatalf("duration = %v, want clamped to 0", d)
+	}
+}
+
+// TestTracerConcurrent hammers Record/Spans/Traces/StageStats from many
+// goroutines with a ring small enough to wrap constantly; meaningful under
+// -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			key := TraceKey{TaskID: "t", Seq: uint32(id)}
+			for i := 0; i < 500; i++ {
+				tr.Begin(key, "stage", "mod").End()
+				if i%50 == 0 {
+					_ = tr.Spans()
+					_ = tr.Traces()
+					_ = tr.StageStats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.TotalSpans(); got != 8*500 {
+		t.Fatalf("TotalSpans = %d, want %d", got, 8*500)
+	}
+	if got := len(tr.Spans()); got != 8 {
+		t.Fatalf("retained = %d, want 8", got)
+	}
+}
+
+func TestNewTracerDefaults(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	if tr.Capacity() != DefaultTraceCapacity {
+		t.Fatalf("capacity = %d, want %d", tr.Capacity(), DefaultTraceCapacity)
+	}
+	if tr.Now().IsZero() {
+		t.Fatal("nil clock should fall back to wall clock")
+	}
+}
