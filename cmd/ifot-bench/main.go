@@ -12,6 +12,7 @@
 //	ifot-bench -sweep            # both tables + shape check
 //	ifot-bench -ablation all     # cloud/broker/parallel/qos/scale
 //	ifot-bench -topology -trace  # print Fig. 7 / Fig. 9 structure
+//	ifot-bench -throughput       # saturate a real broker over loopback TCP
 package main
 
 import (
@@ -38,16 +39,21 @@ func main() {
 
 func run() error {
 	var (
-		table     = flag.Int("table", 0, "reproduce one table (2 or 3)")
-		sweep     = flag.Bool("sweep", false, "run the full rate sweep (both tables + shape check)")
-		ablation  = flag.String("ablation", "", "run ablations: cloud|broker|parallel|qos|scale|all")
-		topology  = flag.Bool("topology", false, "print the Fig. 7 evaluation topology")
-		breakdown = flag.Bool("breakdown", false, "decompose table latencies per pipeline stage")
-		realtime  = flag.Bool("realtime", false, "run the Fig. 9 pipeline on the live middleware stack")
-		trace     = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
-		csvPath   = flag.String("csv", "", "also write the sweep series as CSV to this file")
-		duration  = flag.Duration("duration", 30*time.Second, "virtual duration per run")
-		seed      = flag.Int64("seed", 1, "random seed")
+		table      = flag.Int("table", 0, "reproduce one table (2 or 3)")
+		sweep      = flag.Bool("sweep", false, "run the full rate sweep (both tables + shape check)")
+		ablation   = flag.String("ablation", "", "run ablations: cloud|broker|parallel|qos|scale|all")
+		topology   = flag.Bool("topology", false, "print the Fig. 7 evaluation topology")
+		breakdown  = flag.Bool("breakdown", false, "decompose table latencies per pipeline stage")
+		realtime   = flag.Bool("realtime", false, "run the Fig. 9 pipeline on the live middleware stack")
+		throughput = flag.Bool("throughput", false, "saturate a real broker over loopback TCP and report msgs/sec")
+		tpubs      = flag.Int("tpubs", 4, "throughput mode: concurrent publishers")
+		tsubs      = flag.Int("tsubs", 64, "throughput mode: subscribers on the bench topic")
+		tpayload   = flag.Int("tpayload", 128, "throughput mode: payload bytes")
+		tduration  = flag.Duration("tduration", 3*time.Second, "throughput mode: wall-clock run time")
+		trace      = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
+		csvPath    = flag.String("csv", "", "also write the sweep series as CSV to this file")
+		duration   = flag.Duration("duration", 30*time.Second, "virtual duration per run")
+		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
@@ -106,6 +112,17 @@ func run() error {
 	}
 	if *realtime {
 		if err := runRealtime(); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *throughput {
+		if err := runThroughput(throughputConfig{
+			publishers:  *tpubs,
+			subscribers: *tsubs,
+			payload:     *tpayload,
+			duration:    *tduration,
+		}); err != nil {
 			return err
 		}
 		did = true

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// throughputConfig parameterizes the broker TCP saturation run.
+type throughputConfig struct {
+	publishers  int
+	subscribers int
+	payload     int
+	duration    time.Duration
+}
+
+// runThroughput drives a real broker over loopback TCP to saturation:
+// tpubs raw publishers each blast a pre-encoded QoS0 PUBLISH frame at one
+// topic while tsubs subscribers drain their connections, and the run
+// reports ingress/egress message rates plus queue-overflow drops from the
+// broker's own counters. Unlike the go-bench fan-out benchmark (which
+// paces publishers to measure sustained no-drop delivery), this mode is
+// deliberately unpaced: it answers "what does the broker do when offered
+// more load than it can deliver".
+func runThroughput(cfg throughputConfig) error {
+	br := broker.New(broker.Options{SessionQueueSize: 8192})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = br.Serve(l)
+	}()
+	addr := l.Addr().String()
+
+	const topic = "bench/throughput"
+
+	handshake := func(id string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := wire.WritePacket(conn, &wire.ConnectPacket{ClientID: id, CleanSession: true}); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if _, err := wire.ReadPacket(conn, 0); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("CONNACK: %w", err)
+		}
+		return conn, nil
+	}
+
+	// Subscribers: wire-level sinks that subscribe once and then drain.
+	subConns := make([]net.Conn, 0, cfg.subscribers)
+	for i := 0; i < cfg.subscribers; i++ {
+		conn, err := handshake(fmt.Sprintf("tsub-%d", i))
+		if err != nil {
+			return err
+		}
+		subConns = append(subConns, conn)
+		sub := &wire.SubscribePacket{
+			PacketID:      1,
+			Subscriptions: []wire.Subscription{{TopicFilter: topic, QoS: wire.QoS0}},
+		}
+		if err := wire.WritePacket(conn, sub); err != nil {
+			return err
+		}
+		if _, err := wire.ReadPacket(conn, 0); err != nil {
+			return fmt.Errorf("SUBACK: %w", err)
+		}
+		go io.Copy(io.Discard, conn) //nolint:errcheck // sink until closed
+	}
+
+	frame, err := wire.Encode(&wire.PublishPacket{Topic: topic, Payload: make([]byte, cfg.payload)})
+	if err != nil {
+		return err
+	}
+
+	statsBefore := br.Stats()
+	var published atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	pubConns := make([]net.Conn, 0, cfg.publishers)
+	for i := 0; i < cfg.publishers; i++ {
+		conn, err := handshake(fmt.Sprintf("tpub-%d", i))
+		if err != nil {
+			return err
+		}
+		pubConns = append(pubConns, conn)
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				select {
+				case <-stop:
+					published.Add(n)
+					return
+				default:
+				}
+				if _, err := conn.Write(frame); err != nil {
+					published.Add(n)
+					return
+				}
+				n++
+			}
+		}(conn)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Let in-flight queue contents drain before the final snapshot.
+	time.Sleep(200 * time.Millisecond)
+	stats := br.Stats()
+
+	for _, c := range pubConns {
+		c.Close()
+	}
+	for _, c := range subConns {
+		c.Close()
+	}
+	br.Close()
+	<-serveDone
+
+	sent := published.Load()
+	recv := stats.MessagesReceived - statsBefore.MessagesReceived
+	deliv := stats.MessagesDelivered - statsBefore.MessagesDelivered
+	drop := stats.MessagesDropped - statsBefore.MessagesDropped
+	secs := elapsed.Seconds()
+	fmt.Println("THROUGHPUT: loopback TCP broker saturation (QoS0, unpaced)")
+	fmt.Printf("publishers=%d subscribers=%d payload=%dB duration=%s\n",
+		cfg.publishers, cfg.subscribers, cfg.payload, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "sent", sent, float64(sent)/secs)
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "received", recv, float64(recv)/secs)
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "delivered", deliv, float64(deliv)/secs)
+	if recv > 0 {
+		fmt.Printf("%-12s %12d msgs  (%.1f%% of fan-out)\n", "dropped", drop,
+			100*float64(drop)/float64(recv*int64(cfg.subscribers)))
+	}
+	fmt.Println()
+	return nil
+}

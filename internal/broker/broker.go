@@ -6,12 +6,14 @@
 package broker
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/telemetry"
@@ -80,28 +82,70 @@ type retainedMsg struct {
 
 // Broker is an MQTT broker. Create one with New, feed it connections with
 // Serve or ServeConn, and stop it with Close.
+//
+// Locking model (read-mostly routing). mu is an RWMutex: the publish hot
+// path takes only the read lock, so concurrent publishes route and fan out
+// in parallel; subscribe, unsubscribe, session churn, and shutdown are the
+// rare writers. The store+route atomicity invariant for retained messages
+// (see publish) is preserved because a writer acquiring mu excludes every
+// in-flight publish read section whole: a subscriber registering under the
+// write lock observes each concurrent publish either entirely (retained
+// stored AND fanned out) or not at all. Go's RWMutex blocks new readers
+// once a writer waits, so subscribes cannot starve under publish load.
+//
+// Lock order: mu ⊃ {trie.mu, retainedMu, pubMu, session.mu}. Counters
+// (received, delivered, per-topic accounting) are atomics so neither the
+// publish path nor the per-connection writer goroutines ever take mu.
 type Broker struct {
 	opts  Options
 	start time.Time
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	sessions  map[string]*session // all sessions (connected and parked)
 	conns     map[string]net.Conn // live connection per client ID
-	retained  map[string]retainedMsg
 	listeners []net.Listener
 	closed    bool
 
-	received  int64
-	delivered int64
+	// retainedMu guards the retained map. Publishes mutate it while
+	// holding only mu.RLock, so map access needs this inner mutex; the
+	// ordering of store against route is still provided by mu (above).
+	retainedMu sync.Mutex
+	retained   map[string]retainedMsg
+
+	received  atomic.Int64
+	delivered atomic.Int64
+
+	// anonSeq feeds generated client IDs for anonymous clean-session
+	// connects. A monotonic counter cannot collide (unlike the previous
+	// pointer-formatted IDs, which could recur after allocator reuse and
+	// silently take over a live session).
+	anonSeq atomic.Uint64
 
 	// pubByTopic counts publishes per topic, bounded to maxPublishTopics
 	// distinct keys (overflow lands in overflowTopicKey) so an adversarial
 	// topic stream cannot grow broker memory or metric cardinality.
-	pubByTopic map[string]int64
+	// pubMu is read-locked to find an existing counter (the common case);
+	// the write lock is taken only to install a new topic's counter.
+	pubMu      sync.RWMutex
+	pubByTopic map[string]*topicCount
 
 	trie    *subTrie
 	wg      sync.WaitGroup
 	metrics *brokerMetrics
+}
+
+// topicCount is one topic's publish accounting: a lock-free counter plus
+// the telemetry series handle (nil when no Registry is configured).
+type topicCount struct {
+	n      atomic.Int64
+	metric *telemetry.Counter
+}
+
+func (tc *topicCount) bump() {
+	tc.n.Add(1)
+	if tc.metric != nil {
+		tc.metric.Inc()
+	}
 }
 
 // maxPublishTopics bounds the per-topic publish accounting (and the
@@ -119,7 +163,7 @@ func New(opts Options) *Broker {
 		sessions:   make(map[string]*session),
 		conns:      make(map[string]net.Conn),
 		retained:   make(map[string]retainedMsg),
-		pubByTopic: make(map[string]int64),
+		pubByTopic: make(map[string]*topicCount),
 		trie:       newSubTrie(),
 	}
 	if b.opts.Registry != nil {
@@ -131,14 +175,13 @@ func New(opts Options) *Broker {
 // Uptime reports how long ago the broker was created.
 func (b *Broker) Uptime() time.Duration { return time.Since(b.start) }
 
-// brokerMetrics holds the broker's telemetry handles. perTopic is guarded
-// by Broker.mu (it is only touched from publish).
+// brokerMetrics holds the broker's telemetry handles. Per-topic counter
+// handles live on the topicCount entries in Broker.pubByTopic.
 type brokerMetrics struct {
 	reg       *telemetry.Registry
 	received  *telemetry.Counter
 	delivered *telemetry.Counter
 	dropped   *telemetry.Counter
-	perTopic  map[string]*telemetry.Counter
 }
 
 func newBrokerMetrics(reg *telemetry.Registry, b *Broker) *brokerMetrics {
@@ -147,7 +190,6 @@ func newBrokerMetrics(reg *telemetry.Registry, b *Broker) *brokerMetrics {
 		received:  reg.Counter("ifot_broker_messages_received_total", "PUBLISH packets received from clients"),
 		delivered: reg.Counter("ifot_broker_messages_delivered_total", "PUBLISH packets written to subscriber connections"),
 		dropped:   reg.Counter("ifot_broker_messages_dropped_total", "messages not accepted by a matching session (queue full or offline)"),
-		perTopic:  make(map[string]*telemetry.Counter),
 	}
 	reg.GaugeFunc("ifot_broker_clients_connected", "currently connected clients",
 		func() float64 { return float64(b.Stats().ConnectedClients) })
@@ -175,9 +217,9 @@ func (b *Broker) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			b.mu.Lock()
+			b.mu.RLock()
 			closed := b.closed
-			b.mu.Unlock()
+			b.mu.RUnlock()
 			if closed {
 				return ErrClosed
 			}
@@ -225,21 +267,25 @@ func (b *Broker) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot of broker counters.
+// Stats returns a snapshot of broker counters. It takes only read locks,
+// so a slow or frequent metrics scrape never stalls concurrent publishes.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	var dropped int64
 	for _, s := range b.sessions {
 		dropped += s.dropped()
 	}
+	b.retainedMu.Lock()
+	retained := len(b.retained)
+	b.retainedMu.Unlock()
 	return Stats{
 		ConnectedClients:  len(b.conns),
 		Sessions:          len(b.sessions),
 		Subscriptions:     b.trie.countSubscriptions(),
-		RetainedMessages:  len(b.retained),
-		MessagesReceived:  b.received,
-		MessagesDelivered: b.delivered,
+		RetainedMessages:  retained,
+		MessagesReceived:  b.received.Load(),
+		MessagesDelivered: b.delivered.Load(),
 		MessagesDropped:   dropped,
 	}
 }
@@ -274,7 +320,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		return
 	}
 	if connect.ClientID == "" {
-		connect.ClientID = fmt.Sprintf("anon-%p", conn)
+		connect.ClientID = fmt.Sprintf("anon-%d", b.anonSeq.Add(1))
 	}
 	if b.opts.Authenticator != nil && !b.opts.Authenticator(connect.ClientID, connect.Username, connect.Password) {
 		_ = wire.WritePacket(conn, &wire.ConnackPacket{Code: wire.ConnRefusedBadAuth})
@@ -299,21 +345,31 @@ func (b *Broker) handleConn(conn net.Conn) {
 		sess.send(p)
 	}
 
-	// Writer goroutine: drains the outbound queue into the socket.
+	// Writer goroutine: drains the outbound queue into the socket through
+	// a buffered writer, flushing only when the queue is momentarily empty
+	// (Mosquitto-style corking). k packets queued back-to-back coalesce
+	// into one syscall instead of k.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		for p := range outbound {
-			if err := wire.WritePacket(conn, p); err != nil {
+		bw := bufio.NewWriterSize(conn, writerBufSize)
+		for {
+			op, ok := <-outbound
+			if !ok {
 				return
 			}
-			if p.Type() == wire.PUBLISH {
-				b.mu.Lock()
-				b.delivered++
-				b.mu.Unlock()
-				if b.metrics != nil {
-					b.metrics.delivered.Inc()
+			for ok {
+				if b.writeOut(bw, op) != nil {
+					return
 				}
+				select {
+				case op, ok = <-outbound:
+				default:
+					ok = false
+				}
+			}
+			if bw.Flush() != nil {
+				return
 			}
 		}
 	}()
@@ -439,9 +495,7 @@ func (b *Broker) readLoop(conn net.Conn, sess *session, keepAlive uint16) (grace
 }
 
 func (b *Broker) handlePublish(sess *session, p *wire.PublishPacket) {
-	b.mu.Lock()
-	b.received++
-	b.mu.Unlock()
+	b.received.Add(1)
 	if b.metrics != nil {
 		b.metrics.received.Inc()
 	}
@@ -467,79 +521,155 @@ func (b *Broker) Publish(topic string, payload []byte, qos wire.QoS, retain bool
 }
 
 // publish is the broker's single publish path. Retained-message storage and
-// subscriber fan-out happen under one mu hold, making store+route atomic: a
-// client subscribing concurrently with a stream of retained publishes can
-// never observe the live stream going backwards relative to the retained
-// snapshot it was replayed. (session.deliver is a non-blocking queue
-// insert and never acquires Broker.mu, so holding mu across fan-out cannot
-// deadlock or block on a slow subscriber.)
+// subscriber fan-out happen under one mu read hold, keeping store+route
+// atomic against subscribes: handleSubscribe registers its trie entries and
+// replays retained messages under the mu *write* lock, which excludes every
+// in-flight publish read section in its entirety, so a client subscribing
+// concurrently with a stream of retained publishes can never observe the
+// live stream going backwards relative to the retained snapshot it was
+// replayed. Concurrent publishes proceed in parallel — MQTT orders messages
+// per publisher connection only, and each publisher's own publishes stay
+// ordered because its read section completes before it issues the next.
+// (session.deliver is a non-blocking queue insert and never acquires
+// Broker.mu, so holding mu across fan-out cannot deadlock or block on a
+// slow subscriber.)
+//
+// Deliveries whose effective QoS is 0 — the identical frame for every such
+// subscriber — share one pre-encoded byte slice instead of per-subscriber
+// packet allocation and re-encoding. QoS1 deliveries still carry a packet
+// per subscriber, since each session assigns its own packet ID.
 func (b *Broker) publish(p *wire.PublishPacket, fromClientID string) {
 	_ = fromClientID // brokers may loop messages back to the publisher; MQTT allows it
 	var droppedHere int64
-	b.mu.Lock()
+	b.mu.RLock()
 	if p.Retain {
+		b.retainedMu.Lock()
 		if len(p.Payload) == 0 {
 			delete(b.retained, p.Topic)
 		} else {
 			b.retained[p.Topic] = retainedMsg{payload: append([]byte(nil), p.Payload...), qos: p.QoS}
 		}
+		b.retainedMu.Unlock()
 	}
-	b.notePublishLocked(p.Topic)
+	b.notePublish(p.Topic)
+	var frame []byte // shared QoS0 frame, encoded on first need
 	for _, sub := range b.trie.match(p.Topic) {
-		out := &wire.PublishPacket{
-			Topic:   p.Topic,
-			Payload: p.Payload,
-			QoS:     minQoS(p.QoS, sub.qos),
-			// Retain flag is false on normal routed deliveries
-			// (spec 3.3.1-9); it is true only for retained-message
-			// replay at subscribe time.
+		qos := minQoS(p.QoS, sub.qos)
+		// Retain flag is false on normal routed deliveries (spec
+		// 3.3.1-9); it is true only for retained replay at subscribe
+		// time.
+		if qos == wire.QoS0 {
+			if frame == nil {
+				var err error
+				frame, err = wire.AppendEncode(nil, &wire.PublishPacket{Topic: p.Topic, Payload: p.Payload})
+				if err != nil {
+					// Unroutable topic (possible only via the internal
+					// Publish API): count the miss rather than handing
+					// subscribers a frame that kills their connection.
+					droppedHere++
+					break
+				}
+			}
+			if !sub.session.deliverFrame(frame) {
+				droppedHere++
+			}
+			continue
 		}
+		out := &wire.PublishPacket{Topic: p.Topic, Payload: p.Payload, QoS: qos}
 		if !sub.session.deliver(out) {
 			droppedHere++
 		}
 	}
-	b.mu.Unlock()
+	b.mu.RUnlock()
 	if b.metrics != nil && droppedHere > 0 {
 		b.metrics.dropped.Add(droppedHere)
 	}
 }
 
-// notePublishLocked records a publish against its (bounded) topic key.
-// Broker-internal topics ($SYS, …) are excluded so self-statistics never
-// feed back into the statistics. Caller holds b.mu.
-func (b *Broker) notePublishLocked(topic string) {
-	if strings.HasPrefix(topic, "$") {
-		return
-	}
-	key := topic
-	if _, seen := b.pubByTopic[key]; !seen && len(b.pubByTopic) >= maxPublishTopics {
-		key = overflowTopicKey
-	}
-	b.pubByTopic[key]++
-	if b.metrics != nil {
-		c, ok := b.metrics.perTopic[key]
-		if !ok {
-			c = b.metrics.reg.Counter("ifot_broker_publish_total",
-				"publishes routed per topic (bounded cardinality)", telemetry.L("topic", key))
-			b.metrics.perTopic[key] = c
+// writerBufSize is the per-connection outbound coalescing buffer.
+const writerBufSize = 16 << 10
+
+// writeOut serializes one outbound item into the connection's buffered
+// writer and bumps the delivery counters for application messages.
+func (b *Broker) writeOut(bw *bufio.Writer, op outPacket) error {
+	if op.frame != nil {
+		if _, err := bw.Write(op.frame); err != nil {
+			return err
 		}
-		c.Inc()
+		b.noteDelivered()
+		return nil
+	}
+	if err := wire.WritePacket(bw, op.pkt); err != nil {
+		return err
+	}
+	if op.pkt.Type() == wire.PUBLISH {
+		b.noteDelivered()
+	}
+	return nil
+}
+
+func (b *Broker) noteDelivered() {
+	b.delivered.Add(1)
+	if b.metrics != nil {
+		b.metrics.delivered.Inc()
 	}
 }
 
-// PublishCounts snapshots the bounded per-topic publish counters.
+// notePublish records a publish against its (bounded) topic key.
+// Broker-internal topics ($SYS, …) are excluded so self-statistics never
+// feed back into the statistics. The common case — a topic already being
+// accounted — takes only pubMu's read lock plus an atomic add.
+func (b *Broker) notePublish(topic string) {
+	if strings.HasPrefix(topic, "$") {
+		return
+	}
+	b.pubMu.RLock()
+	tc, ok := b.pubByTopic[topic]
+	b.pubMu.RUnlock()
+	if ok {
+		tc.bump()
+		return
+	}
+	b.pubMu.Lock()
+	key := topic
+	tc, ok = b.pubByTopic[key]
+	if !ok && len(b.pubByTopic) >= maxPublishTopics {
+		key = overflowTopicKey
+		tc, ok = b.pubByTopic[key]
+	}
+	if !ok {
+		tc = &topicCount{}
+		if b.metrics != nil {
+			tc.metric = b.metrics.reg.Counter("ifot_broker_publish_total",
+				"publishes routed per topic (bounded cardinality)", telemetry.L("topic", key))
+		}
+		b.pubByTopic[key] = tc
+	}
+	b.pubMu.Unlock()
+	tc.bump()
+}
+
+// PublishCounts snapshots the bounded per-topic publish counters. Like
+// Stats, it never takes a write lock, so scraping cannot stall publishes.
 func (b *Broker) PublishCounts() map[string]int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.pubMu.RLock()
+	defer b.pubMu.RUnlock()
 	out := make(map[string]int64, len(b.pubByTopic))
-	for k, v := range b.pubByTopic {
-		out[k] = v
+	for k, tc := range b.pubByTopic {
+		out[k] = tc.n.Load()
 	}
 	return out
 }
 
 func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
 	codes := make([]byte, len(p.Subscriptions))
+
+	// Registration and retained replay happen under one mu write hold,
+	// which excludes every publish read section whole (spec 3.3.1-6 replay
+	// consistency): the replayed snapshot reflects exactly the publishes
+	// whose store+route completed, and every later publish delivers live.
+	// The live stream can therefore never run behind the replay.
+	b.mu.Lock()
 	for i, sub := range p.Subscriptions {
 		granted := minQoS(sub.QoS, b.opts.MaxQoS)
 		b.trie.subscribe(sub.TopicFilter, sess, granted)
@@ -548,11 +678,7 @@ func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
 	}
 	sess.send(&wire.SubackPacket{PacketID: p.PacketID, ReturnCodes: codes})
 
-	// Replay retained messages matching the new filters (spec 3.3.1-6).
-	// Delivery happens under the same mu hold that publish uses for
-	// store+route, so the replayed snapshot is consistent with the live
-	// stream the subscriber is now attached to.
-	b.mu.Lock()
+	b.retainedMu.Lock()
 	for i, sub := range p.Subscriptions {
 		for topic, msg := range b.retained {
 			if wire.MatchTopic(sub.TopicFilter, topic) {
@@ -565,14 +691,17 @@ func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
 			}
 		}
 	}
+	b.retainedMu.Unlock()
 	b.mu.Unlock()
 }
 
 func (b *Broker) handleUnsubscribe(sess *session, p *wire.UnsubscribePacket) {
+	b.mu.Lock()
 	for _, f := range p.TopicFilters {
 		b.trie.unsubscribe(f, sess.clientID)
 		sess.removeSubscription(f)
 	}
+	b.mu.Unlock()
 	sess.send(&wire.AckPacket{PacketType: wire.UNSUBACK, PacketID: p.PacketID})
 }
 

@@ -10,6 +10,14 @@ import (
 // persistent sessions; the oldest messages are dropped first on overflow.
 const maxQueuedOffline = 1000
 
+// outPacket is one queued outbound item: either a packet encoded at write
+// time, or a pre-encoded frame shared read-only across the subscribers of
+// one publish (the broker's encode-once QoS0 fan-out).
+type outPacket struct {
+	pkt   wire.Packet // nil when frame is set
+	frame []byte      // full wire frame; must not be mutated
+}
+
 // session holds the broker-side state for one client identifier. For
 // persistent sessions (CleanSession=false) the object outlives the network
 // connection; for clean sessions it is discarded on disconnect.
@@ -19,8 +27,8 @@ type session struct {
 
 	mu        sync.Mutex
 	connected bool
-	outbound  chan wire.Packet // non-nil while connected
-	attachGen uint64           // increments per (re)connection
+	outbound  chan outPacket // non-nil while connected
+	attachGen uint64         // increments per (re)connection
 
 	// subscriptions mirrors the trie entries owned by this session so
 	// they can be reported and cleaned up.
@@ -54,12 +62,12 @@ func newSession(clientID string, persistent bool) *session {
 // attach binds a new connection's outbound queue to the session and returns
 // the packets that must be (re)sent: unacked inflight messages first (with
 // DUP set), then queued offline messages (now given packet IDs).
-func (s *session) attach(queueSize int) (outbound chan wire.Packet, resend []*wire.PublishPacket, gen uint64) {
+func (s *session) attach(queueSize int) (outbound chan outPacket, resend []*wire.PublishPacket, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.connected = true
 	s.attachGen++
-	s.outbound = make(chan wire.Packet, queueSize)
+	s.outbound = make(chan outPacket, queueSize)
 
 	resend = make([]*wire.PublishPacket, 0, len(s.inflight)+len(s.queued))
 	for _, p := range s.inflight {
@@ -102,7 +110,7 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 			s.inflight[p.PacketID] = p
 		}
 		select {
-		case s.outbound <- p:
+		case s.outbound <- outPacket{pkt: p}:
 			return true
 		default:
 			s.droppedMessages++
@@ -119,6 +127,24 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 		return true
 	}
 	return false
+}
+
+// deliverFrame routes a pre-encoded QoS0 application frame to a connected
+// client. QoS0 messages are never queued offline, so a disconnected (or
+// saturated) session just reports the drop.
+func (s *session) deliverFrame(frame []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.connected {
+		return false
+	}
+	select {
+	case s.outbound <- outPacket{frame: frame}:
+		return true
+	default:
+		s.droppedMessages++
+		return false
+	}
 }
 
 func (s *session) queueOfflineLocked(p *wire.PublishPacket) {
@@ -138,7 +164,7 @@ func (s *session) send(p wire.Packet) bool {
 		return false
 	}
 	select {
-	case s.outbound <- p:
+	case s.outbound <- outPacket{pkt: p}:
 		return true
 	default:
 		s.droppedMessages++

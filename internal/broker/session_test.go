@@ -15,8 +15,8 @@ func TestSessionDeliverAssignsPacketIDs(t *testing.T) {
 	if !s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1}) {
 		t.Fatal("deliver rejected")
 	}
-	first := (<-out).(*wire.PublishPacket)
-	second := (<-out).(*wire.PublishPacket)
+	first := (<-out).pkt.(*wire.PublishPacket)
+	second := (<-out).pkt.(*wire.PublishPacket)
 	if first.PacketID == 0 || second.PacketID == 0 || first.PacketID == second.PacketID {
 		t.Fatalf("packet ids %d, %d must be distinct and nonzero", first.PacketID, second.PacketID)
 	}
@@ -26,7 +26,7 @@ func TestSessionAckClearsInflight(t *testing.T) {
 	s := newSession("c", false)
 	out, _, _ := s.attach(8)
 	s.deliver(&wire.PublishPacket{Topic: "t", QoS: wire.QoS1})
-	pkt := (<-out).(*wire.PublishPacket)
+	pkt := (<-out).pkt.(*wire.PublishPacket)
 	if len(s.inflight) != 1 {
 		t.Fatalf("inflight = %d, want 1", len(s.inflight))
 	}

@@ -43,9 +43,9 @@ func (b *Broker) PublishSysStats(interval time.Duration, stop <-chan struct{}) <
 			case <-stop:
 				return
 			}
-			b.mu.Lock()
+			b.mu.RLock()
 			closed := b.closed
-			b.mu.Unlock()
+			b.mu.RUnlock()
 			if closed {
 				return
 			}

@@ -296,31 +296,40 @@ func (c *Client) SubscribeHandle(filter string, qos wire.QoS, handler Handler) (
 	if err != nil {
 		return 0, nil, err
 	}
+
+	// The handler must be live before SUBSCRIBE hits the wire: the broker
+	// may deliver retained replay in the same TCP segment as the SUBACK,
+	// and a handler registered only after the ack races the read loop and
+	// silently drops that replay.
+	c.mu.Lock()
+	c.subID++
+	reg := &HandlerRegistration{client: c, id: c.subID, filter: filter}
+	c.subs = append(c.subs, subscription{id: c.subID, filter: filter, handler: handler})
+	c.mu.Unlock()
+
 	sub := &wire.SubscribePacket{
 		PacketID:      id,
 		Subscriptions: []wire.Subscription{{TopicFilter: filter, QoS: qos}},
 	}
 	if err := c.write(sub); err != nil {
 		c.unregisterPending(id)
+		reg.Remove()
 		return 0, nil, err
 	}
 	ack, err := c.waitAck(id, ackCh)
 	if err != nil {
+		reg.Remove()
 		return 0, nil, err
 	}
 	suback, ok := ack.(*wire.SubackPacket)
 	if !ok || len(suback.ReturnCodes) != 1 {
+		reg.Remove()
 		return 0, nil, fmt.Errorf("mqttclient: malformed SUBACK")
 	}
 	if suback.ReturnCodes[0] == wire.SubackFailure {
+		reg.Remove()
 		return 0, nil, ErrSubRejected
 	}
-
-	c.mu.Lock()
-	c.subID++
-	reg := &HandlerRegistration{client: c, id: c.subID, filter: filter}
-	c.subs = append(c.subs, subscription{id: c.subID, filter: filter, handler: handler})
-	c.mu.Unlock()
 	return wire.QoS(suback.ReturnCodes[0]), reg, nil
 }
 

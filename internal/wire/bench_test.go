@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkWireEncode measures packet serialization cost for the frames
+// that dominate broker traffic: application publishes and the QoS1 ack.
+func BenchmarkWireEncode(b *testing.B) {
+	pub := &PublishPacket{Topic: "ifot/sensor/acc", Payload: make([]byte, 128), QoS: QoS0}
+	pubQ1 := &PublishPacket{Topic: "ifot/sensor/acc", Payload: make([]byte, 128), QoS: QoS1, PacketID: 42}
+	ack := &AckPacket{PacketType: PUBACK, PacketID: 42}
+
+	b.Run("encode/publish-128B", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(pub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/publish-qos1-128B", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(pubQ1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/puback", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(ack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/publish-128B", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WritePacket(io.Discard, pub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/puback", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WritePacket(io.Discard, ack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // PacketType identifies an MQTT control packet.
@@ -90,8 +91,10 @@ const MaxRemainingLength = 268435455
 type Packet interface {
 	// Type reports the control packet type.
 	Type() PacketType
-	// encode writes the variable header + payload into buf and returns
-	// the fixed-header flag nibble.
+	// encode appends the variable header + payload to *buf (which may
+	// already hold data and is never truncated) and returns the
+	// fixed-header flag nibble. Append-style encoding lets callers reuse
+	// pooled buffers across packets instead of allocating per encode.
 	encode(buf *[]byte) (flags byte, err error)
 	// decode parses the variable header + payload from body given the
 	// fixed-header flag nibble.
@@ -207,30 +210,65 @@ func (*PingrespPacket) Type() PacketType { return PINGRESP }
 // Type implements Packet.
 func (*DisconnectPacket) Type() PacketType { return DISCONNECT }
 
-// WritePacket encodes p and writes it to w as a single Write call.
-func WritePacket(w io.Writer, p Packet) error {
-	data, err := Encode(p)
-	if err != nil {
-		return err
+// encodeBufPool recycles encode scratch buffers (packet bodies and whole
+// frames). Buffers that grew beyond maxPooledBuf are dropped rather than
+// returned, so one oversized payload cannot pin memory in the pool.
+var encodeBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+const maxPooledBuf = 64 << 10
+
+func putEncodeBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		encodeBufPool.Put(bp)
 	}
-	_, err = w.Write(data)
+}
+
+// WritePacket encodes p and writes it to w as a single Write call. The
+// frame is built in a pooled buffer, so steady-state it allocates nothing.
+func WritePacket(w io.Writer, p Packet) error {
+	bp := encodeBufPool.Get().(*[]byte)
+	frame, err := AppendEncode((*bp)[:0], p)
+	*bp = frame
+	if err == nil {
+		_, err = w.Write(frame)
+	}
+	putEncodeBuf(bp)
 	return err
 }
 
-// Encode serializes a packet to its full wire representation.
+// Encode serializes a packet to its full wire representation in a freshly
+// allocated slice the caller owns.
 func Encode(p Packet) ([]byte, error) {
-	var body []byte
-	flags, err := p.encode(&body)
+	frame, err := AppendEncode(nil, p)
 	if err != nil {
 		return nil, err
 	}
-	if len(body) > MaxRemainingLength {
-		return nil, ErrPacketTooLarge
+	return frame, nil
+}
+
+// AppendEncode appends p's full wire representation (fixed header,
+// remaining length, variable header, payload) to dst and returns the
+// extended slice. On error dst is returned unchanged. The body scratch is
+// pooled, so the only allocation is dst growth.
+func AppendEncode(dst []byte, p Packet) ([]byte, error) {
+	bp := encodeBufPool.Get().(*[]byte)
+	body := (*bp)[:0]
+	flags, err := p.encode(&body)
+	*bp = body
+	if err == nil && len(body) > MaxRemainingLength {
+		err = ErrPacketTooLarge
 	}
-	header := make([]byte, 0, 5+len(body))
-	header = append(header, byte(p.Type())<<4|flags)
-	header = appendRemainingLength(header, len(body))
-	return append(header, body...), nil
+	if err != nil {
+		putEncodeBuf(bp)
+		return dst, err
+	}
+	dst = append(dst, byte(p.Type())<<4|flags)
+	dst = appendRemainingLength(dst, len(body))
+	dst = append(dst, body...)
+	putEncodeBuf(bp)
+	return dst, nil
 }
 
 // ReadPacket reads and decodes exactly one packet from r. maxSize bounds the
@@ -316,7 +354,7 @@ func (p *ConnectPacket) encode(buf *[]byte) (byte, error) {
 	if level == ProtocolLevel31 {
 		name = protocolName31
 	}
-	b := appendString(nil, name)
+	b := appendString(*buf, name)
 	b = append(b, level)
 
 	var connectFlags byte
@@ -430,7 +468,7 @@ func (p *ConnackPacket) encode(buf *[]byte) (byte, error) {
 	if p.SessionPresent {
 		ack = 1
 	}
-	*buf = []byte{ack, byte(p.Code)}
+	*buf = append(*buf, ack, byte(p.Code))
 	return 0, nil
 }
 
@@ -463,7 +501,7 @@ func (p *PublishPacket) encode(buf *[]byte) (byte, error) {
 	if p.Retain {
 		flags |= 1
 	}
-	b := appendString(nil, p.Topic)
+	b := appendString(*buf, p.Topic)
 	if p.QoS > QoS0 {
 		if p.PacketID == 0 {
 			return 0, fmt.Errorf("%w: QoS>0 publish requires nonzero packet id", ErrProtocolViolated)
@@ -505,7 +543,7 @@ func (p *PublishPacket) decode(flags byte, body []byte) error {
 // --- PUBACK / PUBREC / PUBREL / PUBCOMP / UNSUBACK ---
 
 func (p *AckPacket) encode(buf *[]byte) (byte, error) {
-	*buf = appendUint16(nil, p.PacketID)
+	*buf = appendUint16(*buf, p.PacketID)
 	if p.PacketType == PUBREL {
 		return 0x2, nil // spec: PUBREL fixed-header flags are 0010
 	}
@@ -533,7 +571,7 @@ func (p *SubscribePacket) encode(buf *[]byte) (byte, error) {
 	if p.PacketID == 0 {
 		return 0, fmt.Errorf("%w: SUBSCRIBE requires nonzero packet id", ErrProtocolViolated)
 	}
-	b := appendUint16(nil, p.PacketID)
+	b := appendUint16(*buf, p.PacketID)
 	for _, s := range p.Subscriptions {
 		if s.QoS > QoS2 {
 			return 0, ErrInvalidQoS
@@ -583,7 +621,7 @@ func (p *SubscribePacket) decode(flags byte, body []byte) error {
 // --- SUBACK ---
 
 func (p *SubackPacket) encode(buf *[]byte) (byte, error) {
-	b := appendUint16(nil, p.PacketID)
+	b := appendUint16(*buf, p.PacketID)
 	b = append(b, p.ReturnCodes...)
 	*buf = b
 	return 0, nil
@@ -604,7 +642,7 @@ func (p *UnsubscribePacket) encode(buf *[]byte) (byte, error) {
 	if len(p.TopicFilters) == 0 {
 		return 0, fmt.Errorf("%w: UNSUBSCRIBE requires at least one topic filter", ErrProtocolViolated)
 	}
-	b := appendUint16(nil, p.PacketID)
+	b := appendUint16(*buf, p.PacketID)
 	for _, f := range p.TopicFilters {
 		if err := ValidateTopicFilter(f); err != nil {
 			return 0, err
@@ -642,7 +680,7 @@ func (p *UnsubscribePacket) decode(flags byte, body []byte) error {
 
 // --- PINGREQ / PINGRESP / DISCONNECT ---
 
-func (*PingreqPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+func (*PingreqPacket) encode(buf *[]byte) (byte, error) { return 0, nil }
 
 func (*PingreqPacket) decode(flags byte, body []byte) error {
 	if flags != 0 || len(body) != 0 {
@@ -651,7 +689,7 @@ func (*PingreqPacket) decode(flags byte, body []byte) error {
 	return nil
 }
 
-func (*PingrespPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+func (*PingrespPacket) encode(buf *[]byte) (byte, error) { return 0, nil }
 
 func (*PingrespPacket) decode(flags byte, body []byte) error {
 	if flags != 0 || len(body) != 0 {
@@ -660,7 +698,7 @@ func (*PingrespPacket) decode(flags byte, body []byte) error {
 	return nil
 }
 
-func (*DisconnectPacket) encode(buf *[]byte) (byte, error) { *buf = nil; return 0, nil }
+func (*DisconnectPacket) encode(buf *[]byte) (byte, error) { return 0, nil }
 
 func (*DisconnectPacket) decode(flags byte, body []byte) error {
 	if flags != 0 || len(body) != 0 {
