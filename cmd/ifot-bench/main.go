@@ -13,6 +13,7 @@
 //	ifot-bench -ablation all     # cloud/broker/parallel/qos/scale
 //	ifot-bench -topology -trace  # print Fig. 7 / Fig. 9 structure
 //	ifot-bench -throughput       # saturate a real broker over loopback TCP
+//	ifot-bench -analysis         # analyzed msgs/sec through dispatch lanes + dense classify
 package main
 
 import (
@@ -50,6 +51,11 @@ func run() error {
 		tsubs      = flag.Int("tsubs", 64, "throughput mode: subscribers on the bench topic")
 		tpayload   = flag.Int("tpayload", 128, "throughput mode: payload bytes")
 		tduration  = flag.Duration("tduration", 3*time.Second, "throughput mode: wall-clock run time")
+		analysis   = flag.Bool("analysis", false, "drive the dense analysis hot path over broker + dispatch lanes and report analyzed msgs/sec")
+		atopics    = flag.Int("atopics", 4, "analysis mode: subscriptions (dispatch lanes)")
+		asensors   = flag.Int("asensors", 3, "analysis mode: sensor streams joined per batch")
+		awindow    = flag.Int("awindow", 128, "analysis mode: paced in-flight window (zero-drop)")
+		aduration  = flag.Duration("aduration", 3*time.Second, "analysis mode: wall-clock run time")
 		trace      = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
 		csvPath    = flag.String("csv", "", "also write the sweep series as CSV to this file")
 		duration   = flag.Duration("duration", 30*time.Second, "virtual duration per run")
@@ -122,6 +128,17 @@ func run() error {
 			subscribers: *tsubs,
 			payload:     *tpayload,
 			duration:    *tduration,
+		}); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *analysis {
+		if err := runAnalysis(analysisConfig{
+			topics:   *atopics,
+			sensors:  *asensors,
+			window:   *awindow,
+			duration: *aduration,
 		}); err != nil {
 			return err
 		}

@@ -135,12 +135,15 @@ func decodeSamples(payload []byte) ([]sensor.Sample, error) {
 }
 
 // BatchFeatures converts a joined batch into a sparse feature vector: one
-// feature per sensor channel.
+// feature per sensor channel. Key strings come from the per-sensor symbol
+// cache, not fmt.Sprintf. The hot analysis path uses BatchDense instead;
+// this map form remains the interchange format.
 func BatchFeatures(batch []sensor.Sample) feature.Vector {
 	v := make(feature.Vector, len(batch)*3)
 	for _, s := range batch {
+		cs := symsFor(s.SensorIndex)
 		for ch, val := range s.Values {
-			v[fmt.Sprintf("s%d.c%d@num", s.SensorIndex, ch)] = float64(val)
+			v[cs.numKey[ch]] = float64(val)
 		}
 	}
 	return v
@@ -373,6 +376,7 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 		return m.startTrainRegression(inst, rec, sub, topics)
 	}
 	clf := newClassifier(sub)
+	dclf, dense := clf.(ml.DenseClassifier)
 	var (
 		mu       sync.Mutex
 		examples int64
@@ -387,7 +391,13 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 		if !shardOwnsBatch(sub, seq) {
 			return
 		}
-		clf.Train(BatchFeatures(batch), labelFor(sub, batch))
+		if dense {
+			dv := BatchDense(batch)
+			dclf.TrainDense(dv, labelFor(sub, batch))
+			feature.PutDense(dv)
+		} else {
+			clf.Train(BatchFeatures(batch), labelFor(sub, batch))
+		}
 		mu.Lock()
 		examples++
 		count := examples
@@ -505,8 +515,9 @@ func regressionSplit(batch []sensor.Sample, targetSensor uint16) (v feature.Vect
 			ok = true
 			continue
 		}
+		cs := symsFor(s.SensorIndex)
 		for ch, val := range s.Values {
-			v[fmt.Sprintf("s%d.c%d@num", s.SensorIndex, ch)] = float64(val)
+			v[cs.numKey[ch]] = float64(val)
 		}
 	}
 	return v, target, ok
@@ -575,6 +586,7 @@ func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.
 		return m.startPredictRegression(inst, rec, sub, topics)
 	}
 	clf := newClassifier(sub)
+	dclf, dense := clf.(ml.DenseClassifier)
 	exporter, mixable := clf.(ml.WeightExporter)
 
 	// Model sync: import (averaged) weights published by the named
@@ -618,13 +630,21 @@ func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.
 		if !shardOwnsBatch(sub, batch[0].Seq) {
 			return
 		}
-		v := BatchFeatures(batch)
 		label := ""
 		score := 0.0
-		if got, err := clf.Classify(v); err == nil {
-			label = got
-			if scores := clf.Scores(v); len(scores) > 0 {
-				score = scores[0].Score
+		if dense {
+			dv := BatchDense(batch)
+			if best, err := dclf.BestDense(dv); err == nil {
+				label, score = best.Label, best.Score
+			}
+			feature.PutDense(dv)
+		} else {
+			v := BatchFeatures(batch)
+			if got, err := clf.Classify(v); err == nil {
+				label = got
+				if scores := clf.Scores(v); len(scores) > 0 {
+					score = scores[0].Score
+				}
 			}
 		}
 		m.emitDecision(rec, sub, Decision{
@@ -698,6 +718,7 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	default:
 		detector = ml.NewZScoreDetector()
 	}
+	ddet, dense := detector.(ml.DenseAnomalyDetector)
 
 	// With a "window" param the detector scores sliding-window summary
 	// features (mean/std/energy/zero-crossings) per sensor instead of raw
@@ -720,7 +741,7 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 				for i, b := range batch {
 					values[i] = float64(b.Values[0])
 				}
-				v := feature.WindowStats(fmt.Sprintf("s%d", idx), values)
+				v := feature.WindowStats(symsFor(idx).prefix, values)
 				winMu.Lock()
 				windowScores[idx] = detector.Add(v)
 				winMu.Unlock()
@@ -753,12 +774,21 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 				continue
 			}
 			scored = true
-			v := feature.Vector{
-				fmt.Sprintf("s%d.c0", s.SensorIndex): float64(s.Values[0]),
-				fmt.Sprintf("s%d.c1", s.SensorIndex): float64(s.Values[1]),
-				fmt.Sprintf("s%d.c2", s.SensorIndex): float64(s.Values[2]),
+			var score float64
+			if dense {
+				dv := feature.GetDense()
+				appendSampleRawDense(dv, s)
+				score = ddet.AddDense(dv)
+				feature.PutDense(dv)
+			} else {
+				cs := symsFor(s.SensorIndex)
+				score = detector.Add(feature.Vector{
+					cs.rawKey[0]: float64(s.Values[0]),
+					cs.rawKey[1]: float64(s.Values[1]),
+					cs.rawKey[2]: float64(s.Values[2]),
+				})
 			}
-			if score := detector.Add(v); score > worst {
+			if score > worst {
 				worst = score
 			}
 		}
@@ -792,7 +822,9 @@ func (m *Module) startCluster(inst *taskInstance, rec recipe.Recipe, sub recipe.
 		if err != nil || len(batch) == 0 {
 			return
 		}
-		idx := km.Add(BatchFeatures(batch))
+		dv := BatchDense(batch)
+		idx := km.AddDense(dv)
+		feature.PutDense(dv)
 		m.emitDecision(rec, sub, Decision{
 			Kind:     string(recipe.KindCluster),
 			Label:    "cluster-" + strconv.Itoa(idx),

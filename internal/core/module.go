@@ -32,7 +32,8 @@ var (
 type CustomFunc func(msg mqttclient.Message, publish func(topic string, payload []byte) error)
 
 // Observer receives middleware events; all callbacks are optional and must
-// be fast (they run on the dispatch goroutine).
+// be fast (they run inline on the subscription's dispatch lane, so a slow
+// callback delays only that subscription's queue — see mqttclient.Handler).
 type Observer struct {
 	// OnTrain fires after every Learning-class model update.
 	OnTrain func(TrainEvent)

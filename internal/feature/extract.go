@@ -34,11 +34,20 @@ type StrRule int
 
 // String conversion rules.
 const (
-	// StrExact emits "<key>$<value>@str" = 1.
+	// StrExact emits "<key>$<value>@str" = 1. The empty string is a
+	// legitimate value: it emits "<key>$@str" = 1, distinguishing "field
+	// present but empty" from "field absent" (no feature at all).
 	StrExact StrRule = iota + 1
 	// StrUnigram emits per-character counts "<key>$<char>@uni".
+	// Characters are Unicode code points (runes), not bytes: "héllo"
+	// yields one "h", one "é", two "l", one "o" — a multi-byte rune is
+	// never split into per-byte features. Invalid UTF-8 bytes each count
+	// as one U+FFFD replacement rune (Go range-over-string semantics).
+	// The empty string emits no features.
 	StrUnigram
-	// StrBigram emits per-character-pair counts "<key>$<pair>@bi".
+	// StrBigram emits per-character-pair counts "<key>$<pair>@bi",
+	// pairing adjacent runes (not bytes): "héllo" yields "hé", "él",
+	// "ll", "lo". Strings shorter than two runes emit no features.
 	StrBigram
 )
 

@@ -1,0 +1,104 @@
+package feature
+
+import (
+	"math"
+	"testing"
+)
+
+// The string rules pair runes, never bytes: a multi-byte UTF-8 character
+// is one unigram and one half of each adjacent bigram. These tests pin
+// the documented semantics.
+
+func TestStrUnigramMultiByteUTF8(t *testing.T) {
+	e := Extractor{StrRules: map[string]StrRule{"*": StrUnigram}}
+	d := NewDatum()
+	d.Strings["w"] = "héllo" // é is 2 bytes in UTF-8
+	v := e.Extract(d)
+
+	want := Vector{
+		"w$h@uni": 1,
+		"w$é@uni": 1,
+		"w$l@uni": 2,
+		"w$o@uni": 1,
+	}
+	if len(v) != len(want) {
+		t.Fatalf("unigram features = %v, want %v", v, want)
+	}
+	for k, wv := range want {
+		if math.Abs(v[k]-wv) > 0 {
+			t.Errorf("%s = %v, want %v", k, v[k], wv)
+		}
+	}
+	// Byte-level pairing would have produced fragments of é's two bytes.
+	if _, ok := v["w$\xc3@uni"]; ok {
+		t.Error("unigram split a multi-byte rune into bytes")
+	}
+}
+
+func TestStrUnigramCJK(t *testing.T) {
+	e := Extractor{StrRules: map[string]StrRule{"*": StrUnigram}}
+	d := NewDatum()
+	d.Strings["w"] = "温度温" // 3-byte runes, one repeated
+	v := e.Extract(d)
+	if got := v["w$温@uni"]; got != 2 {
+		t.Errorf("温 count = %v, want 2 (features: %v)", got, v)
+	}
+	if got := v["w$度@uni"]; got != 1 {
+		t.Errorf("度 count = %v, want 1", got)
+	}
+	if len(v) != 2 {
+		t.Errorf("features = %v, want exactly 2 keys", v)
+	}
+}
+
+func TestStrBigramMultiByteUTF8(t *testing.T) {
+	e := Extractor{StrRules: map[string]StrRule{"*": StrBigram}}
+	d := NewDatum()
+	d.Strings["w"] = "héllo"
+	v := e.Extract(d)
+
+	want := Vector{
+		"w$hé@bi": 1,
+		"w$él@bi": 1,
+		"w$ll@bi": 1,
+		"w$lo@bi": 1,
+	}
+	if len(v) != len(want) {
+		t.Fatalf("bigram features = %v, want %v", v, want)
+	}
+	for k, wv := range want {
+		if v[k] != wv {
+			t.Errorf("%s = %v, want %v", k, v[k], wv)
+		}
+	}
+}
+
+func TestStrRulesEmptyAndShortStrings(t *testing.T) {
+	for _, tc := range []struct {
+		rule StrRule
+		in   string
+		want int // expected feature count
+	}{
+		{StrUnigram, "", 0},  // empty: nothing to count
+		{StrBigram, "", 0},   // empty: no pairs
+		{StrBigram, "a", 0},  // single rune: no pairs
+		{StrBigram, "é", 0},  // single multi-byte rune: still no pairs
+		{StrUnigram, "é", 1}, // single multi-byte rune: one unigram
+	} {
+		e := Extractor{StrRules: map[string]StrRule{"*": tc.rule}}
+		d := NewDatum()
+		d.Strings["w"] = tc.in
+		if v := e.Extract(d); len(v) != tc.want {
+			t.Errorf("rule %v on %q: features = %v, want %d", tc.rule, tc.in, v, tc.want)
+		}
+	}
+
+	// StrExact on the empty string keeps "present but empty" visible.
+	e := Extractor{} // zero value: StrExact
+	d := NewDatum()
+	d.Strings["w"] = ""
+	v := e.Extract(d)
+	if v["w$@str"] != 1 || len(v) != 1 {
+		t.Errorf("exact empty-string features = %v, want {w$@str: 1}", v)
+	}
+}

@@ -1,0 +1,262 @@
+package feature
+
+import (
+	"sort"
+	"sync"
+)
+
+// Symbols interns feature names to dense uint32 IDs. The per-message
+// analysis hot path carries features as (id, value) pairs instead of
+// string-keyed maps; names are resolved back through the table only at
+// interchange boundaries (MIX weight export, JSON output, logging).
+//
+// IDs are assigned in first-intern order and never recycled, so a model
+// may index weight slices directly by ID. All methods are safe for
+// concurrent use; Intern is lock-free-read in the common (already
+// interned) case.
+type Symbols struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	names []string
+}
+
+// NewSymbols returns an empty interning table.
+func NewSymbols() *Symbols {
+	return &Symbols{ids: make(map[string]uint32)}
+}
+
+// defaultSymbols is the process-wide table shared by the middleware's
+// analysis path: sensor-channel features are bounded in number, so one
+// table keeps every learner and extractor in the same ID space without
+// plumbing.
+var defaultSymbols = NewSymbols()
+
+// DefaultSymbols returns the shared process-wide interning table.
+func DefaultSymbols() *Symbols { return defaultSymbols }
+
+// Intern returns the stable ID for name, assigning the next dense ID on
+// first sight.
+func (s *Symbols) Intern(name string) uint32 {
+	s.mu.RLock()
+	id, ok := s.ids[name]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id = uint32(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// Lookup returns the ID for name without interning it.
+func (s *Symbols) Lookup(name string) (uint32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the interned name for id ("" for unassigned IDs).
+func (s *Symbols) Name(id uint32) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// Len reports the number of interned names.
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
+
+// DenseVec is a sparse feature vector in interned form: parallel slices of
+// feature IDs and values. It is the hot-path counterpart of Vector — built
+// once per message from pooled buffers, consumed by slice-walking learners,
+// and never serialized (the map Vector stays the interchange form).
+//
+// A DenseVec may hold its IDs in any order; operations that require
+// alignment between two vectors (distances) sort first via SortByID.
+// Duplicate IDs are allowed and behave additively in Dot/AddScaledTo
+// (matching Vector's summing Merge semantics).
+type DenseVec struct {
+	IDs  []uint32
+	Vals []float64
+}
+
+// Reset empties the vector, keeping capacity.
+func (d *DenseVec) Reset() {
+	d.IDs = d.IDs[:0]
+	d.Vals = d.Vals[:0]
+}
+
+// Append adds one (id, value) component.
+func (d *DenseVec) Append(id uint32, val float64) {
+	d.IDs = append(d.IDs, id)
+	d.Vals = append(d.Vals, val)
+}
+
+// Len reports the number of components.
+func (d *DenseVec) Len() int { return len(d.IDs) }
+
+// Dot returns the inner product with a dense weight slice indexed by
+// feature ID; IDs beyond len(w) contribute zero.
+func (d *DenseVec) Dot(w []float64) float64 {
+	var sum float64
+	for i, id := range d.IDs {
+		if int(id) < len(w) {
+			sum += d.Vals[i] * w[id]
+		}
+	}
+	return sum
+}
+
+// SquaredNorm returns the squared L2 norm.
+func (d *DenseVec) SquaredNorm() float64 {
+	var sum float64
+	for _, v := range d.Vals {
+		sum += v * v
+	}
+	return sum
+}
+
+// AddScaledTo adds scale*d into the dense weight slice w, growing it to
+// cover the vector's largest ID, and returns the (possibly reallocated)
+// slice.
+func (d *DenseVec) AddScaledTo(w []float64, scale float64) []float64 {
+	if len(d.IDs) == 0 {
+		return w
+	}
+	w = GrowDense(w, d.MaxID()+1)
+	for i, id := range d.IDs {
+		w[id] += scale * d.Vals[i]
+	}
+	return w
+}
+
+// MaxID returns the largest feature ID in the vector (0 when empty).
+func (d *DenseVec) MaxID() uint32 {
+	var max uint32
+	for _, id := range d.IDs {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// SortByID orders components by ascending ID (values follow), the
+// canonical form required by SquaredDistance.
+func (d *DenseVec) SortByID() {
+	if sort.SliceIsSorted(d.IDs, func(i, j int) bool { return d.IDs[i] < d.IDs[j] }) {
+		return
+	}
+	sort.Sort((*denseByID)(d))
+}
+
+type denseByID DenseVec
+
+func (d *denseByID) Len() int           { return len(d.IDs) }
+func (d *denseByID) Less(i, j int) bool { return d.IDs[i] < d.IDs[j] }
+func (d *denseByID) Swap(i, j int) {
+	d.IDs[i], d.IDs[j] = d.IDs[j], d.IDs[i]
+	d.Vals[i], d.Vals[j] = d.Vals[j], d.Vals[i]
+}
+
+// SquaredDistance returns the squared Euclidean distance to other. Both
+// vectors must be in SortByID order.
+func (d *DenseVec) SquaredDistance(other *DenseVec) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(d.IDs) && j < len(other.IDs) {
+		switch {
+		case d.IDs[i] == other.IDs[j]:
+			diff := d.Vals[i] - other.Vals[j]
+			sum += diff * diff
+			i++
+			j++
+		case d.IDs[i] < other.IDs[j]:
+			sum += d.Vals[i] * d.Vals[i]
+			i++
+		default:
+			sum += other.Vals[j] * other.Vals[j]
+			j++
+		}
+	}
+	for ; i < len(d.IDs); i++ {
+		sum += d.Vals[i] * d.Vals[i]
+	}
+	for ; j < len(other.IDs); j++ {
+		sum += other.Vals[j] * other.Vals[j]
+	}
+	return sum
+}
+
+// Clone returns an independent copy (used when a learner must retain the
+// point past the caller's pooled buffer lifetime).
+func (d *DenseVec) Clone() *DenseVec {
+	return &DenseVec{
+		IDs:  append([]uint32(nil), d.IDs...),
+		Vals: append([]float64(nil), d.Vals...),
+	}
+}
+
+// ToVector resolves the dense vector back to a string-keyed Vector using
+// syms; duplicate IDs sum.
+func (d *DenseVec) ToVector(syms *Symbols) Vector {
+	out := make(Vector, len(d.IDs))
+	for i, id := range d.IDs {
+		out[syms.Name(id)] += d.Vals[i]
+	}
+	return out
+}
+
+// AppendVector interns every component of v into syms and appends it to d.
+func (d *DenseVec) AppendVector(syms *Symbols, v Vector) {
+	for k, val := range v {
+		d.Append(syms.Intern(k), val)
+	}
+}
+
+// GrowDense extends a dense weight slice to at least n entries, preserving
+// contents and zero-filling new entries.
+func GrowDense(w []float64, n uint32) []float64 {
+	if uint32(len(w)) >= n {
+		return w
+	}
+	if uint32(cap(w)) >= n {
+		return w[:n]
+	}
+	out := make([]float64, n, n+n/2+8)
+	copy(out, w)
+	return out
+}
+
+// densePool recycles DenseVec buffers for the per-message path.
+var densePool = sync.Pool{New: func() any { return &DenseVec{} }}
+
+// GetDense returns an empty DenseVec from the pool. Return it with
+// PutDense when the message has been fully analyzed; learners that retain
+// points must Clone.
+func GetDense() *DenseVec {
+	d := densePool.Get().(*DenseVec)
+	d.Reset()
+	return d
+}
+
+// PutDense recycles a DenseVec obtained from GetDense.
+func PutDense(d *DenseVec) {
+	if d == nil {
+		return
+	}
+	densePool.Put(d)
+}

@@ -1,0 +1,168 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSymbolsInternStableAndDense(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	if a == b {
+		t.Fatal("distinct names shared an ID")
+	}
+	if got := s.Intern("alpha"); got != a {
+		t.Fatalf("re-intern alpha = %d, want %d", got, a)
+	}
+	if s.Name(a) != "alpha" || s.Name(b) != "beta" {
+		t.Fatalf("Name round-trip failed: %q %q", s.Name(a), s.Name(b))
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Fatal("Lookup invented a symbol")
+	}
+	if s.Name(99) != "" {
+		t.Fatal("Name(unassigned) != \"\"")
+	}
+}
+
+func TestSymbolsConcurrentIntern(t *testing.T) {
+	s := NewSymbols()
+	const names = 64
+	var wg sync.WaitGroup
+	ids := make([][]uint32, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		ids[g] = make([]uint32, names)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				ids[g][i] = s.Intern(fmt.Sprintf("n%d", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != names {
+		t.Fatalf("Len = %d, want %d", s.Len(), names)
+	}
+	for g := 1; g < 8; g++ {
+		for i := 0; i < names; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got id %d for n%d, goroutine 0 got %d", g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestDenseVecDotAndNormMatchVector(t *testing.T) {
+	s := NewSymbols()
+	v := Vector{"a": 1.5, "b": -2, "c": 0.25}
+	d := GetDense()
+	defer PutDense(d)
+	d.AppendVector(s, v)
+
+	w := make([]float64, 0)
+	weights := Vector{"a": 2, "c": 4, "unseen": 7}
+	for k, val := range weights {
+		w = GrowDense(w, s.Intern(k)+1)
+		w[s.Intern(k)] = val
+	}
+	if got, want := d.Dot(w), v.Dot(weights); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+	if got, want := d.SquaredNorm(), v.SquaredNorm(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SquaredNorm = %v, want %v", got, want)
+	}
+}
+
+func TestDenseVecDotIgnoresIDsBeyondWeights(t *testing.T) {
+	d := &DenseVec{}
+	d.Append(0, 2)
+	d.Append(10, 3) // beyond the weight slice
+	if got := d.Dot([]float64{5}); got != 10 {
+		t.Fatalf("Dot = %v, want 10", got)
+	}
+}
+
+func TestDenseVecAddScaledTo(t *testing.T) {
+	d := &DenseVec{}
+	d.Append(1, 2)
+	d.Append(3, -1)
+	w := d.AddScaledTo([]float64{1, 1}, 2)
+	want := []float64{1, 5, 0, -2}
+	if len(w) != len(want) {
+		t.Fatalf("len = %d, want %d", len(w), len(want))
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	// Empty vector: no growth, no change.
+	empty := &DenseVec{}
+	if got := empty.AddScaledTo(nil, 3); got != nil {
+		t.Fatalf("empty AddScaledTo grew: %v", got)
+	}
+}
+
+func TestDenseVecSquaredDistanceMatchesVector(t *testing.T) {
+	s := NewSymbols()
+	va := Vector{"x": 1, "y": 2, "z": -3}
+	vb := Vector{"y": 5, "w": 0.5}
+	da, db := GetDense(), GetDense()
+	defer PutDense(da)
+	defer PutDense(db)
+	da.AppendVector(s, va)
+	db.AppendVector(s, vb)
+	da.SortByID()
+	db.SortByID()
+	if got, want := da.SquaredDistance(db), va.SquaredDistance(vb); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SquaredDistance = %v, want %v", got, want)
+	}
+	if got, want := db.SquaredDistance(da), vb.SquaredDistance(va); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("reverse SquaredDistance = %v, want %v", got, want)
+	}
+}
+
+func TestDenseVecSortAndToVector(t *testing.T) {
+	s := NewSymbols()
+	// Intern in one order, append in another.
+	ids := []uint32{s.Intern("a"), s.Intern("b"), s.Intern("c")}
+	d := &DenseVec{}
+	d.Append(ids[2], 3)
+	d.Append(ids[0], 1)
+	d.Append(ids[1], 2)
+	d.SortByID()
+	for i := 1; i < d.Len(); i++ {
+		if d.IDs[i-1] >= d.IDs[i] {
+			t.Fatalf("not sorted: %v", d.IDs)
+		}
+	}
+	v := d.ToVector(s)
+	if v["a"] != 1 || v["b"] != 2 || v["c"] != 3 {
+		t.Fatalf("ToVector = %v", v)
+	}
+	// Duplicate IDs sum on the way back (Merge semantics).
+	d.Append(ids[0], 9)
+	if got := d.ToVector(s)["a"]; got != 10 {
+		t.Fatalf("duplicate sum = %v, want 10", got)
+	}
+}
+
+func TestDensePoolRecycles(t *testing.T) {
+	d := GetDense()
+	d.Append(1, 1)
+	PutDense(d)
+	got := GetDense()
+	defer PutDense(got)
+	if got.Len() != 0 {
+		t.Fatalf("pooled vector not reset: %d components", got.Len())
+	}
+	PutDense(nil) // must not panic
+}

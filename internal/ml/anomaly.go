@@ -21,33 +21,38 @@ type AnomalyDetector interface {
 
 // ZScoreDetector scores points by the largest per-dimension |z| against
 // streaming statistics. Cheap and effective for unimodal sensor streams.
+// Dimensions are tracked in a dense slice indexed by interned feature ID.
 type ZScoreDetector struct {
 	mu   sync.Mutex
-	dims map[string]*Welford
+	syms *feature.Symbols
+	dims []*Welford // indexed by feature ID; nil = dimension unseen
 }
 
-var _ AnomalyDetector = (*ZScoreDetector)(nil)
+var _ DenseAnomalyDetector = (*ZScoreDetector)(nil)
 
 // NewZScoreDetector returns an empty detector.
 func NewZScoreDetector() *ZScoreDetector {
-	return &ZScoreDetector{dims: make(map[string]*Welford)}
+	return &ZScoreDetector{syms: feature.DefaultSymbols()}
 }
 
 // Score implements AnomalyDetector.
 func (z *ZScoreDetector) Score(v feature.Vector) float64 {
+	dv := feature.GetDense()
+	dv.AppendVector(z.syms, v)
 	z.mu.Lock()
-	defer z.mu.Unlock()
-	return z.scoreLocked(v)
+	score := z.scoreLocked(dv)
+	z.mu.Unlock()
+	feature.PutDense(dv)
+	return score
 }
 
-func (z *ZScoreDetector) scoreLocked(v feature.Vector) float64 {
+func (z *ZScoreDetector) scoreLocked(dv *feature.DenseVec) float64 {
 	var worst float64
-	for k, x := range v {
-		w, ok := z.dims[k]
-		if !ok {
+	for i, id := range dv.IDs {
+		if int(id) >= len(z.dims) || z.dims[id] == nil {
 			continue
 		}
-		if s := math.Abs(w.ZScore(x)); s > worst {
+		if s := math.Abs(z.dims[id].ZScore(dv.Vals[i])); s > worst {
 			worst = s
 		}
 	}
@@ -56,16 +61,28 @@ func (z *ZScoreDetector) scoreLocked(v feature.Vector) float64 {
 
 // Add implements AnomalyDetector.
 func (z *ZScoreDetector) Add(v feature.Vector) float64 {
+	dv := feature.GetDense()
+	dv.AppendVector(z.syms, v)
+	score := z.AddDense(dv)
+	feature.PutDense(dv)
+	return score
+}
+
+// AddDense implements DenseAnomalyDetector. dv is not retained.
+func (z *ZScoreDetector) AddDense(dv *feature.DenseVec) float64 {
 	z.mu.Lock()
 	defer z.mu.Unlock()
-	score := z.scoreLocked(v)
-	for k, x := range v {
-		w, ok := z.dims[k]
-		if !ok {
-			w = &Welford{}
-			z.dims[k] = w
+	score := z.scoreLocked(dv)
+	for i, id := range dv.IDs {
+		for int(id) >= len(z.dims) {
+			z.dims = append(z.dims, nil)
 		}
-		w.Observe(x)
+		w := z.dims[id]
+		if w == nil {
+			w = &Welford{}
+			z.dims[id] = w
+		}
+		w.Observe(dv.Vals[i])
 	}
 	return score
 }
@@ -73,17 +90,19 @@ func (z *ZScoreDetector) Add(v feature.Vector) float64 {
 // KNNAnomalyDetector scores a point by the ratio of its distance to its
 // k-th nearest stored neighbour over the model's typical k-th-neighbour
 // distance — a lightweight stand-in for Jubatus's LOF engine. The model
-// keeps a bounded window of recent points (oldest evicted first).
+// keeps a bounded window of recent points (oldest evicted first), stored in
+// interned ID-sorted form so distances are merge walks over slices.
 type KNNAnomalyDetector struct {
 	mu       sync.Mutex
-	points   []feature.Vector
+	syms     *feature.Symbols
+	points   []*feature.DenseVec // each in SortByID order
+	dists    []float64           // scratch for kthDistance
 	next     int
-	full     bool
 	k        int
 	capacity int
 }
 
-var _ AnomalyDetector = (*KNNAnomalyDetector)(nil)
+var _ DenseAnomalyDetector = (*KNNAnomalyDetector)(nil)
 
 // NewKNNAnomalyDetector returns a detector with neighbourhood size k
 // (<=0 means 5) and point capacity (<=0 means 256).
@@ -98,7 +117,8 @@ func NewKNNAnomalyDetector(k, capacity int) *KNNAnomalyDetector {
 		capacity = k + 1
 	}
 	return &KNNAnomalyDetector{
-		points:   make([]feature.Vector, 0, capacity),
+		syms:     feature.DefaultSymbols(),
+		points:   make([]*feature.DenseVec, 0, capacity),
 		k:        k,
 		capacity: capacity,
 	}
@@ -107,16 +127,21 @@ func NewKNNAnomalyDetector(k, capacity int) *KNNAnomalyDetector {
 // Score implements AnomalyDetector. Before the model holds k+1 points the
 // score is 0 (everything is normal while the neighbourhood is undefined).
 func (d *KNNAnomalyDetector) Score(v feature.Vector) float64 {
+	dv := feature.GetDense()
+	dv.AppendVector(d.syms, v)
+	dv.SortByID()
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.scoreLocked(v)
+	score := d.scoreLocked(dv)
+	d.mu.Unlock()
+	feature.PutDense(dv)
+	return score
 }
 
-func (d *KNNAnomalyDetector) scoreLocked(v feature.Vector) float64 {
+func (d *KNNAnomalyDetector) scoreLocked(dv *feature.DenseVec) float64 {
 	if len(d.points) <= d.k {
 		return 0
 	}
-	dv := d.kthDistance(v, d.k)
+	dist := d.kthDistance(dv, d.k)
 	// Reference scale: mean k-th neighbour distance over a sample of
 	// stored points (cheap approximation of LOF's reachability density).
 	var (
@@ -133,26 +158,36 @@ func (d *KNNAnomalyDetector) scoreLocked(v feature.Vector) float64 {
 	}
 	ref := sum / float64(count)
 	if ref <= 1e-12 {
-		if dv <= 1e-12 {
+		if dist <= 1e-12 {
 			return 1 // everything identical: perfectly normal
 		}
 		return math.Inf(1)
 	}
-	return dv / ref
+	return dist / ref
 }
 
 // Add implements AnomalyDetector.
 func (d *KNNAnomalyDetector) Add(v feature.Vector) float64 {
+	dv := feature.GetDense()
+	dv.AppendVector(d.syms, v)
+	score := d.AddDense(dv)
+	feature.PutDense(dv)
+	return score
+}
+
+// AddDense implements DenseAnomalyDetector. dv is sorted in place and
+// cloned for retention; the caller keeps ownership of dv itself.
+func (d *KNNAnomalyDetector) AddDense(dv *feature.DenseVec) float64 {
+	dv.SortByID()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	score := d.scoreLocked(v)
-	clone := v.Clone()
+	score := d.scoreLocked(dv)
+	clone := dv.Clone()
 	if len(d.points) < d.capacity {
 		d.points = append(d.points, clone)
 	} else {
 		d.points[d.next] = clone
 		d.next = (d.next + 1) % d.capacity
-		d.full = true
 	}
 	return score
 }
@@ -164,20 +199,20 @@ func (d *KNNAnomalyDetector) Size() int {
 	return len(d.points)
 }
 
-// kthDistance returns the distance from v to its k-th nearest stored
-// neighbour, excluding any zero-distance self matches beyond the first.
-func (d *KNNAnomalyDetector) kthDistance(v feature.Vector, k int) float64 {
-	dists := make([]float64, 0, len(d.points))
+// kthDistance returns the distance from dv (in SortByID order) to its k-th
+// nearest stored neighbour.
+func (d *KNNAnomalyDetector) kthDistance(dv *feature.DenseVec, k int) float64 {
+	d.dists = d.dists[:0]
 	for _, p := range d.points {
-		dists = append(dists, v.SquaredDistance(p))
+		d.dists = append(d.dists, dv.SquaredDistance(p))
 	}
-	sort.Float64s(dists)
+	sort.Float64s(d.dists)
 	idx := k - 1
-	if idx >= len(dists) {
-		idx = len(dists) - 1
+	if idx >= len(d.dists) {
+		idx = len(d.dists) - 1
 	}
 	if idx < 0 {
 		return 0
 	}
-	return math.Sqrt(dists[idx])
+	return math.Sqrt(d.dists[idx])
 }

@@ -4,6 +4,11 @@
 // classifiers (Perceptron, Passive-Aggressive, AROW), Passive-Aggressive
 // regression, streaming anomaly detection, sequential k-means clustering,
 // and Jubatus-style MIX model averaging for distributed training.
+//
+// Learner internals are dense: feature names are interned to uint32 IDs
+// through the process-wide feature.Symbols table and weights live in flat
+// []float64 slices indexed by ID. The map-based feature.Vector API is kept
+// as the interchange form (MIX weight exchange, JSON) via thin adapters.
 package ml
 
 import (
@@ -42,32 +47,48 @@ type Classifier interface {
 	Labels() []string
 }
 
-// linearModel holds one-vs-rest weight vectors per label.
+// linearModel holds one-vs-rest weight vectors per label, dense-indexed by
+// interned feature ID.
 type linearModel struct {
-	mu      sync.RWMutex
-	weights map[string]feature.Vector
+	mu       sync.RWMutex
+	syms     *feature.Symbols
+	labels   []string       // label index -> name, in first-Train order
+	labelIdx map[string]int // name -> label index
+	weights  [][]float64    // [label index][feature ID]
 }
 
 func newLinearModel() linearModel {
-	return linearModel{weights: make(map[string]feature.Vector)}
-}
-
-func (m *linearModel) ensureLabelLocked(label string) feature.Vector {
-	w, ok := m.weights[label]
-	if !ok {
-		w = make(feature.Vector)
-		m.weights[label] = w
+	return linearModel{
+		syms:     feature.DefaultSymbols(),
+		labelIdx: make(map[string]int),
 	}
-	return w
 }
 
-func (m *linearModel) scores(v feature.Vector) []LabelScore {
+// toDense interns v into a pooled DenseVec; callers must PutDense it.
+func (m *linearModel) toDense(v feature.Vector) *feature.DenseVec {
+	dv := feature.GetDense()
+	dv.AppendVector(m.syms, v)
+	return dv
+}
+
+func (m *linearModel) ensureLabelLocked(label string) int {
+	if li, ok := m.labelIdx[label]; ok {
+		return li
+	}
+	li := len(m.labels)
+	m.labelIdx[label] = li
+	m.labels = append(m.labels, label)
+	m.weights = append(m.weights, nil)
+	return li
+}
+
+func (m *linearModel) scoresDense(dv *feature.DenseVec) []LabelScore {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]LabelScore, 0, len(m.weights))
-	for label, w := range m.weights {
-		out = append(out, LabelScore{Label: label, Score: w.Dot(v)})
+	out := make([]LabelScore, len(m.labels))
+	for i, label := range m.labels {
+		out[i] = LabelScore{Label: label, Score: dv.Dot(m.weights[i])}
 	}
+	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -77,36 +98,60 @@ func (m *linearModel) scores(v feature.Vector) []LabelScore {
 	return out
 }
 
-func (m *linearModel) classify(v feature.Vector) (string, error) {
-	s := m.scores(v)
-	if len(s) == 0 {
-		return "", ErrUntrained
-	}
-	return s[0].Label, nil
-}
-
-func (m *linearModel) labels() []string {
+// bestDense is the single-pass argmax with the same tie-break as
+// scoresDense (score descending, then label ascending).
+func (m *linearModel) bestDense(dv *feature.DenseVec) (LabelScore, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]string, 0, len(m.weights))
-	for l := range m.weights {
-		out = append(out, l)
+	if len(m.labels) == 0 {
+		return LabelScore{}, ErrUntrained
 	}
+	best := LabelScore{Label: m.labels[0], Score: dv.Dot(m.weights[0])}
+	for i := 1; i < len(m.labels); i++ {
+		s := dv.Dot(m.weights[i])
+		if s > best.Score || (s == best.Score && m.labels[i] < best.Label) {
+			best = LabelScore{Label: m.labels[i], Score: s}
+		}
+	}
+	return best, nil
+}
+
+func (m *linearModel) scores(v feature.Vector) []LabelScore {
+	dv := m.toDense(v)
+	out := m.scoresDense(dv)
+	feature.PutDense(dv)
+	return out
+}
+
+func (m *linearModel) classify(v feature.Vector) (string, error) {
+	dv := m.toDense(v)
+	best, err := m.bestDense(dv)
+	feature.PutDense(dv)
+	if err != nil {
+		return "", err
+	}
+	return best.Label, nil
+}
+
+func (m *linearModel) labelList() []string {
+	m.mu.RLock()
+	out := append([]string(nil), m.labels...)
+	m.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// marginsLocked returns the current score for the true label and the best
-// competing label+score (empty if none).
-func (m *linearModel) marginsLocked(v feature.Vector, label string) (truthScore float64, rival string, rivalScore float64) {
-	truthScore = m.weights[label].Dot(v)
-	rivalScore = math.Inf(-1)
-	for l, w := range m.weights {
-		if l == label {
+// marginsLocked returns the current score for the true label (by index) and
+// the best competing label index + score (-1 if none).
+func (m *linearModel) marginsLocked(dv *feature.DenseVec, li int) (truthScore float64, rival int, rivalScore float64) {
+	truthScore = dv.Dot(m.weights[li])
+	rival, rivalScore = -1, math.Inf(-1)
+	for i := range m.weights {
+		if i == li {
 			continue
 		}
-		if s := w.Dot(v); s > rivalScore {
-			rival, rivalScore = l, s
+		if s := dv.Dot(m.weights[i]); s > rivalScore {
+			rival, rivalScore = i, s
 		}
 	}
 	return truthScore, rival, rivalScore
@@ -119,7 +164,7 @@ type Perceptron struct {
 	learningRate float64
 }
 
-var _ Classifier = (*Perceptron)(nil)
+var _ DenseClassifier = (*Perceptron)(nil)
 
 // NewPerceptron returns a Perceptron with the given learning rate
 // (<=0 means 1).
@@ -132,17 +177,30 @@ func NewPerceptron(learningRate float64) *Perceptron {
 
 // Train implements Classifier.
 func (p *Perceptron) Train(v feature.Vector, label string) {
-	p.model.mu.Lock()
-	defer p.model.mu.Unlock()
-	w := p.model.ensureLabelLocked(label)
-	truth, rival, rivalScore := p.model.marginsLocked(v, label)
-	if rival == "" {
+	dv := p.model.toDense(v)
+	p.TrainDense(dv, label)
+	feature.PutDense(dv)
+}
+
+// TrainDense implements DenseClassifier.
+func (p *Perceptron) TrainDense(dv *feature.DenseVec, label string) {
+	m := &p.model
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	li := m.ensureLabelLocked(label)
+	truth, rival, rivalScore := m.marginsLocked(dv, li)
+	if rival < 0 {
 		return // first label ever: nothing to separate yet
 	}
 	if truth <= rivalScore {
-		w.AddScaled(v, p.learningRate)
-		p.model.weights[rival].AddScaled(v, -p.learningRate)
+		m.weights[li] = dv.AddScaledTo(m.weights[li], p.learningRate)
+		m.weights[rival] = dv.AddScaledTo(m.weights[rival], -p.learningRate)
 	}
+}
+
+// BestDense implements DenseClassifier.
+func (p *Perceptron) BestDense(dv *feature.DenseVec) (LabelScore, error) {
+	return p.model.bestDense(dv)
 }
 
 // Classify implements Classifier.
@@ -152,7 +210,7 @@ func (p *Perceptron) Classify(v feature.Vector) (string, error) { return p.model
 func (p *Perceptron) Scores(v feature.Vector) []LabelScore { return p.model.scores(v) }
 
 // Labels implements Classifier.
-func (p *Perceptron) Labels() []string { return p.model.labels() }
+func (p *Perceptron) Labels() []string { return p.model.labelList() }
 
 // PassiveAggressive is the PA-I online classifier (Crammer et al. 2006),
 // the default classifier in Jubatus.
@@ -162,7 +220,7 @@ type PassiveAggressive struct {
 	c float64
 }
 
-var _ Classifier = (*PassiveAggressive)(nil)
+var _ DenseClassifier = (*PassiveAggressive)(nil)
 
 // NewPassiveAggressive returns a PA-I classifier with regularization c
 // (<=0 means 1).
@@ -175,18 +233,26 @@ func NewPassiveAggressive(c float64) *PassiveAggressive {
 
 // Train implements Classifier.
 func (p *PassiveAggressive) Train(v feature.Vector, label string) {
-	p.model.mu.Lock()
-	defer p.model.mu.Unlock()
-	w := p.model.ensureLabelLocked(label)
-	truth, rival, rivalScore := p.model.marginsLocked(v, label)
-	if rival == "" {
+	dv := p.model.toDense(v)
+	p.TrainDense(dv, label)
+	feature.PutDense(dv)
+}
+
+// TrainDense implements DenseClassifier.
+func (p *PassiveAggressive) TrainDense(dv *feature.DenseVec, label string) {
+	m := &p.model
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	li := m.ensureLabelLocked(label)
+	truth, rival, rivalScore := m.marginsLocked(dv, li)
+	if rival < 0 {
 		return
 	}
 	loss := 1 - (truth - rivalScore) // hinge loss with margin 1
 	if loss <= 0 {
 		return
 	}
-	sq := v.SquaredNorm()
+	sq := dv.SquaredNorm()
 	if sq == 0 {
 		return
 	}
@@ -196,8 +262,13 @@ func (p *PassiveAggressive) Train(v feature.Vector, label string) {
 	if tau > p.c {
 		tau = p.c
 	}
-	w.AddScaled(v, tau)
-	p.model.weights[rival].AddScaled(v, -tau)
+	m.weights[li] = dv.AddScaledTo(m.weights[li], tau)
+	m.weights[rival] = dv.AddScaledTo(m.weights[rival], -tau)
+}
+
+// BestDense implements DenseClassifier.
+func (p *PassiveAggressive) BestDense(dv *feature.DenseVec) (LabelScore, error) {
+	return p.model.bestDense(dv)
 }
 
 // Classify implements Classifier.
@@ -207,120 +278,99 @@ func (p *PassiveAggressive) Classify(v feature.Vector) (string, error) { return 
 func (p *PassiveAggressive) Scores(v feature.Vector) []LabelScore { return p.model.scores(v) }
 
 // Labels implements Classifier.
-func (p *PassiveAggressive) Labels() []string { return p.model.labels() }
+func (p *PassiveAggressive) Labels() []string { return p.model.labelList() }
 
 // AROW implements Adaptive Regularization of Weight Vectors (Crammer et
 // al. 2009) with diagonal confidence, as offered by Jubatus. It adapts the
 // per-feature learning rate by tracked variance, making it robust to noisy
 // streams.
 type AROW struct {
-	mu sync.RWMutex
-	// weights and variances per label; variance defaults to 1 per feature.
-	weights   map[string]feature.Vector
-	variances map[string]feature.Vector
+	model linearModel
+	// variances parallels model.weights: per-label diagonal covariance,
+	// indexed by feature ID. Entries beyond a slice's length (and new
+	// entries, filled by growOnes) default to the prior variance 1.
+	variances [][]float64
 	r         float64
 }
 
-var _ Classifier = (*AROW)(nil)
+var _ DenseClassifier = (*AROW)(nil)
 
 // NewAROW returns an AROW classifier with regularization r (<=0 means 0.1).
 func NewAROW(r float64) *AROW {
 	if r <= 0 {
 		r = 0.1
 	}
-	return &AROW{
-		weights:   make(map[string]feature.Vector),
-		variances: make(map[string]feature.Vector),
-		r:         r,
-	}
+	return &AROW{model: newLinearModel(), r: r}
 }
 
-func (a *AROW) varianceOf(label string, key string) float64 {
-	if vv, ok := a.variances[label][key]; ok {
-		return vv
+func varianceAt(vs []float64, id uint32) float64 {
+	if int(id) < len(vs) {
+		return vs[id]
 	}
 	return 1
 }
 
 // Train implements Classifier.
 func (a *AROW) Train(v feature.Vector, label string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.weights[label]; !ok {
-		a.weights[label] = make(feature.Vector)
-		a.variances[label] = make(feature.Vector)
+	dv := a.model.toDense(v)
+	a.TrainDense(dv, label)
+	feature.PutDense(dv)
+}
+
+// TrainDense implements DenseClassifier.
+func (a *AROW) TrainDense(dv *feature.DenseVec, label string) {
+	m := &a.model
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	li := m.ensureLabelLocked(label)
+	for len(a.variances) < len(m.labels) {
+		a.variances = append(a.variances, nil)
 	}
-	// Find best rival.
-	rival := ""
-	rivalScore := math.Inf(-1)
-	for l, w := range a.weights {
-		if l == label {
-			continue
-		}
-		if s := w.Dot(v); s > rivalScore {
-			rival, rivalScore = l, s
-		}
-	}
-	if rival == "" {
+	truth, rival, rivalScore := m.marginsLocked(dv, li)
+	if rival < 0 {
 		return
 	}
-	truth := a.weights[label].Dot(v)
 	loss := 1 - (truth - rivalScore)
 	if loss <= 0 {
 		return
 	}
 	// Confidence: x^T Sigma x using the two diagonal covariances.
 	var confidence float64
-	for k, x := range v {
-		confidence += x * x * (a.varianceOf(label, k) + a.varianceOf(rival, k))
+	for i, id := range dv.IDs {
+		x := dv.Vals[i]
+		confidence += x * x * (varianceAt(a.variances[li], id) + varianceAt(a.variances[rival], id))
 	}
 	beta := 1 / (confidence + a.r)
 	alpha := loss * beta
 
-	for k, x := range v {
-		vt := a.varianceOf(label, k)
-		vr := a.varianceOf(rival, k)
-		a.weights[label][k] += alpha * vt * x
-		a.weights[rival][k] -= alpha * vr * x
-		a.variances[label][k] = vt - beta*vt*vt*x*x
-		a.variances[rival][k] = vr - beta*vr*vr*x*x
+	if dv.Len() > 0 {
+		n := dv.MaxID() + 1
+		m.weights[li] = feature.GrowDense(m.weights[li], n)
+		m.weights[rival] = feature.GrowDense(m.weights[rival], n)
+		a.variances[li] = growOnes(a.variances[li], n)
+		a.variances[rival] = growOnes(a.variances[rival], n)
 	}
+	for i, id := range dv.IDs {
+		x := dv.Vals[i]
+		vt := a.variances[li][id]
+		vr := a.variances[rival][id]
+		m.weights[li][id] += alpha * vt * x
+		m.weights[rival][id] -= alpha * vr * x
+		a.variances[li][id] = vt - beta*vt*vt*x*x
+		a.variances[rival][id] = vr - beta*vr*vr*x*x
+	}
+}
+
+// BestDense implements DenseClassifier.
+func (a *AROW) BestDense(dv *feature.DenseVec) (LabelScore, error) {
+	return a.model.bestDense(dv)
 }
 
 // Classify implements Classifier.
-func (a *AROW) Classify(v feature.Vector) (string, error) {
-	s := a.Scores(v)
-	if len(s) == 0 {
-		return "", ErrUntrained
-	}
-	return s[0].Label, nil
-}
+func (a *AROW) Classify(v feature.Vector) (string, error) { return a.model.classify(v) }
 
 // Scores implements Classifier.
-func (a *AROW) Scores(v feature.Vector) []LabelScore {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]LabelScore, 0, len(a.weights))
-	for label, w := range a.weights {
-		out = append(out, LabelScore{Label: label, Score: w.Dot(v)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Label < out[j].Label
-	})
-	return out
-}
+func (a *AROW) Scores(v feature.Vector) []LabelScore { return a.model.scores(v) }
 
 // Labels implements Classifier.
-func (a *AROW) Labels() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]string, 0, len(a.weights))
-	for l := range a.weights {
-		out = append(out, l)
-	}
-	sort.Strings(out)
-	return out
-}
+func (a *AROW) Labels() []string { return a.model.labelList() }

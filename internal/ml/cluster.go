@@ -10,11 +10,14 @@ import (
 // SequentialKMeans is an online k-means clusterer: each point moves its
 // nearest centroid toward it with a per-cluster decaying learning rate
 // (MacQueen's sequential update). New centroids are seeded from the first
-// k distinct points.
+// k distinct points. Centroids are dense []float64 slices indexed by
+// interned feature ID; the map Vector API adapts through the shared
+// symbol table.
 type SequentialKMeans struct {
 	mu        sync.Mutex
+	syms      *feature.Symbols
 	k         int
-	centroids []feature.Vector
+	centroids [][]float64
 	counts    []int64
 }
 
@@ -23,31 +26,52 @@ func NewSequentialKMeans(k int) *SequentialKMeans {
 	if k <= 0 {
 		k = 2
 	}
-	return &SequentialKMeans{k: k}
+	return &SequentialKMeans{syms: feature.DefaultSymbols(), k: k}
 }
 
 // Add assigns v to its nearest cluster, updates that centroid, and returns
 // the cluster index.
 func (s *SequentialKMeans) Add(v feature.Vector) int {
+	dv := feature.GetDense()
+	dv.AppendVector(s.syms, v)
+	idx := s.AddDense(dv)
+	feature.PutDense(dv)
+	return idx
+}
+
+// AddDense is the interned-form Add. dv is sorted in place; it is not
+// retained, so the caller may recycle it.
+func (s *SequentialKMeans) AddDense(dv *feature.DenseVec) int {
+	dv.SortByID()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.centroids) < s.k {
-		s.centroids = append(s.centroids, v.Clone())
+		var c []float64
+		c = dv.AddScaledTo(c, 1)
+		s.centroids = append(s.centroids, c)
 		s.counts = append(s.counts, 1)
 		return len(s.centroids) - 1
 	}
-	idx := s.nearestLocked(v)
+	idx := s.nearestLocked(dv)
 	s.counts[idx]++
 	rate := 1 / float64(s.counts[idx])
 	c := s.centroids[idx]
-	// c += rate * (v - c), over the union of keys.
-	for k2, cv := range c {
-		c[k2] = cv + rate*(v[k2]-cv)
+	if dv.Len() > 0 {
+		c = feature.GrowDense(c, dv.MaxID()+1)
+		s.centroids[idx] = c
 	}
-	for k2, vv := range v {
-		if _, ok := c[k2]; !ok {
-			c[k2] = rate * vv
+	// c += rate * (x - c) per dimension; dimensions absent from dv pull
+	// toward zero, dimensions absent from c start at zero.
+	p := 0
+	for j := range c {
+		x := 0.0
+		for p < dv.Len() && dv.IDs[p] < uint32(j) {
+			p++
 		}
+		if p < dv.Len() && dv.IDs[p] == uint32(j) {
+			x = dv.Vals[p]
+		}
+		c[j] += rate * (x - c[j])
 	}
 	return idx
 }
@@ -55,31 +79,74 @@ func (s *SequentialKMeans) Add(v feature.Vector) int {
 // Assign returns the index of the nearest centroid without updating the
 // model (-1 when the model is empty).
 func (s *SequentialKMeans) Assign(v feature.Vector) int {
+	dv := feature.GetDense()
+	dv.AppendVector(s.syms, v)
+	idx := s.AssignDense(dv)
+	feature.PutDense(dv)
+	return idx
+}
+
+// AssignDense is the interned-form Assign; dv is sorted in place.
+func (s *SequentialKMeans) AssignDense(dv *feature.DenseVec) int {
+	dv.SortByID()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.centroids) == 0 {
 		return -1
 	}
-	return s.nearestLocked(v)
+	return s.nearestLocked(dv)
 }
 
-func (s *SequentialKMeans) nearestLocked(v feature.Vector) int {
+// nearestLocked expects dv in SortByID order.
+func (s *SequentialKMeans) nearestLocked(dv *feature.DenseVec) int {
 	best, bestDist := 0, math.Inf(1)
 	for i, c := range s.centroids {
-		if d := v.SquaredDistance(c); d < bestDist {
+		if d := denseArrayDistance(dv, c); d < bestDist {
 			best, bestDist = i, d
 		}
 	}
 	return best
 }
 
-// Centroids returns copies of the current centroids.
+// denseArrayDistance returns the squared distance between a sorted sparse
+// vector and a dense centroid slice (positions beyond the slice are zero).
+func denseArrayDistance(dv *feature.DenseVec, c []float64) float64 {
+	var sum float64
+	p := 0
+	for j := range c {
+		x := 0.0
+		for p < dv.Len() && dv.IDs[p] < uint32(j) {
+			p++
+		}
+		if p < dv.Len() && dv.IDs[p] == uint32(j) {
+			x = dv.Vals[p]
+		}
+		diff := x - c[j]
+		sum += diff * diff
+	}
+	for ; p < dv.Len(); p++ {
+		if int(dv.IDs[p]) >= len(c) {
+			sum += dv.Vals[p] * dv.Vals[p]
+		}
+	}
+	return sum
+}
+
+// Centroids returns the current centroids in map form. Zero-valued
+// dimensions are elided (a coordinate the centroid never left zero on is
+// indistinguishable from one it never saw).
 func (s *SequentialKMeans) Centroids() []feature.Vector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]feature.Vector, len(s.centroids))
 	for i, c := range s.centroids {
-		out[i] = c.Clone()
+		vec := make(feature.Vector)
+		for id, val := range c {
+			if val != 0 {
+				vec[s.syms.Name(uint32(id))] = val
+			}
+		}
+		out[i] = vec
 	}
 	return out
 }

@@ -1,0 +1,47 @@
+package ml
+
+import (
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// DenseClassifier is implemented by classifiers whose hot path accepts
+// interned feature vectors directly, skipping the map Vector interchange
+// form. TrainDense and BestDense never retain dv, so callers may recycle it
+// (feature.PutDense) immediately after the call. Components of dv must have
+// unique feature IDs (the extractors guarantee this); duplicate IDs would
+// double-apply confidence updates in AROW.
+//
+// The map-based Classifier methods remain available on every implementation
+// as interning adapters, so cold paths (MIX, tooling, tests) keep working
+// unchanged.
+type DenseClassifier interface {
+	Classifier
+	// TrainDense updates the model with one labelled interned example.
+	TrainDense(dv *feature.DenseVec, label string)
+	// BestDense returns the highest-scoring label and its score in a
+	// single pass (what Classify followed by Scores[0] computes, without
+	// building the full score slice). It returns ErrUntrained before any
+	// Train call.
+	BestDense(dv *feature.DenseVec) (LabelScore, error)
+}
+
+// DenseAnomalyDetector is implemented by anomaly detectors that can absorb
+// interned vectors directly. AddDense never retains dv (detectors clone
+// what they keep), so callers may recycle it after the call.
+type DenseAnomalyDetector interface {
+	AnomalyDetector
+	// AddDense incorporates dv into the model and returns its anomaly
+	// score at the time of insertion.
+	AddDense(dv *feature.DenseVec) float64
+}
+
+// growOnes extends a dense per-feature slice to at least n entries, filling
+// new entries with 1 — the AROW variance prior for unseen features.
+func growOnes(w []float64, n uint32) []float64 {
+	old := len(w)
+	w = feature.GrowDense(w, n)
+	for i := old; i < len(w); i++ {
+		w[i] = 1
+	}
+	return w
+}

@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+)
+
+// toDense interns v through the default table (what the adapters do).
+func toDense(v feature.Vector) *feature.DenseVec {
+	dv := &feature.DenseVec{}
+	dv.AppendVector(feature.DefaultSymbols(), v)
+	return dv
+}
+
+func randomVec(rng *rand.Rand, dims int) feature.Vector {
+	v := make(feature.Vector, dims)
+	for d := 0; d < dims; d++ {
+		v[fmt.Sprintf("dense.f%d", d)] = rng.NormFloat64()
+	}
+	return v
+}
+
+// Every classifier must produce an identical model whether examples arrive
+// through the map adapter or directly as interned vectors.
+func TestTrainDenseMatchesTrain(t *testing.T) {
+	builders := map[string]func() DenseClassifier{
+		"perceptron": func() DenseClassifier { return NewPerceptron(1) },
+		"pa":         func() DenseClassifier { return NewPassiveAggressive(1) },
+		"arow":       func() DenseClassifier { return NewAROW(0.1) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			viaMap, viaDense := build(), build()
+			var probes []feature.Vector
+			for i := 0; i < 200; i++ {
+				v := randomVec(rng, 4)
+				label := "a"
+				if v["dense.f0"]+v["dense.f1"] < 0 {
+					label = "b"
+				}
+				viaMap.Train(v, label)
+				viaDense.TrainDense(toDense(v), label)
+				if i%20 == 0 {
+					probes = append(probes, v)
+				}
+			}
+			for _, p := range probes {
+				sm, sd := viaMap.Scores(p), viaDense.Scores(p)
+				if len(sm) != len(sd) {
+					t.Fatalf("score counts differ: %d vs %d", len(sm), len(sd))
+				}
+				for i := range sm {
+					if sm[i].Label != sd[i].Label || math.Abs(sm[i].Score-sd[i].Score) > 1e-9 {
+						t.Fatalf("scores diverge at %d: %+v vs %+v", i, sm[i], sd[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// BestDense must agree with Scores[0] (same argmax, same tie-break).
+func TestBestDenseMatchesScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	clf := NewPassiveAggressive(1)
+	for i := 0; i < 100; i++ {
+		v := randomVec(rng, 3)
+		label := "x"
+		if v["dense.f0"] < 0 {
+			label = "y"
+		}
+		clf.Train(v, label)
+	}
+	for i := 0; i < 50; i++ {
+		v := randomVec(rng, 3)
+		best, err := clf.BestDense(toDense(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := clf.Scores(v)
+		if best.Label != scores[0].Label || math.Abs(best.Score-scores[0].Score) > 1e-12 {
+			t.Fatalf("BestDense %+v != Scores[0] %+v", best, scores[0])
+		}
+	}
+}
+
+func TestBestDenseUntrained(t *testing.T) {
+	clf := NewPerceptron(1)
+	if _, err := clf.BestDense(&feature.DenseVec{}); err != ErrUntrained {
+		t.Fatalf("err = %v, want ErrUntrained", err)
+	}
+}
+
+// BestDense ties break toward the lexicographically smaller label, matching
+// the Scores sort order.
+func TestBestDenseTieBreak(t *testing.T) {
+	clf := NewPerceptron(1)
+	// Two labels, no updates yet beyond registration: all weights zero, so
+	// every score ties at 0.
+	clf.Train(feature.Vector{"dense.tie": 1}, "zeta")
+	clf.TrainDense(toDense(feature.Vector{"dense.tie": 1}), "alpha")
+	// One perceptron update happened (alpha vs zeta) — craft an orthogonal
+	// probe so both scores are exactly zero.
+	probe := toDense(feature.Vector{"dense.tie.orthogonal": 1})
+	best, err := clf.BestDense(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Label != "alpha" || best.Score != 0 {
+		t.Fatalf("tie broke to %+v, want alpha at 0", best)
+	}
+}
+
+func TestZScoreAddDenseMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	viaMap, viaDense := NewZScoreDetector(), NewZScoreDetector()
+	for i := 0; i < 300; i++ {
+		v := feature.Vector{"dense.z": 20 + rng.NormFloat64()}
+		sm := viaMap.Add(v)
+		sd := viaDense.AddDense(toDense(v))
+		if math.Abs(sm-sd) > 1e-12 {
+			t.Fatalf("step %d: map score %v != dense score %v", i, sm, sd)
+		}
+	}
+	outlier := feature.Vector{"dense.z": 60}
+	if m, d := viaMap.Score(outlier), viaDense.Score(outlier); math.Abs(m-d) > 1e-12 {
+		t.Fatalf("outlier scores differ: %v vs %v", m, d)
+	}
+}
+
+func TestKNNAddDenseMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	viaMap, viaDense := NewKNNAnomalyDetector(3, 32), NewKNNAnomalyDetector(3, 32)
+	for i := 0; i < 100; i++ {
+		v := feature.Vector{
+			"dense.kx": rng.NormFloat64(),
+			"dense.ky": rng.NormFloat64(),
+		}
+		sm := viaMap.Add(v)
+		sd := viaDense.AddDense(toDense(v))
+		if math.Abs(sm-sd) > 1e-9 {
+			t.Fatalf("step %d: map score %v != dense score %v", i, sm, sd)
+		}
+	}
+}
+
+func TestKMeansAddDenseMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	viaMap, viaDense := NewSequentialKMeans(2), NewSequentialKMeans(2)
+	for i := 0; i < 200; i++ {
+		center := 5.0
+		if i%2 == 1 {
+			center = -5
+		}
+		v := feature.Vector{"dense.c": center + rng.NormFloat64()*0.3}
+		im := viaMap.Add(v)
+		id := viaDense.AddDense(toDense(v))
+		if im != id {
+			t.Fatalf("step %d: map cluster %d != dense cluster %d", i, im, id)
+		}
+	}
+	cm, cd := viaMap.Centroids(), viaDense.Centroids()
+	for i := range cm {
+		if math.Abs(cm[i]["dense.c"]-cd[i]["dense.c"]) > 1e-12 {
+			t.Fatalf("centroid %d differs: %v vs %v", i, cm[i], cd[i])
+		}
+	}
+}
+
+// A model trained on interned vectors must round-trip through the map-form
+// MIX exchange unchanged.
+func TestDenseModelMixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	clf := NewPassiveAggressive(1)
+	for i := 0; i < 100; i++ {
+		v := randomVec(rng, 3)
+		label := "p"
+		if v["dense.f0"] < 0 {
+			label = "n"
+		}
+		clf.TrainDense(toDense(v), label)
+	}
+	probe := randomVec(rng, 3)
+	before := clf.Scores(probe)
+	clf.ImportWeights(clf.ExportWeights())
+	after := clf.Scores(probe)
+	for i := range before {
+		if before[i].Label != after[i].Label || math.Abs(before[i].Score-after[i].Score) > 1e-12 {
+			t.Fatalf("round trip changed scores: %+v vs %+v", before[i], after[i])
+		}
+	}
+}

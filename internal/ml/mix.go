@@ -32,12 +32,22 @@ func (p *PassiveAggressive) ExportWeights() map[string]feature.Vector {
 // ImportWeights implements WeightExporter for PassiveAggressive.
 func (p *PassiveAggressive) ImportWeights(w map[string]feature.Vector) { p.model.importWeights(w) }
 
+// exportWeights resolves the dense per-label weight slices back to the
+// string-keyed interchange form. Zero weights are elided: a feature the
+// model has never pushed away from zero is indistinguishable from an unseen
+// one, and the wire format stays sparse.
 func (m *linearModel) exportWeights() map[string]feature.Vector {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make(map[string]feature.Vector, len(m.weights))
-	for label, w := range m.weights {
-		out[label] = w.Clone()
+	out := make(map[string]feature.Vector, len(m.labels))
+	for li, label := range m.labels {
+		vec := make(feature.Vector)
+		for id, w := range m.weights[li] {
+			if w != 0 {
+				vec[m.syms.Name(uint32(id))] = w
+			}
+		}
+		out[label] = vec
 	}
 	return out
 }
@@ -45,9 +55,18 @@ func (m *linearModel) exportWeights() map[string]feature.Vector {
 func (m *linearModel) importWeights(w map[string]feature.Vector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.weights = make(map[string]feature.Vector, len(w))
+	m.labels = m.labels[:0]
+	m.labelIdx = make(map[string]int, len(w))
+	m.weights = m.weights[:0]
 	for label, vec := range w {
-		m.weights[label] = vec.Clone()
+		li := m.ensureLabelLocked(label)
+		var arr []float64
+		for k, val := range vec {
+			id := m.syms.Intern(k)
+			arr = feature.GrowDense(arr, id+1)
+			arr[id] = val
+		}
+		m.weights[li] = arr
 	}
 }
 

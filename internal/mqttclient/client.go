@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/telemetry"
@@ -33,10 +34,31 @@ type Message struct {
 	Dup     bool
 }
 
-// Handler consumes received messages. Handlers for one client run
-// sequentially on a single dispatch goroutine, preserving per-connection
-// ordering.
+// Handler consumes received messages. Each handler registration gets its
+// own bounded FIFO dispatch lane with a dedicated goroutine: messages for
+// one registration are delivered sequentially in arrival order (MQTT's
+// per-subscription ordering guarantee), but distinct registrations run
+// concurrently — a slow handler on one subscription does not stall the
+// others beyond its lane bound. A handler function registered under several
+// filters may therefore be invoked concurrently and must be safe for
+// concurrent use.
 type Handler func(Message)
+
+// LanePolicy selects what happens when a subscription's dispatch lane is
+// full.
+type LanePolicy int
+
+const (
+	// LaneBlock (default) applies backpressure: the dispatcher waits for
+	// space, eventually stalling the connection reader (and thus TCP).
+	// Nothing is ever dropped, matching QoS expectations.
+	LaneBlock LanePolicy = iota
+	// LaneDropNewest drops the incoming message for the full lane only
+	// (other lanes still receive it) and counts it in the lane-drop
+	// telemetry gauge. Use for lossy real-time feeds where stale data is
+	// worse than missing data.
+	LaneDropNewest
+)
 
 // Options configures a client connection.
 type Options struct {
@@ -48,8 +70,11 @@ type Options struct {
 	KeepAlive time.Duration
 	// AckTimeout bounds waits for PUBACK/SUBACK/UNSUBACK (default 10s).
 	AckTimeout time.Duration
-	// DispatchBuffer sizes the handler dispatch queue (default 256).
+	// DispatchBuffer sizes the reader's dispatch queue and each handler
+	// registration's lane (default 256).
 	DispatchBuffer int
+	// LanePolicy selects the full-lane behavior (default LaneBlock).
+	LanePolicy LanePolicy
 	// Will, when set, is registered as the connection's will message.
 	Will *Message
 	// Username/Password are optional credentials.
@@ -91,10 +116,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// lane is one handler registration's bounded FIFO dispatch queue, drained
+// by a dedicated goroutine so registrations never head-of-line block each
+// other. depth tracks queued-but-unhandled messages; drops is shared by
+// every lane on the same filter so the counter survives lane churn.
+type lane struct {
+	ch       chan Message
+	quit     chan struct{}
+	quitOnce sync.Once
+	depth    atomic.Int64
+	drops    *atomic.Int64
+}
+
+func (l *lane) stop() { l.quitOnce.Do(func() { close(l.quit) }) }
+
 type subscription struct {
-	id      int64
-	filter  string
-	handler Handler
+	id     int64
+	filter string
+	lane   *lane
 }
 
 // HandlerRegistration identifies one registered handler so it can be
@@ -108,7 +147,8 @@ type HandlerRegistration struct {
 // Filter reports the topic filter this registration was made under.
 func (r *HandlerRegistration) Filter() string { return r.filter }
 
-// Remove detaches just this handler. No broker traffic is generated; call
+// Remove detaches just this handler and stops its lane; messages still
+// queued in the lane are discarded. No broker traffic is generated; call
 // Client.Unsubscribe when the filter itself is no longer needed.
 func (r *HandlerRegistration) Remove() {
 	r.client.mu.Lock()
@@ -117,6 +157,8 @@ func (r *HandlerRegistration) Remove() {
 	for _, s := range r.client.subs {
 		if s.id != r.id {
 			kept = append(kept, s)
+		} else {
+			s.lane.stop()
 		}
 	}
 	r.client.subs = kept
@@ -137,10 +179,13 @@ type Client struct {
 	nextPacketID uint16
 	closed       bool
 	closeErr     error
+	laneDrops    map[string]*atomic.Int64 // per-filter drop counters (lanes share)
 
-	dispatch chan Message
-	done     chan struct{} // closed when the reader exits
-	wg       sync.WaitGroup
+	dispatch    chan Message
+	defaultLane *lane // lane for Options.DefaultHandler (nil if unset)
+	done        chan struct{} // closed when the reader exits
+	wg          sync.WaitGroup
+	laneWg      sync.WaitGroup // lane goroutines; waited after wg
 
 	metrics *clientMetrics
 }
@@ -207,14 +252,21 @@ func Connect(conn net.Conn, opts Options) (*Client, error) {
 	}
 
 	c := &Client{
-		opts:     opts,
-		conn:     conn,
-		pending:  make(map[uint16]chan wire.Packet),
-		dispatch: make(chan Message, opts.DispatchBuffer),
-		done:     make(chan struct{}),
+		opts:      opts,
+		conn:      conn,
+		pending:   make(map[uint16]chan wire.Packet),
+		laneDrops: make(map[string]*atomic.Int64),
+		dispatch:  make(chan Message, opts.DispatchBuffer),
+		done:      make(chan struct{}),
 	}
 	if opts.Registry != nil {
 		c.metrics = newClientMetrics(opts.Registry, opts.ClientID)
+	}
+	if opts.DefaultHandler != nil {
+		c.defaultLane = c.newLane("(default)")
+		c.laneWg.Add(1)
+		go c.laneLoop(c.defaultLane, opts.DefaultHandler)
+		c.registerLaneMetrics("(default)")
 	}
 	c.wg.Add(2)
 	go c.readLoop()
@@ -302,10 +354,21 @@ func (c *Client) SubscribeHandle(filter string, qos wire.QoS, handler Handler) (
 	// and a handler registered only after the ack races the read loop and
 	// silently drops that replay.
 	c.mu.Lock()
+	if c.closed {
+		// The reader may have exited (and swept the lanes) between
+		// registerPending and here; a lane started now would leak.
+		c.mu.Unlock()
+		c.unregisterPending(id)
+		return 0, nil, ErrClosed
+	}
 	c.subID++
+	ln := c.newLane(filter)
 	reg := &HandlerRegistration{client: c, id: c.subID, filter: filter}
-	c.subs = append(c.subs, subscription{id: c.subID, filter: filter, handler: handler})
+	c.subs = append(c.subs, subscription{id: c.subID, filter: filter, lane: ln})
+	c.laneWg.Add(1)
+	go c.laneLoop(ln, handler)
 	c.mu.Unlock()
+	c.registerLaneMetrics(filter)
 
 	sub := &wire.SubscribePacket{
 		PacketID:      id,
@@ -352,6 +415,8 @@ func (c *Client) Unsubscribe(filter string) error {
 	for _, s := range c.subs {
 		if s.filter != filter {
 			kept = append(kept, s)
+		} else {
+			s.lane.stop()
 		}
 	}
 	c.subs = kept
@@ -373,6 +438,7 @@ func (c *Client) Disconnect() error {
 	_ = c.write(&wire.DisconnectPacket{})
 	_ = c.conn.Close()
 	c.wg.Wait()
+	c.laneWg.Wait()
 	return nil
 }
 
@@ -389,6 +455,7 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	_ = c.conn.Close()
 	c.wg.Wait()
+	c.laneWg.Wait()
 	return nil
 }
 
@@ -520,24 +587,143 @@ func (c *Client) handleInboundPublish(p *wire.PublishPacket) {
 	}
 }
 
+// newLane builds a lane bound to the per-filter drop counter. Callers hold
+// c.mu (or are in Connect, before any concurrency).
+func (c *Client) newLane(filter string) *lane {
+	drops, ok := c.laneDrops[filter]
+	if !ok {
+		drops = &atomic.Int64{}
+		c.laneDrops[filter] = drops
+	}
+	return &lane{
+		ch:    make(chan Message, c.opts.DispatchBuffer),
+		quit:  make(chan struct{}),
+		drops: drops,
+	}
+}
+
+// registerLaneMetrics exposes the filter's aggregate lane depth and drop
+// count as collection-time gauges. Idempotent per (client, filter): the
+// registry dedups series by name+labels.
+func (c *Client) registerLaneMetrics(filter string) {
+	if c.opts.Registry == nil {
+		return
+	}
+	labels := []telemetry.Label{
+		telemetry.L("client", c.opts.ClientID),
+		telemetry.L("filter", filter),
+	}
+	c.opts.Registry.GaugeFunc("ifot_client_lane_depth",
+		"messages queued in dispatch lanes, by subscription filter",
+		func() float64 {
+			var depth int64
+			c.mu.Lock()
+			for _, s := range c.subs {
+				if s.filter == filter {
+					depth += s.lane.depth.Load()
+				}
+			}
+			c.mu.Unlock()
+			if filter == "(default)" && c.defaultLane != nil {
+				depth += c.defaultLane.depth.Load()
+			}
+			return float64(depth)
+		}, labels...)
+	c.opts.Registry.GaugeFunc("ifot_client_lane_dropped_total",
+		"messages dropped by full dispatch lanes (LaneDropNewest only)",
+		func() float64 {
+			c.mu.Lock()
+			drops := c.laneDrops[filter]
+			c.mu.Unlock()
+			if drops == nil {
+				return 0
+			}
+			return float64(drops.Load())
+		}, labels...)
+}
+
+// enqueue places msg on ln according to the lane policy. Only the
+// dispatcher goroutine sends on lane channels, which is what makes the
+// shutdown close(ln.ch) in dispatchLoop safe.
+func (c *Client) enqueue(ln *lane, msg Message) {
+	if c.opts.LanePolicy == LaneDropNewest {
+		select {
+		case ln.ch <- msg:
+			ln.depth.Add(1)
+		case <-ln.quit:
+		default:
+			ln.drops.Add(1)
+		}
+		return
+	}
+	select {
+	case ln.ch <- msg:
+		ln.depth.Add(1)
+	case <-ln.quit:
+		// Lane removed while we were blocked; drop silently, matching the
+		// pre-lane semantics where a removed handler stops receiving.
+	}
+}
+
+// laneLoop drains one lane, running its handler sequentially — the
+// per-subscription ordering guarantee.
+func (c *Client) laneLoop(ln *lane, h Handler) {
+	defer c.laneWg.Done()
+	for {
+		select {
+		case <-ln.quit:
+			return
+		default:
+		}
+		select {
+		case <-ln.quit:
+			return
+		case msg, ok := <-ln.ch:
+			if !ok {
+				return
+			}
+			ln.depth.Add(-1)
+			h(msg)
+		}
+	}
+}
+
+// dispatchLoop matches each inbound message against the subscription table
+// and fans it out to the matching lanes. Matching stays centralized (one
+// goroutine, read-mostly table) while handler execution is per-lane, so one
+// slow handler delays the others only once its own lane is full (LaneBlock)
+// or never (LaneDropNewest).
 func (c *Client) dispatchLoop() {
 	defer c.wg.Done()
+	var lanes []*lane // scratch, reused across messages
 	for msg := range c.dispatch {
+		lanes = lanes[:0]
 		c.mu.Lock()
-		handlers := make([]Handler, 0, len(c.subs))
 		for _, s := range c.subs {
 			if wire.MatchTopic(s.filter, msg.Topic) {
-				handlers = append(handlers, s.handler)
+				lanes = append(lanes, s.lane)
 			}
 		}
 		c.mu.Unlock()
-		if len(handlers) == 0 && c.opts.DefaultHandler != nil {
-			c.opts.DefaultHandler(msg)
+		if len(lanes) == 0 {
+			if c.defaultLane != nil {
+				c.enqueue(c.defaultLane, msg)
+			}
 			continue
 		}
-		for _, h := range handlers {
-			h(msg)
+		for _, ln := range lanes {
+			c.enqueue(ln, msg)
 		}
+	}
+	// The reader has exited and set closed, so no new lanes can appear:
+	// close every lane channel so the lane goroutines drain and exit.
+	c.mu.Lock()
+	for _, s := range c.subs {
+		close(s.lane.ch)
+	}
+	c.mu.Unlock()
+	if c.defaultLane != nil {
+		close(c.defaultLane.ch)
 	}
 }
 
