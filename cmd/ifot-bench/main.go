@@ -217,12 +217,17 @@ func printBreakdown(path string, results []experiment.Result,
 }
 
 func printTrend(results []experiment.Result) {
-	fmt.Println("Latency vs sensing rate (Section V-C trend):")
-	fmt.Printf("%-10s %-14s %-14s %-12s %-12s\n", "rate(Hz)", "train avg(ms)", "pred avg(ms)", "trainDrop", "predDrop")
+	fmt.Println("Latency vs sensing rate (Section V-C trend; percentiles over the run):")
+	fmt.Printf("%-10s %-14s %-10s %-10s %-10s %-14s %-10s %-10s %-10s %-10s %-10s\n",
+		"rate(Hz)", "train avg(ms)", "p50", "p95", "p99",
+		"pred avg(ms)", "p50", "p95", "p99", "trainDrop", "predDrop")
 	for _, r := range results {
-		fmt.Printf("%-10.0f %-14.1f %-14.1f %-12d %-12d\n",
+		fmt.Printf("%-10.0f %-14.1f %-10.1f %-10.1f %-10.1f %-14.1f %-10.1f %-10.1f %-10.1f %-10d %-10d\n",
 			r.Config.RateHz,
-			metrics.Millis(r.Training.Mean), metrics.Millis(r.Predicting.Mean),
+			metrics.Millis(r.Training.Mean),
+			metrics.Millis(r.Training.P50), metrics.Millis(r.Training.P95), metrics.Millis(r.Training.P99),
+			metrics.Millis(r.Predicting.Mean),
+			metrics.Millis(r.Predicting.P50), metrics.Millis(r.Predicting.P95), metrics.Millis(r.Predicting.P99),
 			r.TrainDropped, r.PredictDropped)
 	}
 	fmt.Println()
@@ -351,7 +356,8 @@ func ablateScale(mutate func(*experiment.Config)) {
 
 func runRealtime() error {
 	fmt.Println("LIVE PIPELINE (real middleware, host-speed, in-memory transports):")
-	fmt.Printf("%-10s %-16s %-16s %-10s\n", "rate(Hz)", "train avg(ms)", "pred avg(ms)", "joins")
+	fmt.Printf("%-10s %-16s %-10s %-10s %-16s %-10s %-10s %-10s\n",
+		"rate(Hz)", "train avg(ms)", "p95", "p99", "pred avg(ms)", "p95", "p99", "joins")
 	for _, rate := range []float64{5, 20, 50} {
 		res, err := experiment.RunRealtime(experiment.RealtimeConfig{
 			RateHz:   rate,
@@ -360,8 +366,12 @@ func runRealtime() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10.0f %-16.2f %-16.2f %-10d\n", rate,
-			metrics.Millis(res.Training.Mean), metrics.Millis(res.Predicting.Mean), res.SamplesJoined)
+		fmt.Printf("%-10.0f %-16.2f %-10.2f %-10.2f %-16.2f %-10.2f %-10.2f %-10d\n", rate,
+			metrics.Millis(res.Training.Mean),
+			metrics.Millis(res.Training.P95), metrics.Millis(res.Training.P99),
+			metrics.Millis(res.Predicting.Mean),
+			metrics.Millis(res.Predicting.P95), metrics.Millis(res.Predicting.P99),
+			res.SamplesJoined)
 	}
 	fmt.Println()
 	return nil

@@ -40,7 +40,8 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		strategy  = flag.String("strategy", "least-loaded", "task assignment strategy (least-loaded|round-robin)")
 		settle    = flag.Duration("settle", 2*time.Second, "time to wait for module announcements")
-		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics and /debug/pprof (empty = off)")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows and /debug/pprof (empty = off)")
+		traceCap  = flag.Int("trace-capacity", core.DefaultCollectorFlows, "cross-module flows retained by the trace collector")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -56,16 +57,21 @@ func run() error {
 		Dial:     func() (net.Conn, error) { return net.Dial("tcp", *brokerStr) },
 		Logger:   log.New(os.Stderr, "", log.LstdFlags),
 	}
+	mcfg.TraceFlowCapacity = *traceCap
 	if *telAddr != "" {
 		mcfg.Telemetry = telemetry.NewRegistry()
-		bound, shutdown, err := telemetry.StartServer(*telAddr, mcfg.Telemetry, nil)
+	}
+	mgr := core.NewManager(mcfg)
+	if *telAddr != "" {
+		// The collector serves /traces (cluster-wide assembled flows) and
+		// /flows (per-stage latency SLO digest) alongside /metrics.
+		bound, shutdown, err := telemetry.StartServer(*telAddr, mcfg.Telemetry, mgr.Collector())
 		if err != nil {
 			return err
 		}
 		defer func() { _ = shutdown(context.Background()) }()
 		log.Printf("telemetry on http://%s/metrics", bound)
 	}
-	mgr := core.NewManager(mcfg)
 	if err := mgr.Start(); err != nil {
 		return err
 	}

@@ -53,8 +53,12 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		capacity  = flag.Float64("capacity", 1000, "advertised processing capacity (ops/s)")
 		verbose   = flag.Bool("v", false, "log middleware events")
-		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces and /debug/pprof (empty = off)")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows and /debug/pprof (empty = off)")
 		sysEvery  = flag.Duration("sys-stats", 0, "publish module metrics retained under $SYS/modules/<id>/ at this interval (0 = off)")
+		traceCap  = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "spans retained in the tracer ring buffer")
+		traceExp  = flag.Duration("trace-export", time.Second, "interval for publishing completed spans on ifot/ctrl/trace/<id> (0 = no export)")
+		traceBuf  = flag.Int("trace-export-buffer", telemetry.DefaultSpanExportBuffer, "spans buffered between trace exports (overflow dropped+counted)")
+		traceSmp  = flag.Uint("trace-sample", 32, "trace one flow in every N (1 = every flow)")
 		sensors   stringsFlag
 		actuators stringsFlag
 		caps      stringsFlag
@@ -77,7 +81,13 @@ func run() error {
 	}
 	if *telAddr != "" || *sysEvery > 0 {
 		cfg.Telemetry = telemetry.NewRegistry()
-		cfg.Tracer = telemetry.NewTracer(nil, telemetry.DefaultTraceCapacity)
+		cfg.Tracer = telemetry.NewTracer(nil, *traceCap)
+		// Expose the tracer's per-stage latency SLO quantiles
+		// (p50/p95/p99/max) as gauges on /metrics and $SYS.
+		cfg.Tracer.BindRegistry(cfg.Telemetry, "")
+		cfg.TraceExportInterval = *traceExp
+		cfg.TraceExportBuffer = *traceBuf
+		cfg.TraceSampleEvery = uint32(*traceSmp)
 	}
 	if *telAddr != "" {
 		bound, shutdown, err := telemetry.StartServer(*telAddr, cfg.Telemetry, cfg.Tracer)

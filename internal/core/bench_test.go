@@ -13,6 +13,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/netsim"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -173,8 +174,50 @@ func analyzeDense(payload []byte, clf ml.DenseClassifier) ([]byte, error) {
 	return EncodeJSON(d), nil
 }
 
+// analyzeDenseTraced is the same hot path with distributed tracing on, as
+// wired in startPredict when a Tracer is set: the payload carries a trace
+// trailer, the decision forwards the context, and a cumulative judge span
+// is recorded (tracer ring + histogram + export sink).
+func analyzeDenseTraced(payload []byte, clf ml.DenseClassifier, tr *telemetry.Tracer) ([]byte, error) {
+	batch, tctx, err := decodeSamplesTraced(payload)
+	if err != nil {
+		return nil, err
+	}
+	dv := BatchDense(batch)
+	label := ""
+	score := 0.0
+	if best, err := clf.BestDense(dv); err == nil {
+		label, score = best.Label, best.Score
+	}
+	feature.PutDense(dv)
+	d := Decision{
+		Kind:     string(recipe.KindPredict),
+		Label:    label,
+		Score:    score,
+		Seq:      batch[0].Seq,
+		SensedAt: EarliestTimestamp(batch),
+		Trace:    forward(tctx),
+	}
+	out := EncodeJSON(d)
+	if tctx != nil {
+		end := tr.Now()
+		from := tctx.Origin()
+		if from.After(end) {
+			from = end
+		}
+		tr.Record(telemetry.Span{
+			Key: tctx.Key, Stage: "judge", Module: "bench",
+			OriginModule: tctx.OriginModule, Start: from, End: end,
+		})
+	}
+	return out, nil
+}
+
 // BenchmarkAnalysisPipeline measures the neuron-side analysis path end to
 // end (decode → features → classify → decision) as a pure in-process loop.
+// The dense-traced variant adds the full distributed-tracing cost (trailer
+// decode, context forward, span record + export sink) and must stay within
+// 5% of dense.
 func BenchmarkAnalysisPipeline(b *testing.B) {
 	const sensors = 3
 	clf := benchClassifier(sensors)
@@ -203,6 +246,55 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
 	})
+	// runStream drives the traced analysis path over one sampling period
+	// of distinct messages (32 flows), as an upstream sense task with
+	// TraceSampleEvery=sampleEvery emits them: flows whose seq divides
+	// sampleEvery carry a trace trailer, the rest ship bare. sampleEvery=0
+	// disables tracing entirely — the baseline over the identical stream,
+	// so the traced/untraced delta is pure tracing cost (a fixed single
+	// payload, as the plain dense case uses, flatters both sides equally
+	// but hides nothing).
+	const period = 32
+	runStream := func(b *testing.B, sampleEvery uint32) {
+		dclf := clf.(ml.DenseClassifier)
+		payloads := make([][]byte, period)
+		for seq := uint32(0); seq < period; seq++ {
+			batch := benchBatch(sensors, seq)
+			var err error
+			if sampleEvery > 0 && seq%sampleEvery == 0 {
+				payloads[seq], err = EncodeBatchTraced(batch, &TraceContext{
+					Key:            telemetry.TraceKey{Recipe: "bench", TaskID: "sense", Seq: seq},
+					OriginUnixNano: batch[0].Timestamp.UnixNano(),
+					OriginModule:   "benchSensor",
+					Hops:           1,
+				})
+			} else {
+				payloads[seq], err = EncodeBatch(batch)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr := telemetry.NewTracer(nil, telemetry.DefaultTraceCapacity)
+		exp := telemetry.NewSpanExporter(telemetry.DefaultSpanExportBuffer)
+		tr.SetSink(exp.Offer)
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := analyzeDenseTraced(payloads[uint32(i)%period], dclf, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+	}
+	// Baseline: the same 32-flow stream with tracing off.
+	b.Run("dense-untraced", func(b *testing.B) { runStream(b, 0) })
+	// Tracing at the neuron daemon's default 1-in-32 flow sampling: the
+	// acceptance bar is ≤5% below dense-untraced.
+	b.Run("dense-traced", func(b *testing.B) { runStream(b, 32) })
+	// Every flow traced (TraceSampleEvery=1): the worst case, recorded so
+	// the full per-message cost of tracing stays visible.
+	b.Run("dense-traced-all", func(b *testing.B) { runStream(b, 1) })
 }
 
 // BenchmarkAnalysisPipelineLanes runs the same analysis handler behind a

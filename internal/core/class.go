@@ -12,6 +12,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 // taskInstance is one running subtask: its subscriptions and shutdown hooks.
@@ -124,14 +125,83 @@ func (m *Module) publishData(topic string, payload []byte) error {
 
 // decodeSamples accepts either a bare 32-byte sample or a batch payload.
 func decodeSamples(payload []byte) ([]sensor.Sample, error) {
+	samples, _, err := decodeSamplesTraced(payload)
+	return samples, err
+}
+
+// decodeSamplesTraced is decodeSamples plus the optional trace context a
+// traced publisher appended (nil when absent — the common untraced case
+// costs nothing extra).
+func decodeSamplesTraced(payload []byte) ([]sensor.Sample, *TraceContext, error) {
 	if len(payload) == sensor.SampleSize {
 		s, err := sensor.DecodeSample(payload)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []sensor.Sample{s}, nil
+		return []sensor.Sample{s}, nil, nil
 	}
-	return DecodeBatch(payload)
+	return DecodeBatchTraced(payload)
+}
+
+// forward returns the context to attach to a re-publish: the inbound
+// context with its hop count bumped, or nil when the flow is untraced.
+func forward(tc *TraceContext) *TraceContext {
+	if tc == nil {
+		return nil
+	}
+	next := tc.Next()
+	return &next
+}
+
+// ctxCache maps in-flight sequence numbers to their adopted trace
+// context at a join point, bounded FIFO so unjoined flows cannot grow it.
+type ctxCache struct {
+	mu   sync.Mutex
+	m    map[uint32]*TraceContext
+	fifo []uint32
+	max  int
+}
+
+func newCtxCache(max int) *ctxCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &ctxCache{m: make(map[uint32]*TraceContext, max), max: max}
+}
+
+// put adopts tc for seq; the first source to arrive wins (follows-from
+// semantics for multi-parent joins).
+func (c *ctxCache) put(seq uint32, tc *TraceContext) {
+	if tc == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.m[seq]; !ok {
+		if len(c.fifo) >= c.max {
+			delete(c.m, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+		c.m[seq] = tc
+		c.fifo = append(c.fifo, seq)
+	}
+	c.mu.Unlock()
+}
+
+// take removes and returns the context adopted for seq (nil if none).
+func (c *ctxCache) take(seq uint32) *TraceContext {
+	c.mu.Lock()
+	tc, ok := c.m[seq]
+	if ok {
+		delete(c.m, seq)
+		for i, s := range c.fifo {
+			if s == seq {
+				c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	return tc
 }
 
 // BatchFeatures converts a joined batch into a sparse feature vector: one
@@ -245,8 +315,28 @@ func (m *Module) startSense(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 	go func() {
 		defer m.wg.Done()
 		defer close(done)
+		traced := m.cfg.Tracer != nil
+		sample := m.cfg.TraceSampleEvery
 		_ = s.Run(ctx, func(smp sensor.Sample) {
-			if err := m.publishData(sub.Task.Output, smp.Encode()); err != nil {
+			// Untraced deployments publish the bare 32-byte sample as
+			// always; with tracing on, the sample rides in a one-sample
+			// batch carrying the freshly minted trace context, so every
+			// downstream module sees the flow's identity and origin.
+			// Sampling (TraceSampleEvery > 1) mints a context only for
+			// every Nth flow; the rest ship bare, costing nothing anywhere
+			// downstream.
+			payload := smp.Encode()
+			if traced && (sample <= 1 || smp.Seq%sample == 0) {
+				tc := &TraceContext{
+					Key:            telemetry.TraceKey{Recipe: rec.Name, TaskID: sub.TaskID, Seq: smp.Seq},
+					OriginUnixNano: smp.Timestamp.UnixNano(),
+					OriginModule:   m.cfg.ID,
+				}
+				if p, err := EncodeBatchTraced([]sensor.Sample{smp}, tc); err == nil {
+					payload = p
+				}
+			}
+			if err := m.publishData(sub.Task.Output, payload); err != nil {
 				m.logf("sense %s publish: %v", sub.Name(), err)
 				return
 			}
@@ -267,8 +357,19 @@ func (m *Module) startWindow(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 		return err
 	}
 	size := paramInt(sub, "size", 16)
+	// pending holds the trace context of the first traced sample since the
+	// last window emission; the flush below forwards it. Guarded by mu:
+	// each input topic dispatches on its own lane.
+	var (
+		pendingMu  sync.Mutex
+		pendingCtx *TraceContext
+	)
 	w := flow.NewCountWindow(size, func(batch []sensor.Sample) {
-		payload, err := EncodeBatch(batch)
+		pendingMu.Lock()
+		tc := forward(pendingCtx)
+		pendingCtx = nil
+		pendingMu.Unlock()
+		payload, err := EncodeBatchTraced(batch, tc)
 		if err != nil {
 			m.logf("window %s encode: %v", sub.Name(), err)
 			return
@@ -278,9 +379,16 @@ func (m *Module) startWindow(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 		}
 	})
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		samples, err := decodeSamples(msg.Payload)
+		samples, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil {
 			return
+		}
+		if tc != nil {
+			pendingMu.Lock()
+			if pendingCtx == nil {
+				pendingCtx = tc
+			}
+			pendingMu.Unlock()
 		}
 		for _, s := range samples {
 			w.Push(s)
@@ -301,21 +409,38 @@ func (m *Module) startFilter(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 	min := float32(paramFloat(sub, "min", float64(-1e38)))
 	max := float32(paramFloat(sub, "max", float64(1e38)))
 	dedup := flow.NewDeduper(uint32(paramInt(sub, "dedupWindow", 128)))
-	f := flow.NewFilter(flow.RangePredicate(min, max), func(s sensor.Sample) {
-		if err := m.publishData(sub.Task.Output, s.Encode()); err != nil {
+	emit := func(s sensor.Sample, tc *TraceContext) {
+		payload := s.Encode()
+		if tc != nil {
+			if p, err := EncodeBatchTraced([]sensor.Sample{s}, tc); err == nil {
+				payload = p
+			}
+		}
+		if err := m.publishData(sub.Task.Output, payload); err != nil {
 			m.logf("filter %s publish: %v", sub.Name(), err)
 		}
-	})
+	}
+	// curFwd carries the inbound message's (forwarded) trace context to
+	// the filter callback; fmu serializes pushes across input lanes so the
+	// context matches the samples being filtered.
+	var (
+		fmu    sync.Mutex
+		curFwd *TraceContext
+	)
+	f := flow.NewFilter(flow.RangePredicate(min, max), func(s sensor.Sample) { emit(s, curFwd) })
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		samples, err := decodeSamples(msg.Payload)
+		samples, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil {
 			return
 		}
+		fmu.Lock()
+		curFwd = forward(tc)
 		for _, s := range samples {
 			if dedup.Fresh(s) {
 				f.Push(s)
 			}
 		}
+		fmu.Unlock()
 	})
 }
 
@@ -330,13 +455,23 @@ func (m *Module) startAggregate(inst *taskInstance, rec recipe.Recipe, sub recip
 		return err
 	}
 	maxLag := uint32(paramInt(sub, "maxLag", 64))
+	// The join adopts the first-arriving source's trace context per
+	// sequence number (follows-from), so the assembled batch carries one
+	// flow identity downstream; sibling sources' publish spans remain
+	// visible under their own keys.
+	ctxs := newCtxCache(int(4 * maxLag))
 	joiner := flow.NewJoiner(topics, maxLag, func(seq uint32, batch []sensor.Sample) {
-		payload, err := EncodeBatch(batch)
+		adopted := ctxs.take(seq)
+		payload, err := EncodeBatchTraced(batch, forward(adopted))
 		if err != nil {
 			m.logf("aggregate %s encode: %v", sub.Name(), err)
 			return
 		}
-		m.traceStage(rec.Name, sub.TaskID, seq, "join", EarliestTimestamp(batch))
+		if adopted != nil {
+			m.traceFlow(adopted.Key, adopted.OriginModule, "join", EarliestTimestamp(batch))
+		} else {
+			m.traceStage(rec.Name, sub.TaskID, seq, "join", EarliestTimestamp(batch))
+		}
 		if err := m.publishData(sub.Task.Output, payload); err != nil {
 			m.logf("aggregate %s publish: %v", sub.Name(), err)
 		}
@@ -349,11 +484,12 @@ func (m *Module) startAggregate(inst *taskInstance, rec recipe.Recipe, sub recip
 	for _, topic := range topics {
 		topic := topic
 		_, reg, err := client.SubscribeHandle(topic, m.cfg.DataQoS, func(msg mqttclient.Message) {
-			samples, err := decodeSamples(msg.Payload)
+			samples, tc, err := decodeSamplesTraced(msg.Payload)
 			if err != nil {
 				return
 			}
 			for _, s := range samples {
+				ctxs.put(s.Seq, tc)
 				joiner.Push(topic, s)
 			}
 		})
@@ -383,7 +519,7 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 	)
 
 	handler := func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -410,6 +546,7 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 			SensedAt: EarliestTimestamp(batch),
 			At:       m.now(),
 			Examples: count,
+			Trace:    forward(tc),
 		}
 		m.noteTrainEvent(ev)
 		if sub.Task.Output != "" {
@@ -534,7 +671,7 @@ func (m *Module) startTrainRegression(inst *taskInstance, rec recipe.Recipe, sub
 		examples int64
 	)
 	handler := func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -558,6 +695,7 @@ func (m *Module) startTrainRegression(inst *taskInstance, rec recipe.Recipe, sub
 			SensedAt: EarliestTimestamp(batch),
 			At:       m.now(),
 			Examples: count,
+			Trace:    forward(tc),
 		}
 		m.noteTrainEvent(ev)
 		if sub.Task.Output != "" {
@@ -623,7 +761,7 @@ func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	}
 
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -653,6 +791,7 @@ func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.
 			Score:    score,
 			Seq:      batch[0].Seq,
 			SensedAt: EarliestTimestamp(batch),
+			Trace:    forward(tc),
 		})
 	})
 }
@@ -683,7 +822,7 @@ func (m *Module) startPredictRegression(inst *taskInstance, rec recipe.Recipe, s
 	}
 
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -696,6 +835,7 @@ func (m *Module) startPredictRegression(inst *taskInstance, rec recipe.Recipe, s
 			Score:    regressor.Predict(v),
 			Seq:      batch[0].Seq,
 			SensedAt: EarliestTimestamp(batch),
+			Trace:    forward(tc),
 		})
 	})
 }
@@ -757,7 +897,7 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	}
 
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -805,6 +945,7 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 			Score:    worst,
 			Seq:      batch[0].Seq,
 			SensedAt: EarliestTimestamp(batch),
+			Trace:    forward(tc),
 		})
 	})
 }
@@ -818,7 +959,7 @@ func (m *Module) startCluster(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	}
 	km := ml.NewSequentialKMeans(paramInt(sub, "k", 2))
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
-		batch, err := decodeSamples(msg.Payload)
+		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {
 			return
 		}
@@ -831,6 +972,7 @@ func (m *Module) startCluster(inst *taskInstance, rec recipe.Recipe, sub recipe.
 			Score:    float64(idx),
 			Seq:      batch[0].Seq,
 			SensedAt: EarliestTimestamp(batch),
+			Trace:    forward(tc),
 		})
 	})
 }
@@ -870,7 +1012,11 @@ func (m *Module) startActuate(inst *taskInstance, rec recipe.Recipe, sub recipe.
 			m.logf("actuate %s: %v", sub.Name(), err)
 			return
 		}
-		m.traceStage(d.Recipe, d.TaskID, d.Seq, "actuate", d.SensedAt)
+		if d.Trace != nil {
+			m.traceFlow(d.Trace.Key, d.Trace.OriginModule, "actuate", d.SensedAt)
+		} else {
+			m.traceStage(d.Recipe, d.TaskID, d.Seq, "actuate", d.SensedAt)
+		}
 	})
 }
 
@@ -896,7 +1042,11 @@ func (m *Module) startCustom(inst *taskInstance, rec recipe.Recipe, sub recipe.S
 // noteTrainEvent records the Learning-class stage span and counter for one
 // model update.
 func (m *Module) noteTrainEvent(ev TrainEvent) {
-	m.traceStage(ev.Recipe, ev.TaskID, ev.Seq, "learn", ev.SensedAt)
+	if ev.Trace != nil {
+		m.traceFlow(ev.Trace.Key, ev.Trace.OriginModule, "learn", ev.SensedAt)
+	} else {
+		m.traceStage(ev.Recipe, ev.TaskID, ev.Seq, "learn", ev.SensedAt)
+	}
 	if m.metrics != nil {
 		m.metrics.trained.Inc()
 	}
@@ -906,7 +1056,11 @@ func (m *Module) emitDecision(rec recipe.Recipe, sub recipe.SubTask, d Decision)
 	d.Recipe = rec.Name
 	d.TaskID = sub.TaskID
 	d.At = m.now()
-	m.traceStage(d.Recipe, d.TaskID, d.Seq, "judge", d.SensedAt)
+	if d.Trace != nil {
+		m.traceFlow(d.Trace.Key, d.Trace.OriginModule, "judge", d.SensedAt)
+	} else {
+		m.traceStage(d.Recipe, d.TaskID, d.Seq, "judge", d.SensedAt)
+	}
 	if m.metrics != nil {
 		m.metrics.decisions.Inc()
 	}

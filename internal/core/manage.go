@@ -46,6 +46,12 @@ type ManagerConfig struct {
 	// deployments, registered streams) and is passed to the manager's
 	// MQTT client.
 	Telemetry *telemetry.Registry
+	// TraceFlowCapacity bounds how many distinct flows the manager's
+	// trace collector retains (default DefaultCollectorFlows). The
+	// collector is always on: it subscribes TopicTracePrefix+"#" and
+	// assembles cross-module traces from modules running with span
+	// export enabled.
+	TraceFlowCapacity int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -148,6 +154,8 @@ type Manager struct {
 	modules     map[string]*moduleState
 	deployments map[string]*Deployment
 	streams     map[string]StreamInfo // keyed by topic
+
+	collector *TraceCollector
 }
 
 // NewManager creates an unstarted manager.
@@ -158,7 +166,13 @@ func NewManager(cfg ManagerConfig) *Manager {
 		deployments: make(map[string]*Deployment),
 		streams:     make(map[string]StreamInfo),
 	}
+	mgr.collector = NewTraceCollector(mgr.cfg.Clock, mgr.cfg.TraceFlowCapacity)
 	if reg := mgr.cfg.Telemetry; reg != nil {
+		mgr.collector.BindRegistry(reg)
+		reg.GaugeFunc("ifot_mgmt_trace_spans_total", "spans ingested by the cluster trace collector",
+			func() float64 { return float64(mgr.collector.TotalSpans()) })
+		reg.GaugeFunc("ifot_mgmt_trace_spans_dropped_total", "spans modules shed before export (summed drop counters)",
+			func() float64 { return float64(mgr.collector.DroppedSpans()) })
 		count := func(f func() int) func() float64 {
 			return func() float64 {
 				mgr.mu.Lock()
@@ -210,8 +224,25 @@ func (mgr *Manager) Start() error {
 			return fmt.Errorf("core: manager subscribe %s: %w", s.filter, err)
 		}
 	}
+	// Span batches are fire-and-forget QoS 0: the collector tolerates
+	// loss, and tracing must not add acknowledgement load.
+	if _, err := client.Subscribe(TopicTracePrefix+"#", wire.QoS0, mgr.handleTrace); err != nil {
+		_ = client.Close()
+		return fmt.Errorf("core: manager subscribe traces: %w", err)
+	}
 	mgr.logf("manager %s started", mgr.cfg.ID)
 	return nil
+}
+
+// Collector exposes the manager's cluster trace collector — the
+// TraceSource/FlowReporter the management daemon hands to its telemetry
+// HTTP server.
+func (mgr *Manager) Collector() *TraceCollector { return mgr.collector }
+
+func (mgr *Manager) handleTrace(msg mqttclient.Message) {
+	if err := mgr.collector.Ingest(msg.Payload); err != nil {
+		mgr.logf("manager: bad span batch on %s: %v", msg.Topic, err)
+	}
 }
 
 // Close disconnects the manager.
@@ -412,9 +443,13 @@ func (mgr *Manager) handleAnnounce(msg mqttclient.Message) {
 	if err := DecodeJSON(msg.Payload, &ann); err != nil || ann.ModuleID == "" {
 		return
 	}
+	now := mgr.cfg.Clock.Now()
 	mgr.mu.Lock()
-	mgr.modules[ann.ModuleID] = &moduleState{announce: ann, lastSeen: mgr.cfg.Clock.Now()}
+	mgr.modules[ann.ModuleID] = &moduleState{announce: ann, lastSeen: now}
 	mgr.mu.Unlock()
+	// Announce beacons double as clock-skew probes for the trace
+	// collector: SentAt is stamped by the module's clock, now by ours.
+	mgr.collector.NoteAnnounce(ann.ModuleID, ann.SentAt, now)
 }
 
 func (mgr *Manager) handleLeave(msg mqttclient.Message) {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 // Control-plane topic layout. Application data flows on recipe-defined
@@ -34,6 +35,10 @@ const (
 	TopicDiscoverReplyPrefix = "ifot/ctrl/discover/reply/"
 	// TopicMixPrefix + recipe/taskID carries MIX weight exchanges.
 	TopicMixPrefix = "ifot/mix/"
+	// TopicTracePrefix + moduleID carries batched completed spans
+	// (telemetry.SpanBatch JSON, QoS 0) toward the management node's
+	// cluster trace collector, which subscribes TopicTracePrefix + "#".
+	TopicTracePrefix = "ifot/ctrl/trace/"
 )
 
 // Errors returned by the codec.
@@ -125,6 +130,10 @@ type Decision struct {
 	// preserved so downstream stages can measure end-to-end latency.
 	SensedAt time.Time `json:"sensedAt"`
 	At       time.Time `json:"at"`
+	// Trace carries the originating flow's trace context across the
+	// process boundary to Actuate (and any other JSON consumer). Absent
+	// on untraced deployments.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // TrainEvent is emitted by the Learning class after each model update.
@@ -136,6 +145,9 @@ type TrainEvent struct {
 	At       time.Time `json:"at"`
 	// Examples counts total training examples absorbed so far.
 	Examples int64 `json:"examples"`
+	// Trace carries the originating flow's trace context (absent on
+	// untraced deployments).
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // MixSnapshot carries one trainer shard's model weights for MIX averaging.
@@ -165,41 +177,172 @@ func DecodeJSON(data []byte, v any) error {
 	return nil
 }
 
+// TraceContext is the flow identity a traced batch carries across process
+// boundaries: the trace key, the origin sensing instant (stamped by the
+// origin module's clock), that module's ID (so a collector can apply the
+// right skew offset to the start instant), and a hop count incremented at
+// every re-publish. It rides the wire as an optional binary trailer after
+// the batch samples (see EncodeBatchTraced) and as an optional JSON field
+// on Decision/TrainEvent.
+// Every field is a plain tagged value on purpose: encoding/json re-scans
+// and compacts the output of any json.Marshaler byte by byte, which costs
+// more than the rest of a traced Decision combined, while plain fields go
+// through the fast reflect struct encoder. The origin instant is therefore
+// integer unix-nanos rather than a time.Time (whose RFC 3339 Marshaler
+// would reintroduce the same tax).
+type TraceContext struct {
+	Key            telemetry.TraceKey `json:"key"`
+	OriginUnixNano int64              `json:"originUnixNano,omitempty"`
+	OriginModule   string             `json:"originModule,omitempty"`
+	Hops           uint8              `json:"hops"`
+}
+
+// Origin reports the origin sensing instant (zero when unset).
+func (tc *TraceContext) Origin() time.Time {
+	if tc == nil || tc.OriginUnixNano == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, tc.OriginUnixNano)
+}
+
+// Next returns a copy with the hop count incremented (saturating).
+func (tc TraceContext) Next() TraceContext {
+	if tc.Hops < 255 {
+		tc.Hops++
+	}
+	return tc
+}
+
+// Trace-trailer wire constants. The trailer is appended after the last
+// sample: magic, version, hops, seq (4B BE), origin unix-nanos (8B BE),
+// then three length-prefixed strings (recipe, taskID, origin module).
+const (
+	traceTrailerMagic   = 0xC7
+	traceTrailerVersion = 1
+	traceTrailerFixed   = 1 + 1 + 1 + 4 + 8
+	maxTraceString      = 255
+)
+
+// appendTraceTrailer appends tc's wire encoding to out.
+func appendTraceTrailer(out []byte, tc *TraceContext) ([]byte, error) {
+	for _, s := range []string{tc.Key.Recipe, tc.Key.TaskID, tc.OriginModule} {
+		if len(s) > maxTraceString {
+			return nil, fmt.Errorf("%w: trace string %q exceeds %d bytes", ErrBatchTooLarge, s[:16]+"…", maxTraceString)
+		}
+	}
+	out = append(out, traceTrailerMagic, traceTrailerVersion, tc.Hops)
+	out = binary.BigEndian.AppendUint32(out, tc.Key.Seq)
+	out = binary.BigEndian.AppendUint64(out, uint64(tc.OriginUnixNano))
+	for _, s := range []string{tc.Key.Recipe, tc.Key.TaskID, tc.OriginModule} {
+		out = append(out, byte(len(s)))
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// decodeTraceTrailer parses a trailer occupying exactly data.
+func decodeTraceTrailer(data []byte) (*TraceContext, error) {
+	if len(data) < traceTrailerFixed || data[0] != traceTrailerMagic || data[1] != traceTrailerVersion {
+		return nil, fmt.Errorf("%w: bad trace trailer", ErrBadBatch)
+	}
+	tc := &TraceContext{Hops: data[2]}
+	tc.Key.Seq = binary.BigEndian.Uint32(data[3:7])
+	tc.OriginUnixNano = int64(binary.BigEndian.Uint64(data[7:15]))
+	rest := data[traceTrailerFixed:]
+	var strs [3]string
+	for i := range strs {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("%w: truncated trace trailer", ErrBadBatch)
+		}
+		n := int(rest[0])
+		if len(rest) < 1+n {
+			return nil, fmt.Errorf("%w: truncated trace trailer", ErrBadBatch)
+		}
+		strs[i] = string(rest[1 : 1+n])
+		rest = rest[1+n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after trace trailer", ErrBadBatch, len(rest))
+	}
+	tc.Key.Recipe, tc.Key.TaskID, tc.OriginModule = strs[0], strs[1], strs[2]
+	return tc, nil
+}
+
 // EncodeBatch serializes a joined batch of samples: a 2-byte big-endian
 // count followed by each sample's 32-byte encoding. Batches longer than
 // MaxBatchSamples return ErrBatchTooLarge — silently truncating the uint16
 // count would make DecodeBatch read a batch whose declared length disagrees
 // with its payload.
 func EncodeBatch(batch []sensor.Sample) ([]byte, error) {
+	return EncodeBatchTraced(batch, nil)
+}
+
+// EncodeBatchTraced serializes a batch like EncodeBatch and, when tc is
+// non-nil, appends its trace-context trailer. Decoders that predate the
+// trailer reject such payloads, so producers only attach context when the
+// deployment runs with tracing enabled; plain consumers of traced streams
+// should use DecodeBatchTraced.
+func EncodeBatchTraced(batch []sensor.Sample, tc *TraceContext) ([]byte, error) {
 	if len(batch) > MaxBatchSamples {
 		return nil, fmt.Errorf("%w: %d samples > %d", ErrBatchTooLarge, len(batch), MaxBatchSamples)
 	}
-	out := make([]byte, 2, 2+len(batch)*sensor.SampleSize)
+	out := make([]byte, 2, 2+len(batch)*sensor.SampleSize+trailerCap(tc))
 	binary.BigEndian.PutUint16(out, uint16(len(batch)))
 	for _, s := range batch {
 		out = append(out, s.Encode()...)
 	}
+	if tc != nil {
+		var err error
+		if out, err = appendTraceTrailer(out, tc); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
-// DecodeBatch parses an EncodeBatch payload.
+func trailerCap(tc *TraceContext) int {
+	if tc == nil {
+		return 0
+	}
+	return traceTrailerFixed + 3 + len(tc.Key.Recipe) + len(tc.Key.TaskID) + len(tc.OriginModule)
+}
+
+// DecodeBatch parses an EncodeBatch payload. A valid trace-context
+// trailer, if present, is accepted and discarded; any other trailing
+// bytes are rejected as before.
 func DecodeBatch(data []byte) ([]sensor.Sample, error) {
+	batch, _, err := DecodeBatchTraced(data)
+	return batch, err
+}
+
+// DecodeBatchTraced parses an EncodeBatch/EncodeBatchTraced payload,
+// returning the trace context when the optional trailer is present (nil
+// otherwise — absent context decodes exactly as the pre-trace format).
+func DecodeBatchTraced(data []byte) ([]sensor.Sample, *TraceContext, error) {
 	if len(data) < 2 {
-		return nil, ErrBadBatch
+		return nil, nil, ErrBadBatch
 	}
 	n := int(binary.BigEndian.Uint16(data))
-	if len(data) != 2+n*sensor.SampleSize {
-		return nil, fmt.Errorf("%w: count %d but %d payload bytes", ErrBadBatch, n, len(data)-2)
+	body := 2 + n*sensor.SampleSize
+	if len(data) < body {
+		return nil, nil, fmt.Errorf("%w: count %d but %d payload bytes", ErrBadBatch, n, len(data)-2)
+	}
+	var tc *TraceContext
+	if len(data) > body {
+		var err error
+		if tc, err = decodeTraceTrailer(data[body:]); err != nil {
+			return nil, nil, err
+		}
 	}
 	batch := make([]sensor.Sample, n)
 	for i := 0; i < n; i++ {
 		s, err := sensor.DecodeSample(data[2+i*sensor.SampleSize : 2+(i+1)*sensor.SampleSize])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		batch[i] = s
 	}
-	return batch, nil
+	return batch, tc, nil
 }
 
 // EarliestTimestamp returns the earliest sensing timestamp in a batch

@@ -79,8 +79,29 @@ type Config struct {
 	// Tracer, when set, records one span per pipeline stage a message
 	// passes through on this module (publish, join, learn, judge,
 	// actuate). Spans correlate across modules via (recipe, taskID, seq),
-	// which the middleware already carries on the wire.
+	// which the middleware already carries on the wire; with a Tracer set
+	// the module also attaches a TraceContext to every data-plane
+	// re-publish so downstream modules record their spans under the
+	// originating flow's key.
 	Tracer *telemetry.Tracer
+	// TraceExportInterval, when positive (and Tracer is set), turns on
+	// span export: completed spans are buffered and published as batched
+	// telemetry.SpanBatch JSON on TopicTracePrefix+ID (QoS 0) every
+	// interval, for the management node's cluster trace collector. Zero
+	// keeps spans local to the module's own /traces endpoint.
+	TraceExportInterval time.Duration
+	// TraceExportBuffer bounds the pending-span export buffer (default
+	// telemetry.DefaultSpanExportBuffer); overflow is dropped and counted,
+	// never blocking the data path.
+	TraceExportBuffer int
+	// TraceSampleEvery subsamples flow observability: only flows whose
+	// sequence number is divisible by it mint/propagate a TraceContext and
+	// record stage spans and latencies. 0 or 1 observes every flow — what
+	// the simulator and tests want; daemons default to 1-in-32 (via
+	// -trace-sample) so the hot-path cost of tracing stays negligible.
+	// Keying on the flow seq keeps sampling consistent across modules:
+	// every stage of a sampled flow is recorded everywhere it runs.
+	TraceSampleEvery uint32
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +139,8 @@ type Module struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	metrics *moduleMetrics
+	metrics  *moduleMetrics
+	exporter *telemetry.SpanExporter
 }
 
 // taskSpec is the durable description of an assigned subtask, kept so
@@ -152,6 +174,16 @@ func NewModule(cfg Config) *Module {
 			return float64(len(m.running))
 		}, id)
 	}
+	if m.cfg.Tracer != nil && m.cfg.TraceExportInterval > 0 {
+		m.exporter = telemetry.NewSpanExporter(m.cfg.TraceExportBuffer)
+		m.cfg.Tracer.SetSink(m.exporter.Offer)
+		if reg := m.cfg.Telemetry; reg != nil {
+			reg.GaugeFunc("ifot_module_trace_spans_dropped_total",
+				"spans shed because the trace export buffer was full",
+				func() float64 { return float64(m.exporter.Dropped()) },
+				telemetry.L("module", m.cfg.ID))
+		}
+	}
 	return m
 }
 
@@ -183,13 +215,31 @@ func (mm *moduleMetrics) stage(moduleID, stage string) *telemetry.Histogram {
 // aggregates read as cumulative latency at that stage — the decomposition
 // the paper's Tables II/III report. No-op without a Tracer.
 func (m *Module) traceStage(recipeName, taskID string, seq uint32, stage string, from time.Time) {
+	m.traceFlow(telemetry.TraceKey{Recipe: recipeName, TaskID: taskID, Seq: seq}, "", stage, from)
+}
+
+// traceFlow records a span under an explicit flow key — the propagated
+// TraceContext key when the message crossed module boundaries, so spans
+// from every hop of one flow share a key and the management node can
+// assemble them into an end-to-end trace. originModule names the module
+// whose clock stamped `from` when it differs from this module (the trace
+// collector applies per-module skew offsets to the right endpoint).
+func (m *Module) traceFlow(key telemetry.TraceKey, originModule, stage string, from time.Time) {
+	if n := m.cfg.TraceSampleEvery; n > 1 && key.Seq%n != 0 {
+		return
+	}
 	end := m.now()
 	if from.IsZero() || from.After(end) {
 		from = end
 	}
+	if originModule == m.cfg.ID {
+		originModule = ""
+	}
 	if tr := m.cfg.Tracer; tr != nil {
-		tr.ObserveStage(telemetry.TraceKey{Recipe: recipeName, TaskID: taskID, Seq: seq},
-			stage, m.cfg.ID, from, end)
+		tr.Record(telemetry.Span{
+			Key: key, Stage: stage, Module: m.cfg.ID,
+			OriginModule: originModule, Start: from, End: end,
+		})
 	}
 	if m.metrics != nil {
 		m.metrics.stage(m.cfg.ID, stage).ObserveDuration(end.Sub(from))
@@ -249,8 +299,59 @@ func (m *Module) Start() error {
 	m.wg.Add(2)
 	go m.heartbeatLoop()
 	go m.watchConnection(client)
+	if m.exporter != nil {
+		m.wg.Add(1)
+		go m.traceExportLoop()
+	}
 	m.logf("module %s started", m.cfg.ID)
 	return nil
+}
+
+// traceExportLoop periodically ships buffered spans toward the trace
+// collector; a final flush runs on shutdown (and on client disconnect via
+// the mqttclient OnBeforeDisconnect hook, so spans are not stranded when
+// the connection goes away first).
+func (m *Module) traceExportLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			m.flushSpans()
+			return
+		case <-m.cfg.Clock.After(m.cfg.TraceExportInterval):
+			m.flushSpans()
+		}
+	}
+}
+
+// flushSpans publishes all buffered completed spans as one SpanBatch on
+// the module's trace topic (QoS 0 — tracing must never apply
+// backpressure or retransmission load to the data plane).
+func (m *Module) flushSpans() {
+	if m.exporter == nil {
+		return
+	}
+	spans := m.exporter.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	client := m.currentClient()
+	if client == nil {
+		return
+	}
+	batch := telemetry.SpanBatch{
+		Module:  m.cfg.ID,
+		SentAt:  m.now(),
+		Dropped: m.exporter.Dropped(),
+		Spans:   spans,
+	}
+	payload, err := telemetry.EncodeSpanBatch(batch)
+	if err != nil {
+		return
+	}
+	if err := client.Publish(TopicTracePrefix+m.cfg.ID, payload, wire.QoS0, false); err != nil {
+		m.logf("module %s trace export: %v", m.cfg.ID, err)
+	}
 }
 
 // connect dials the broker and establishes the control-plane session.
@@ -262,6 +363,9 @@ func (m *Module) connect() (*mqttclient.Client, error) {
 	opts := mqttclient.NewOptions(m.cfg.ID)
 	opts.KeepAlive = 30 * time.Second
 	opts.Registry = m.cfg.Telemetry
+	if m.exporter != nil {
+		opts.OnBeforeDisconnect = m.flushSpans
+	}
 	opts.Will = &mqttclient.Message{
 		Topic:   TopicLeavePrefix + m.cfg.ID,
 		Payload: EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}),

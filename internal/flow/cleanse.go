@@ -2,6 +2,7 @@ package flow
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/ifot-middleware/ifot/internal/sensor"
 )
@@ -9,14 +10,15 @@ import (
 // Predicate decides whether a sample passes a filter.
 type Predicate func(sensor.Sample) bool
 
-// Filter invokes next only for samples satisfying pred.
+// Filter invokes next only for samples satisfying pred. The pass/drop
+// counters are atomics: they sit on the cleansing hot path, where a
+// mutex per sample is pure contention.
 type Filter struct {
 	pred Predicate
 	next func(sensor.Sample)
 
-	mu      sync.Mutex
-	passed  int64
-	dropped int64
+	passed  atomic.Int64
+	dropped atomic.Int64
 }
 
 // NewFilter builds a filter stage.
@@ -27,23 +29,17 @@ func NewFilter(pred Predicate, next func(sensor.Sample)) *Filter {
 // Push offers one sample; it reports whether the sample passed.
 func (f *Filter) Push(s sensor.Sample) bool {
 	if f.pred(s) {
-		f.mu.Lock()
-		f.passed++
-		f.mu.Unlock()
+		f.passed.Add(1)
 		f.next(s)
 		return true
 	}
-	f.mu.Lock()
-	f.dropped++
-	f.mu.Unlock()
+	f.dropped.Add(1)
 	return false
 }
 
 // Counts reports (passed, dropped) totals.
 func (f *Filter) Counts() (passed, dropped int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.passed, f.dropped
+	return f.passed.Load(), f.dropped.Load()
 }
 
 // RangePredicate accepts samples whose channel-0 value lies in [min, max];
@@ -61,7 +57,9 @@ type Deduper struct {
 	highest map[uint16]uint32
 	seen    map[uint16]map[uint32]struct{}
 	window  uint32
-	dropped int64
+	// dropped is atomic so Dropped() never contends with the map work
+	// under mu on the cleansing hot path.
+	dropped atomic.Int64
 }
 
 // NewDeduper creates a deduplicator remembering the last `window` sequence
@@ -89,11 +87,11 @@ func (d *Deduper) Fresh(s sensor.Sample) bool {
 	}
 	high := d.highest[s.SensorIndex]
 	if high >= d.window && s.Seq <= high-d.window {
-		d.dropped++
+		d.dropped.Add(1)
 		return false // too old to track: treat as duplicate/stale
 	}
 	if _, dup := sensorSeen[s.Seq]; dup {
-		d.dropped++
+		d.dropped.Add(1)
 		return false
 	}
 	sensorSeen[s.Seq] = struct{}{}
@@ -113,11 +111,7 @@ func (d *Deduper) Fresh(s sensor.Sample) bool {
 }
 
 // Dropped reports how many duplicates/stale samples were rejected.
-func (d *Deduper) Dropped() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.dropped
-}
+func (d *Deduper) Dropped() int64 { return d.dropped.Load() }
 
 // ChannelAggregator maintains per-sensor running statistics of channel-0
 // values and exposes snapshots, supporting the middleware's aggregation

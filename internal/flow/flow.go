@@ -7,6 +7,7 @@ package flow
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/sensor"
@@ -170,7 +171,8 @@ type Joiner struct {
 	highest uint32
 	maxLag  uint32
 	emit    func(seq uint32, batch []sensor.Sample)
-	dropped int64
+	// dropped is atomic so Dropped() reads without taking the join lock.
+	dropped atomic.Int64
 }
 
 // NewJoiner creates a join over the given source names (order preserved in
@@ -222,7 +224,7 @@ func (j *Joiner) Push(source string, s sensor.Sample) bool {
 			if old+j.maxLag < j.highest {
 				delete(j.pending, old)
 				delete(j.count, old)
-				j.dropped++
+				j.dropped.Add(1)
 			}
 		}
 	}
@@ -250,8 +252,4 @@ func (j *Joiner) PendingJoins() int {
 }
 
 // Dropped reports evicted incomplete joins.
-func (j *Joiner) Dropped() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.dropped
-}
+func (j *Joiner) Dropped() int64 { return j.dropped.Load() }

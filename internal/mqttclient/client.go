@@ -85,6 +85,11 @@ type Options struct {
 	// OnDisconnect, when set, is invoked once when the connection ends
 	// for any reason other than an explicit Disconnect call.
 	OnDisconnect func(error)
+	// OnBeforeDisconnect, when set, is invoked at the start of an
+	// explicit Disconnect, while the connection is still usable — a last
+	// chance to flush buffered state (e.g. pending trace spans) before
+	// the DISCONNECT packet goes out.
+	OnBeforeDisconnect func()
 	// DefaultHandler, when set, receives messages that match no
 	// registered subscription handler (e.g. persistent-session messages
 	// replayed before Subscribe re-registers its handler).
@@ -182,7 +187,7 @@ type Client struct {
 	laneDrops    map[string]*atomic.Int64 // per-filter drop counters (lanes share)
 
 	dispatch    chan Message
-	defaultLane *lane // lane for Options.DefaultHandler (nil if unset)
+	defaultLane *lane         // lane for Options.DefaultHandler (nil if unset)
 	done        chan struct{} // closed when the reader exits
 	wg          sync.WaitGroup
 	laneWg      sync.WaitGroup // lane goroutines; waited after wg
@@ -426,6 +431,15 @@ func (c *Client) Unsubscribe(filter string) error {
 
 // Disconnect sends DISCONNECT and closes the connection gracefully.
 func (c *Client) Disconnect() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	if c.opts.OnBeforeDisconnect != nil {
+		c.opts.OnBeforeDisconnect()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

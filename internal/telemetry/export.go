@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanBatch is the JSON payload a module publishes on
+// `ifot/ctrl/trace/<moduleID>`: the spans completed since the last flush,
+// plus how many were shed because the export buffer was full. SentAt is
+// stamped from the module's own clock so the collector can sanity-check
+// its announce-derived skew offsets.
+type SpanBatch struct {
+	Module  string    `json:"module"`
+	SentAt  time.Time `json:"sentAt"`
+	Dropped uint64    `json:"dropped,omitempty"`
+	Spans   []Span    `json:"spans"`
+}
+
+// EncodeSpanBatch serializes a batch for publishing.
+func EncodeSpanBatch(b SpanBatch) ([]byte, error) { return json.Marshal(b) }
+
+// DecodeSpanBatch parses a published batch.
+func DecodeSpanBatch(data []byte) (SpanBatch, error) {
+	var b SpanBatch
+	err := json.Unmarshal(data, &b)
+	return b, err
+}
+
+// DefaultSpanExportBuffer bounds the exporter's pending-span buffer when
+// the caller does not choose a size.
+const DefaultSpanExportBuffer = 1024
+
+// SpanExporter buffers completed spans for periodic batched export.
+// Offer is the Tracer sink; when the bounded buffer is full, new spans
+// are dropped and counted rather than blocking the pipeline — trace
+// export must never apply backpressure to the data path. Drain swaps the
+// buffer out for publishing. All methods are safe for concurrent use.
+type SpanExporter struct {
+	mu      sync.Mutex
+	buf     []Span
+	limit   int
+	dropped atomic.Uint64
+}
+
+// NewSpanExporter creates an exporter buffering at most limit spans
+// between flushes (non-positive = DefaultSpanExportBuffer).
+func NewSpanExporter(limit int) *SpanExporter {
+	if limit <= 0 {
+		limit = DefaultSpanExportBuffer
+	}
+	return &SpanExporter{buf: make([]Span, 0, limit), limit: limit}
+}
+
+// Offer enqueues a completed span, dropping it (and counting the drop)
+// when the buffer is full.
+func (e *SpanExporter) Offer(s Span) {
+	e.mu.Lock()
+	if len(e.buf) >= e.limit {
+		e.mu.Unlock()
+		e.dropped.Add(1)
+		return
+	}
+	e.buf = append(e.buf, s)
+	e.mu.Unlock()
+}
+
+// Drain removes and returns all buffered spans (nil when empty).
+func (e *SpanExporter) Drain() []Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.buf) == 0 {
+		return nil
+	}
+	out := e.buf
+	e.buf = make([]Span, 0, e.limit)
+	return out
+}
+
+// Pending reports the number of buffered spans.
+func (e *SpanExporter) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.buf)
+}
+
+// Dropped reports how many spans were shed on a full buffer.
+func (e *SpanExporter) Dropped() uint64 { return e.dropped.Load() }

@@ -10,15 +10,33 @@ import (
 	"time"
 )
 
-// Handler exposes a registry and tracer over HTTP:
+// TraceSource is anything that can serve retained spans grouped into
+// traces — the in-process Tracer, or a management node's cluster-wide
+// trace collector.
+type TraceSource interface {
+	Traces() []Trace
+	Spans() []Span
+	TotalSpans() uint64
+}
+
+// FlowReporter is an optional TraceSource extension serving the /flows
+// latency-SLO summary.
+type FlowReporter interface {
+	FlowSummary() FlowSummary
+}
+
+// Handler exposes a registry and trace source over HTTP:
 //
 //	/metrics       Prometheus text exposition format
 //	/traces        recent end-to-end traces as JSON (?limit=N)
 //	/spans         raw retained spans as JSON
+//	/flows         per-stage latency-SLO summary (p50/p95/p99/max)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
-// Either reg or tr may be nil, disabling the corresponding endpoints.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// Either reg or src may be nil, disabling the corresponding endpoints.
+// On a management node src is the cluster trace collector, so /traces
+// serves spans assembled from every module.
+func Handler(reg *Registry, src TraceSource) http.Handler {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -26,19 +44,29 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			_ = reg.WritePrometheus(w)
 		})
 	}
-	if tr != nil {
+	if src != nil {
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-			traces := tr.Traces()
+			traces := src.Traces()
 			if limStr := r.URL.Query().Get("limit"); limStr != "" {
-				if lim, err := strconv.Atoi(limStr); err == nil && lim >= 0 && lim < len(traces) {
+				lim, err := strconv.Atoi(limStr)
+				if err != nil || lim < 0 {
+					http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+					return
+				}
+				if lim < len(traces) {
 					traces = traces[len(traces)-lim:] // newest traces
 				}
 			}
-			writeJSON(w, map[string]any{"traces": traces, "totalSpans": tr.TotalSpans()})
+			writeJSON(w, map[string]any{"traces": traces, "totalSpans": src.TotalSpans()})
 		})
 		mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, map[string]any{"spans": tr.Spans(), "totalSpans": tr.TotalSpans()})
+			writeJSON(w, map[string]any{"spans": src.Spans(), "totalSpans": src.TotalSpans()})
 		})
+		if fr, ok := src.(FlowReporter); ok {
+			mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, fr.FlowSummary())
+			})
+		}
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -55,15 +83,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// StartServer listens on addr and serves Handler(reg, tr) in the
+// StartServer listens on addr and serves Handler(reg, src) in the
 // background. It returns the bound address (useful with ":0") and a
 // shutdown function. Daemons call this behind their -telemetry flag.
-func StartServer(addr string, reg *Registry, tr *Tracer) (string, func(context.Context) error, error) {
+func StartServer(addr string, reg *Registry, src TraceSource) (string, func(context.Context) error, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, src), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = srv.Serve(l) }()
 	return l.Addr().String(), srv.Shutdown, nil
 }

@@ -227,3 +227,76 @@ func TestStartServer(t *testing.T) {
 		t.Fatal("server still reachable after shutdown")
 	}
 }
+
+func TestHTTPTracesBadLimit(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	tr.Begin(TraceKey{Recipe: "r"}, "publish", "s").End()
+	srv := httptest.NewServer(Handler(nil, tr))
+	defer srv.Close()
+
+	for _, lim := range []string{"-1", "abc", "1.5", ""} {
+		url := srv.URL + "/traces?limit=" + lim
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusBadRequest
+		if lim == "" {
+			want = http.StatusOK // empty limit = unset = serve everything
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s status = %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestHTTPFlows(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	for i := 0; i < 4; i++ {
+		tr.ObserveStage(TraceKey{Recipe: "r", Seq: uint32(i)}, "judge", "m",
+			time.Unix(int64(i), 0), time.Unix(int64(i), int64(10*time.Millisecond)))
+	}
+	srv := httptest.NewServer(Handler(nil, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var sum FlowSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Flows != 4 || sum.Spans != 4 || len(sum.Stages) != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	st := sum.Stages[0]
+	if st.Stage != "judge" || st.Count != 4 || st.P95Ms <= 0 || st.MaxMs < 10 {
+		t.Fatalf("stage summary = %+v", st)
+	}
+}
+
+func TestHTTPFlowsAbsentWithoutReporter(t *testing.T) {
+	// A TraceSource that is not a FlowReporter must not register /flows.
+	srv := httptest.NewServer(Handler(nil, bareSource{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/flows status = %d, want 404", resp.StatusCode)
+	}
+}
+
+type bareSource struct{}
+
+func (bareSource) Traces() []Trace    { return nil }
+func (bareSource) Spans() []Span      { return nil }
+func (bareSource) TotalSpans() uint64 { return 0 }

@@ -26,6 +26,12 @@ type Span struct {
 	Module string    `json:"module,omitempty"`
 	Start  time.Time `json:"start"`
 	End    time.Time `json:"end"`
+	// OriginModule identifies the module whose clock stamped Start when a
+	// span's start instant was propagated across a process boundary (the
+	// sensing instant riding in a core.TraceContext). Empty means Start
+	// and End were stamped by the same clock as Module. A trace collector
+	// uses it to apply per-module skew offsets to the correct endpoint.
+	OriginModule string `json:"originModule,omitempty"`
 }
 
 // Duration is the span's elapsed time.
@@ -79,6 +85,7 @@ type stageAgg struct {
 	count int64
 	sum   time.Duration
 	max   time.Duration
+	hist  *LogHistogram
 }
 
 // Tracer collects spans into a fixed-capacity ring buffer (old spans are
@@ -95,11 +102,18 @@ type Tracer struct {
 	total      uint64
 	stages     map[string]*stageAgg
 	stageOrder []string
+	sink       func(Span)
+	reg        *Registry
+	regMetric  string
 }
 
 // DefaultTraceCapacity is the ring size used when NewTracer is given a
-// non-positive capacity.
-const DefaultTraceCapacity = 4096
+// non-positive capacity. The module-local ring only backs the module's
+// own /traces view (the cluster-wide view lives in the management node's
+// collector), so it is kept small: retained spans are pointer-heavy
+// (key/stage/module strings) and a large ring measurably taxes GC on the
+// data hot path.
+const DefaultTraceCapacity = 1024
 
 // NewTracer creates a tracer reading time from clk (nil = wall clock)
 // retaining the most recent capacity spans.
@@ -120,6 +134,33 @@ func NewTracer(clk clock.Clock, capacity int) *Tracer {
 // Now exposes the tracer's clock reading, letting instrumented code stamp
 // events on the same timeline as the spans.
 func (t *Tracer) Now() time.Time { return t.clk.Now() }
+
+// SetSink installs a hook invoked (outside the tracer lock) for every
+// recorded span — the attachment point for a SpanExporter shipping spans
+// to the cluster trace collector. A nil fn detaches. Set the sink before
+// the tracer sees concurrent traffic.
+func (t *Tracer) SetSink(fn func(Span)) {
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+// DefaultStageMetric is the gauge family name used by BindRegistry.
+const DefaultStageMetric = "ifot_stage_latency_quantile_seconds"
+
+// BindRegistry mirrors per-stage latency quantiles (p50/p95/p99/max)
+// into reg as GaugeFuncs labelled {stage, quantile}. Gauges for a stage
+// are registered when its first span arrives; metric "" uses
+// DefaultStageMetric. Call before the tracer sees concurrent traffic.
+func (t *Tracer) BindRegistry(reg *Registry, metric string) {
+	if metric == "" {
+		metric = DefaultStageMetric
+	}
+	t.mu.Lock()
+	t.reg = reg
+	t.regMetric = metric
+	t.mu.Unlock()
+}
 
 // ActiveSpan is an in-progress span started by Begin.
 type ActiveSpan struct {
@@ -146,6 +187,9 @@ func (a *ActiveSpan) EndAt(end time.Time) {
 // Record stores a fully formed span (virtual-time pipelines record spans
 // with explicitly computed instants rather than Begin/End pairs).
 func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
 	if s.End.Before(s.Start) {
 		s.End = s.Start // clock skew must not create negative durations
 	}
@@ -160,16 +204,26 @@ func (t *Tracer) Record(s Span) {
 	t.total++
 	agg, ok := t.stages[s.Stage]
 	if !ok {
-		agg = &stageAgg{}
+		agg = &stageAgg{hist: NewLogHistogram(0, 0, 0)}
 		t.stages[s.Stage] = agg
 		t.stageOrder = append(t.stageOrder, s.Stage)
+		if t.reg != nil {
+			RegisterQuantileGauges(t.reg, t.regMetric,
+				"Per-stage cumulative sensing-to-stage latency quantiles.",
+				agg.hist, L("stage", s.Stage))
+		}
 	}
 	agg.count++
 	agg.sum += d
 	if d > agg.max {
 		agg.max = d
 	}
+	sink := t.sink
 	t.mu.Unlock()
+	agg.hist.Observe(d)
+	if sink != nil {
+		sink(s)
+	}
 }
 
 // ObserveStage records a span for stage with explicit bounds — a
@@ -181,6 +235,9 @@ func (t *Tracer) ObserveStage(key TraceKey, stage, module string, start, end tim
 // TotalSpans reports how many spans were ever recorded (including those
 // already evicted from the ring).
 func (t *Tracer) TotalSpans() uint64 {
+	if t == nil {
+		return 0
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
@@ -191,6 +248,9 @@ func (t *Tracer) Capacity() int { return cap(t.ring) }
 
 // Spans snapshots the retained spans, oldest first.
 func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Span, 0, len(t.ring))
@@ -230,6 +290,9 @@ func (t *Tracer) Traces() []Trace {
 // (which, for a pipeline recording stages in flow order, is pipeline
 // order).
 func (t *Tracer) StageStats() []StageStat {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]StageStat, 0, len(t.stageOrder))
@@ -242,6 +305,46 @@ func (t *Tracer) StageStats() []StageStat {
 		out = append(out, StageStat{Stage: stage, Count: agg.count, Mean: mean, Max: agg.max, Total: agg.sum})
 	}
 	return out
+}
+
+// StageQuantile reports the q-th latency quantile of one stage (0 when
+// the stage has recorded no spans).
+func (t *Tracer) StageQuantile(stage string, q float64) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	agg := t.stages[stage]
+	t.mu.Unlock()
+	if agg == nil {
+		return 0
+	}
+	return agg.hist.Quantile(q)
+}
+
+// FlowSummary digests the tracer's current state for the /flows endpoint:
+// distinct retained flows, total spans, and per-stage SLO quantiles in
+// first-seen (pipeline) order.
+func (t *Tracer) FlowSummary() FlowSummary {
+	if t == nil {
+		return FlowSummary{}
+	}
+	keys := make(map[TraceKey]struct{})
+	for _, s := range t.Spans() {
+		keys[s.Key] = struct{}{}
+	}
+	t.mu.Lock()
+	sum := FlowSummary{Flows: len(keys), Spans: t.total}
+	for _, stage := range t.stageOrder {
+		agg := t.stages[stage]
+		mean := time.Duration(0)
+		if agg.count > 0 {
+			mean = agg.sum / time.Duration(agg.count)
+		}
+		sum.Stages = append(sum.Stages, SummarizeStage(stage, agg.count, mean, agg.hist))
+	}
+	t.mu.Unlock()
+	return sum
 }
 
 // Reset discards all retained spans and stage statistics.
