@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/feature"
+	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// durabilityConfig parameterizes the -durability sweeps.
+type durabilityConfig struct {
+	batch    int           // -wal-batch: SyncBatchAppends for the group-commit table
+	duration time.Duration // wall-clock per group-commit row
+}
+
+// runDurability characterizes the durable-state subsystem along the three
+// axes an operator tunes: how long recovery takes as the WAL grows, what
+// a model checkpoint costs at each interval, and how the group-commit
+// window trades loss-window size against fsync amortization.
+func runDurability(cfg durabilityConfig) error {
+	if err := benchRecovery(); err != nil {
+		return err
+	}
+	if err := benchCheckpointOverhead(); err != nil {
+		return err
+	}
+	return benchGroupCommit(cfg)
+}
+
+// benchRecovery fills a file-backed broker with journaled retained-message
+// mutations, kills it, and times the snapshot+WAL replay on reopen.
+func benchRecovery() error {
+	fmt.Println("DURABILITY: broker recovery time vs WAL size (retained-message records)")
+	fmt.Printf("%-10s %-12s %-14s %-14s\n", "records", "WAL bytes", "recovery", "records/sec")
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		dir, err := os.MkdirTemp("", "ifot-durability-*")
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(dir, store.Options{Name: "bench", NoSync: true})
+		if err != nil {
+			return err
+		}
+		b, err := broker.Open(broker.Options{Store: st, SnapshotBytes: 1 << 40})
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, 64)
+		for i := 0; i < n; i++ {
+			// Distinct topics so every record survives into recovery
+			// instead of collapsing last-writer-wins.
+			b.Publish(fmt.Sprintf("bench/retained/%d", i), payload, wire.QoS1, true)
+		}
+		if err := b.Close(); err != nil {
+			return err
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+
+		st2, err := store.Open(dir, store.Options{Name: "bench", NoSync: true})
+		if err != nil {
+			return err
+		}
+		walBytes := st2.WALBytes()
+		startRecover := time.Now()
+		b2, err := broker.Open(broker.Options{Store: st2, SnapshotBytes: 1 << 40})
+		if err != nil {
+			return err
+		}
+		recovery := time.Since(startRecover)
+		if got := b2.Stats().RetainedMessages; got != n {
+			return fmt.Errorf("recovery dropped state: %d/%d retained", got, n)
+		}
+		_ = b2.Close()
+		_ = st2.Close()
+		_ = os.RemoveAll(dir)
+		fmt.Printf("%-10d %-12d %-14s %-14.0f\n", n, walBytes, recovery.Round(time.Microsecond),
+			float64(n)/recovery.Seconds())
+	}
+	fmt.Println()
+	return nil
+}
+
+// benchCheckpointOverhead trains a zscore detector over a realistic
+// feature width, measures one checkpoint (state capture + durable
+// append), and amortizes that cost over candidate checkpoint intervals.
+func benchCheckpointOverhead() error {
+	fmt.Println("DURABILITY: model checkpoint cost, amortized per -checkpoint-interval")
+	dir, err := os.MkdirTemp("", "ifot-durability-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{Name: "ckpt", NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	det := ml.NewZScoreDetector()
+	vec := make(feature.Vector, 16)
+	for f := 0; f < 16; f++ {
+		vec[fmt.Sprintf("sensor%d.ch%d", f/3, f%3)] = 0
+	}
+	for i := 0; i < 10_000; i++ {
+		for name := range vec {
+			vec[name] = float64(i % 97)
+		}
+		det.Add(vec)
+	}
+
+	const rounds = 1_000
+	var blobBytes int
+	startCkpt := time.Now()
+	for i := 0; i < rounds; i++ {
+		blob, err := det.CheckpointState()
+		if err != nil {
+			return err
+		}
+		blobBytes = len(blob)
+		if err := st.AppendSync(blob); err != nil {
+			return err
+		}
+	}
+	perCkpt := time.Since(startCkpt) / rounds
+
+	fmt.Printf("one checkpoint (16-feature zscore): %s capture+append, %d-byte blob\n",
+		perCkpt.Round(time.Microsecond), blobBytes)
+	fmt.Printf("%-12s %-16s\n", "interval", "overhead")
+	for _, interval := range []time.Duration{
+		time.Second, 5 * time.Second, 30 * time.Second, 5 * time.Minute,
+	} {
+		fmt.Printf("%-12s %.5f%%\n", interval, 100*float64(perCkpt)/float64(interval))
+	}
+	fmt.Println()
+	return nil
+}
+
+// benchGroupCommit drives concurrent synchronous appenders against one
+// WAL and reports how many appends each physical fsync absorbed. The
+// -wal-batch flag additionally caps the number of appends per flush
+// (store.Options.SyncBatchAppends), bounding the loss window by count.
+func benchGroupCommit(cfg durabilityConfig) error {
+	fmt.Println("DURABILITY: group-commit fsync amortization (8 writers, 256-byte records)")
+	if cfg.batch > 0 {
+		fmt.Printf("(append batch bound: flush every %d appends)\n", cfg.batch)
+	}
+	fmt.Printf("%-12s %-14s %-10s %-16s\n", "sync delay", "appends/sec", "fsyncs", "appends/fsync")
+	for _, delay := range []time.Duration{
+		100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		dir, err := os.MkdirTemp("", "ifot-durability-*")
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(dir, store.Options{
+			Name:             "commit",
+			SyncDelay:        delay,
+			SyncBatchAppends: cfg.batch,
+		})
+		if err != nil {
+			return err
+		}
+		rec := make([]byte, 256)
+		const writers = 8
+		var total int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		stop := time.Now().Add(cfg.duration)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := int64(0)
+				for time.Now().Before(stop) {
+					if err := st.AppendSync(rec); err != nil {
+						break
+					}
+					n++
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		fsyncs := st.Fsyncs()
+		_ = st.Close()
+		_ = os.RemoveAll(dir)
+		perFsync := float64(total)
+		if fsyncs > 0 {
+			perFsync = float64(total) / float64(fsyncs)
+		}
+		fmt.Printf("%-12s %-14.0f %-10d %-16.1f\n", delay,
+			float64(total)/cfg.duration.Seconds(), fsyncs, perFsync)
+	}
+	fmt.Println()
+	return nil
+}

@@ -14,6 +14,7 @@
 //	ifot-bench -topology -trace  # print Fig. 7 / Fig. 9 structure
 //	ifot-bench -throughput       # saturate a real broker over loopback TCP
 //	ifot-bench -analysis         # analyzed msgs/sec through dispatch lanes + dense classify
+//	ifot-bench -durability       # WAL recovery time, checkpoint overhead, group-commit sweep
 package main
 
 import (
@@ -51,6 +52,9 @@ func run() error {
 		tsubs      = flag.Int("tsubs", 64, "throughput mode: subscribers on the bench topic")
 		tpayload   = flag.Int("tpayload", 128, "throughput mode: payload bytes")
 		tduration  = flag.Duration("tduration", 3*time.Second, "throughput mode: wall-clock run time")
+		durability = flag.Bool("durability", false, "characterize the durable-state subsystem: recovery time vs WAL size, checkpoint overhead vs interval, group-commit amortization")
+		walBatch   = flag.Int("wal-batch", 0, "durability mode: flush the WAL every N appends in addition to the sync-delay window (0 = time-based only)")
+		dduration  = flag.Duration("dduration", time.Second, "durability mode: wall-clock time per group-commit row")
 		analysis   = flag.Bool("analysis", false, "drive the dense analysis hot path over broker + dispatch lanes and report analyzed msgs/sec")
 		atopics    = flag.Int("atopics", 4, "analysis mode: subscriptions (dispatch lanes)")
 		asensors   = flag.Int("asensors", 3, "analysis mode: sensor streams joined per batch")
@@ -128,6 +132,15 @@ func run() error {
 			subscribers: *tsubs,
 			payload:     *tpayload,
 			duration:    *tduration,
+		}); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *durability {
+		if err := runDurability(durabilityConfig{
+			batch:    *walBatch,
+			duration: *dduration,
 		}); err != nil {
 			return err
 		}

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	ifot-broker [-addr :1883] [-max-qos 1] [-telemetry :9090] [-v]
+//	ifot-broker [-addr :1883] [-max-qos 1] [-telemetry :9090] [-data-dir /var/lib/ifot] [-v]
+//
+// With -data-dir set, retained messages, persistent sessions, and queued
+// QoS 1 messages are journaled to a write-ahead log in that directory and
+// recovered on restart.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/bridge"
 	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
@@ -38,6 +43,8 @@ func run() error {
 		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics and /debug/pprof (empty = off)")
 		stats     = flag.Duration("stats", 0, "print broker stats at this interval (0 = off)")
 		bridgeTo  = flag.String("bridge", "", "remote broker address to bridge with")
+		dataDir   = flag.String("data-dir", "", "directory for the durability WAL (empty = in-memory only)")
+		syncDelay = flag.Duration("wal-sync-delay", 5*time.Millisecond, "group-commit fsync window for the WAL")
 		bridgeOut stringsFlag
 		bridgeIn  stringsFlag
 	)
@@ -52,7 +59,26 @@ func run() error {
 	if *telAddr != "" {
 		opts.Registry = telemetry.NewRegistry()
 	}
-	b := broker.New(opts)
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			Name:      "broker",
+			SyncDelay: *syncDelay,
+			Registry:  opts.Registry,
+			Logger:    opts.Logger,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer st.Close()
+		opts.Store = st
+	}
+	b, err := broker.Open(opts)
+	if err != nil {
+		return fmt.Errorf("recover broker state: %w", err)
+	}
+	if st, ok := opts.Store.(*store.FileStore); ok {
+		log.Printf("durability on: %s (recovered in %s)", *dataDir, st.RecoveryDuration())
+	}
 	if *telAddr != "" {
 		bound, shutdown, err := telemetry.StartServer(*telAddr, opts.Registry, nil)
 		if err != nil {

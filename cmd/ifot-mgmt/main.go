@@ -24,6 +24,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/core"
 	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/tasks"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
@@ -42,6 +43,7 @@ func run() error {
 		settle    = flag.Duration("settle", 2*time.Second, "time to wait for module announcements")
 		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows and /debug/pprof (empty = off)")
 		traceCap  = flag.Int("trace-capacity", core.DefaultCollectorFlows, "cross-module flows retained by the trace collector")
+		dataDir   = flag.String("data-dir", "", "directory for the deployment journal (empty = in-memory only); a restarted manager resumes supervising journaled deployments")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -60,6 +62,18 @@ func run() error {
 	mcfg.TraceFlowCapacity = *traceCap
 	if *telAddr != "" {
 		mcfg.Telemetry = telemetry.NewRegistry()
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			Name:     "mgmt",
+			Registry: mcfg.Telemetry,
+			Logger:   mcfg.Logger,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer st.Close()
+		mcfg.Store = st
 	}
 	mgr := core.NewManager(mcfg)
 	if *telAddr != "" {

@@ -28,6 +28,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/core"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
@@ -59,6 +60,8 @@ func run() error {
 		traceExp  = flag.Duration("trace-export", time.Second, "interval for publishing completed spans on ifot/ctrl/trace/<id> (0 = no export)")
 		traceBuf  = flag.Int("trace-export-buffer", telemetry.DefaultSpanExportBuffer, "spans buffered between trace exports (overflow dropped+counted)")
 		traceSmp  = flag.Uint("trace-sample", 32, "trace one flow in every N (1 = every flow)")
+		dataDir   = flag.String("data-dir", "", "directory for the model-checkpoint WAL (empty = in-memory only)")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between ML model checkpoints (needs -data-dir)")
 		sensors   stringsFlag
 		actuators stringsFlag
 		caps      stringsFlag
@@ -96,6 +99,18 @@ func run() error {
 		}
 		defer func() { _ = shutdown(context.Background()) }()
 		log.Printf("telemetry on http://%s/metrics", bound)
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			Name:     "neuron",
+			Registry: cfg.Telemetry,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		cfg.CheckpointInterval = *ckptEvery
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)

@@ -1,0 +1,270 @@
+package ifot_test
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// TestCrashRecoveryEndToEnd is the full-stack durability drill over real
+// TCP: a broker and a neuron module run with file-backed stores under
+// paced sensor traffic, then both are killed SIGKILL-style — the stores'
+// userspace buffers are dropped mid-flight with no flush or graceful
+// close, exactly what `kill -9` leaves behind. Fresh instances restarted
+// from the same data directories must recover the retained message, the
+// persistent session with its subscription and queued QoS 1 messages,
+// and the checkpointed model weights: the restored anomaly detector has
+// lost at most one checkpoint interval of training, so it must flag an
+// outlier immediately where a from-scratch detector would score it 0.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	brokerDir := t.TempDir()
+	neuronDir := t.TempDir()
+
+	startBroker := func(dir string) (*store.FileStore, *broker.Broker, string) {
+		st, err := store.Open(dir, store.Options{Name: "broker", NoSync: true, SyncDelay: time.Millisecond})
+		if err != nil {
+			t.Fatalf("open broker store: %v", err)
+		}
+		b, err := broker.Open(broker.Options{Store: st})
+		if err != nil {
+			t.Fatalf("recover broker: %v", err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = b.Serve(l) }()
+		return st, b, l.Addr().String()
+	}
+	dial := func(addr, id string, persistent bool, onMsg mqttclient.Handler) *mqttclient.Client {
+		opts := mqttclient.NewOptions(id)
+		opts.CleanSession = !persistent
+		opts.DefaultHandler = onMsg
+		c, err := mqttclient.Dial(addr, opts)
+		if err != nil {
+			t.Fatalf("dial %s as %s: %v", addr, id, err)
+		}
+		return c
+	}
+	// The anomaly task the module checkpoints: zscore over crash/in.
+	detRecipe := recipe.Recipe{Name: "crash"}
+	detTask := recipe.Task{
+		ID: "det", Kind: recipe.KindAnomaly,
+		Inputs: []string{"crash/in"}, Output: "crash/out",
+		Params: map[string]string{"detector": "zscore", "threshold": "5"},
+	}
+	detSub := recipe.SubTask{Recipe: detRecipe.Name, TaskID: detTask.ID, ShardCount: 1, Task: detTask}
+	mkSample := func(i int, v float64) []byte {
+		return sensor.Sample{
+			SensorIndex: 1, Kind: sensor.Sound, Seq: uint32(i),
+			Timestamp: time.Unix(int64(i), 0),
+			Values:    [3]float32{float32(v), float32(v / 2), float32(-v)},
+		}.Encode()
+	}
+
+	// --- Phase 1: live cluster under paced traffic ---
+	bst, b1, addr1 := startBroker(brokerDir)
+
+	// A persistent subscriber registers for alerts, then goes offline;
+	// QoS 1 alerts published while the broker is down-and-up must reach it.
+	probe := dial(addr1, "crash-probe", true, nil)
+	if _, err := probe.Subscribe("alerts/#", wire.QoS1, func(mqttclient.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	_ = probe.Close()
+	waitCond(t, "probe detach", func() bool { return b1.Stats().ConnectedClients == 0 })
+
+	decisions := make(chan core.Decision, 1024)
+	nst, err := store.Open(neuronDir, store.Options{Name: "neuron", NoSync: true, SyncDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("open neuron store: %v", err)
+	}
+	mod := core.NewModule(core.Config{
+		ID:                 "edge1",
+		Store:              nst,
+		CheckpointInterval: 25 * time.Millisecond,
+		Dial:               func() (net.Conn, error) { return net.Dial("tcp", addr1) },
+		Observer: core.Observer{OnDecision: func(d core.Decision) {
+			select {
+			case decisions <- d:
+			default:
+			}
+		}},
+	})
+	if err := mod.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.StartTask(detRecipe, detSub); err != nil {
+		t.Fatal(err)
+	}
+
+	// Paced traffic: a feeder publishes sin-valued samples (the baseline
+	// the detector learns), a config writer sets a retained revision, and
+	// QoS 1 alerts pile up in the offline probe's durable queue.
+	feeder := dial(addr1, "feeder", false, nil)
+	if err := feeder.Publish("fleet/config", []byte("rev-42"), wire.QoS1, true); err != nil {
+		t.Fatal(err)
+	}
+	const trainN = 250
+	tick := time.NewTicker(2 * time.Millisecond)
+	for i := 0; i < trainN; i++ {
+		<-tick.C
+		if err := feeder.Publish("crash/in", mkSample(i, math.Sin(float64(i))), wire.QoS0, false); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := feeder.Publish("alerts/evt", []byte("offline-alert"), wire.QoS1, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tick.Stop()
+	trained := 0
+	waitCond(t, "training decisions", func() bool {
+		for {
+			select {
+			case <-decisions:
+				trained++
+			default:
+				return trained >= trainN
+			}
+		}
+	})
+	// Let the checkpoint loop journal a post-training snapshot of the
+	// model (interval 25ms), then give the group-commit window a beat so
+	// the appends are flushed — a kill loses at most SyncDelay of WAL.
+	waitCond(t, "model checkpoint journaled", func() bool { return nst.WALBytes() > 0 })
+	time.Sleep(100 * time.Millisecond)
+
+	// SIGKILL: drop both stores' buffers with no flush, no final
+	// checkpoint, no graceful broker close, then reap the wreckage.
+	nst.Crash()
+	bst.Crash()
+	_ = mod.Close()
+	_ = feeder.Close()
+	_ = b1.Close()
+
+	// --- Phase 2: restart from the same data directories ---
+	bst2, b2, addr2 := startBroker(brokerDir)
+	defer func() { _ = b2.Close(); _ = bst2.Close() }()
+
+	stats := b2.Stats()
+	if stats.Sessions < 1 || stats.Subscriptions < 1 {
+		t.Fatalf("probe session lost in crash: %+v", stats)
+	}
+	if stats.RetainedMessages < 1 {
+		t.Fatalf("retained config lost in crash: %+v", stats)
+	}
+
+	// The retained config must replay to a fresh subscriber.
+	cfgMsgs := make(chan mqttclient.Message, 4)
+	reader := dial(addr2, "cfg-reader", false, nil)
+	defer reader.Close()
+	if _, err := reader.Subscribe("fleet/config", wire.QoS0, func(m mqttclient.Message) { cfgMsgs <- m }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-cfgMsgs:
+		if string(m.Payload) != "rev-42" || !m.Retain {
+			t.Fatalf("retained config after crash = %q (retain=%v), want rev-42", m.Payload, m.Retain)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retained config not replayed after crash recovery")
+	}
+
+	// The probe reattaches to its recovered session and drains the QoS 1
+	// alerts queued while it was offline — no re-subscribe needed.
+	alerts := make(chan mqttclient.Message, 16)
+	probe2 := dial(addr2, "crash-probe", true, func(m mqttclient.Message) { alerts <- m })
+	defer probe2.Close()
+	select {
+	case m := <-alerts:
+		if string(m.Payload) != "offline-alert" {
+			t.Fatalf("queued alert after crash = %q", m.Payload)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued QoS1 alerts not redelivered after crash recovery")
+	}
+
+	// The module restarts against its data dir and must resume the
+	// detector from the last checkpoint: an outlier is flagged at once,
+	// which an untrained (empty-statistics) zscore never does.
+	nst2, err := store.Open(neuronDir, store.Options{Name: "neuron", NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen neuron store after crash: %v", err)
+	}
+	decisions2 := make(chan core.Decision, 16)
+	mod2 := core.NewModule(core.Config{
+		ID:    "edge1",
+		Store: nst2,
+		Dial:  func() (net.Conn, error) { return net.Dial("tcp", addr2) },
+		Observer: core.Observer{OnDecision: func(d core.Decision) {
+			select {
+			case decisions2 <- d:
+			default:
+			}
+		}},
+	})
+	if err := mod2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mod2.Close()
+	if err := mod2.StartTask(detRecipe, detSub); err != nil {
+		t.Fatal(err)
+	}
+	var verdict core.Decision
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		// Re-publish until routed: the outlier may race task subscription.
+		if err := feeder2(t, addr2, mkSample(10000, 500)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case verdict = <-decisions2:
+		case <-time.After(250 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("no decision from restarted module")
+			}
+			continue
+		}
+		break
+	}
+	if verdict.Label != "anomaly" {
+		t.Fatalf("restored detector scored outlier %q (score %v) — checkpointed weights not recovered",
+			verdict.Label, verdict.Score)
+	}
+}
+
+// feeder2 publishes one sample over a throwaway connection.
+func feeder2(t *testing.T, addr string, payload []byte) error {
+	t.Helper()
+	opts := mqttclient.NewOptions("outlier-feeder")
+	c, err := mqttclient.Dial(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Publish("crash/in", payload, wire.QoS0, false)
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

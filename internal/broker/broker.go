@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
@@ -46,6 +47,15 @@ type Options struct {
 	// per-topic publish counts, connection gauges) for Prometheus/MQTT
 	// exposition.
 	Registry *telemetry.Registry
+	// Store, when set, makes broker state durable: retained messages,
+	// persistent sessions (subscriptions, QoS1 inflight/queued messages)
+	// are journaled to the store and recovered by Open. The broker does
+	// not close the store; the caller that opened it does, after Close.
+	// Nil (the default) keeps today's purely in-memory behavior.
+	Store store.Store
+	// SnapshotBytes is the live-WAL size that triggers automatic
+	// snapshot compaction (default 4 MiB; only meaningful with Store).
+	SnapshotBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SessionQueueSize <= 0 {
 		o.SessionQueueSize = 256
+	}
+	if o.SnapshotBytes <= 0 {
+		o.SnapshotBytes = 4 << 20
 	}
 	return o
 }
@@ -132,6 +145,10 @@ type Broker struct {
 	trie    *subTrie
 	wg      sync.WaitGroup
 	metrics *brokerMetrics
+
+	// persist is non-nil when Options.Store is set; it owns the WAL
+	// journal handle and the message-ID sequence (see persist.go).
+	persist *persister
 }
 
 // topicCount is one topic's publish accounting: a lock-free counter plus
@@ -155,8 +172,20 @@ const maxPublishTopics = 64
 // overflowTopicKey aggregates publishes on topics beyond maxPublishTopics.
 const overflowTopicKey = "~other"
 
-// New creates a broker with the given options.
+// New creates a broker with the given options. With Options.Store set it
+// panics on an unrecoverable store (use Open to handle that error).
 func New(opts Options) *Broker {
+	b, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Open creates a broker and, when Options.Store is set, recovers durable
+// state (retained messages, persistent sessions, QoS1 queues) from it
+// before any connection is accepted.
+func Open(opts Options) (*Broker, error) {
 	b := &Broker{
 		opts:       opts.withDefaults(),
 		start:      time.Now(),
@@ -169,7 +198,14 @@ func New(opts Options) *Broker {
 	if b.opts.Registry != nil {
 		b.metrics = newBrokerMetrics(b.opts.Registry, b)
 	}
-	return b
+	if st := b.opts.Store; st != nil {
+		b.persist = &persister{logger: b.opts.Logger}
+		if err := b.recoverState(st); err != nil {
+			return nil, err
+		}
+		b.persist.journal = store.NewJournal(st, b.captureState, b.opts.SnapshotBytes, b.opts.Logger)
+	}
+	return b, nil
 }
 
 // Uptime reports how long ago the broker was created.
@@ -264,6 +300,11 @@ func (b *Broker) Close() error {
 		_ = c.Close()
 	}
 	b.wg.Wait()
+	if b.persist != nil {
+		// Stop the snapshot goroutine. The store itself (and its final
+		// flush/fsync) belongs to whoever opened it.
+		b.persist.journal.Close()
+	}
 	return nil
 }
 
@@ -425,8 +466,16 @@ func (b *Broker) registerSession(connect *wire.ConnectPacket, conn net.Conn) (*s
 	if connect.CleanSession || !existed {
 		if existed {
 			b.trie.removeAll(connect.ClientID)
+			if sess.persistent {
+				// A formerly durable session is being discarded.
+				b.persistSessionRemove(connect.ClientID)
+			}
 		}
 		sess = newSession(connect.ClientID, !connect.CleanSession)
+		sess.persist = b.persist
+		if sess.persistent {
+			b.persistSessionFresh(connect.ClientID)
+		}
 		b.sessions[connect.ClientID] = sess
 	} else {
 		sessionPresent = true
@@ -549,6 +598,8 @@ func (b *Broker) publish(p *wire.PublishPacket, fromClientID string) {
 		} else {
 			b.retained[p.Topic] = retainedMsg{payload: append([]byte(nil), p.Payload...), qos: p.QoS}
 		}
+		// Journaled under retainedMu so WAL order equals map order.
+		b.persistRetain(p)
 		b.retainedMu.Unlock()
 	}
 	b.notePublish(p.Topic)
@@ -674,6 +725,7 @@ func (b *Broker) handleSubscribe(sess *session, p *wire.SubscribePacket) {
 		granted := minQoS(sub.QoS, b.opts.MaxQoS)
 		b.trie.subscribe(sub.TopicFilter, sess, granted)
 		sess.addSubscription(sub.TopicFilter, granted)
+		b.persistSub(sess, sub.TopicFilter, granted)
 		codes[i] = byte(granted)
 	}
 	sess.send(&wire.SubackPacket{PacketID: p.PacketID, ReturnCodes: codes})
@@ -700,6 +752,7 @@ func (b *Broker) handleUnsubscribe(sess *session, p *wire.UnsubscribePacket) {
 	for _, f := range p.TopicFilters {
 		b.trie.unsubscribe(f, sess.clientID)
 		sess.removeSubscription(f)
+		b.persistUnsub(sess, f)
 	}
 	b.mu.Unlock()
 	sess.send(&wire.AckPacket{PacketType: wire.UNSUBACK, PacketID: p.PacketID})

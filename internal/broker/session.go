@@ -47,6 +47,16 @@ type session struct {
 	nextPacketID uint16
 
 	droppedMessages int64
+
+	// persist, when non-nil, journals this session's QoS1 window to the
+	// broker's WAL. Packet IDs are per-connection, so durable messages
+	// are keyed by a broker-wide message ID instead: inflightIDs maps
+	// packet ID → message ID and queuedIDs parallels queued. Both are
+	// populated only for persistent sessions with persistence on; the
+	// QoS0 path never touches them.
+	persist     *persister
+	inflightIDs map[uint16]uint64
+	queuedIDs   []uint64
 }
 
 func newSession(clientID string, persistent bool) *session {
@@ -56,6 +66,7 @@ func newSession(clientID string, persistent bool) *session {
 		subscriptions: make(map[string]wire.QoS),
 		inflight:      make(map[uint16]*wire.PublishPacket),
 		incomingQoS2:  make(map[uint16]struct{}),
+		inflightIDs:   make(map[uint16]uint64),
 	}
 }
 
@@ -75,14 +86,21 @@ func (s *session) attach(queueSize int) (outbound chan outPacket, resend []*wire
 		dup.Dup = true
 		resend = append(resend, &dup)
 	}
-	for _, p := range s.queued {
+	for i, p := range s.queued {
 		p.PacketID = s.allocPacketIDLocked()
 		s.inflight[p.PacketID] = p
+		if s.durableLocked() && i < len(s.queuedIDs) {
+			s.inflightIDs[p.PacketID] = s.queuedIDs[i]
+		}
 		resend = append(resend, p)
 	}
 	s.queued = nil
+	s.queuedIDs = nil
 	return s.outbound, resend, s.attachGen
 }
+
+// durableLocked reports whether this session's QoS1 window is journaled.
+func (s *session) durableLocked() bool { return s.persist != nil && s.persistent }
 
 // detach marks the session disconnected. It only takes effect if gen still
 // identifies the current attachment (a stale detach from a taken-over
@@ -108,6 +126,10 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 		if p.QoS > wire.QoS0 {
 			p.PacketID = s.allocPacketIDLocked()
 			s.inflight[p.PacketID] = p
+			if s.durableLocked() {
+				// Journaled under s.mu: WAL order = window order.
+				s.inflightIDs[p.PacketID] = s.persist.noteQueued(s.clientID, p)
+			}
 		}
 		select {
 		case s.outbound <- outPacket{pkt: p}:
@@ -117,13 +139,19 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 			if p.QoS > wire.QoS0 {
 				// Stays in inflight; it will be retried on reconnect.
 				delete(s.inflight, p.PacketID)
-				s.queueOfflineLocked(p)
+				id := s.inflightIDs[p.PacketID]
+				delete(s.inflightIDs, p.PacketID)
+				s.queueOfflineLocked(p, id)
 			}
 			return false
 		}
 	}
 	if s.persistent && p.QoS > wire.QoS0 {
-		s.queueOfflineLocked(p)
+		var id uint64
+		if s.durableLocked() {
+			id = s.persist.noteQueued(s.clientID, p)
+		}
+		s.queueOfflineLocked(p, id)
 		return true
 	}
 	return false
@@ -147,13 +175,24 @@ func (s *session) deliverFrame(frame []byte) bool {
 	}
 }
 
-func (s *session) queueOfflineLocked(p *wire.PublishPacket) {
+// queueOfflineLocked parks a QoS1 message (with its durable message ID,
+// zero when persistence is off) until reconnect, dropping the oldest on
+// overflow — and journaling that drop as an ack so replay agrees.
+func (s *session) queueOfflineLocked(p *wire.PublishPacket, msgID uint64) {
 	if len(s.queued) >= maxQueuedOffline {
+		if s.durableLocked() && len(s.queuedIDs) > 0 {
+			s.persist.noteAcked(s.clientID, s.queuedIDs[0])
+			copy(s.queuedIDs, s.queuedIDs[1:])
+			s.queuedIDs = s.queuedIDs[:len(s.queuedIDs)-1]
+		}
 		copy(s.queued, s.queued[1:])
 		s.queued = s.queued[:len(s.queued)-1]
 		s.droppedMessages++
 	}
 	s.queued = append(s.queued, p)
+	if s.durableLocked() {
+		s.queuedIDs = append(s.queuedIDs, msgID)
+	}
 }
 
 // send enqueues a control packet (acks, pings) for the connected client.
@@ -176,6 +215,12 @@ func (s *session) send(p wire.Packet) bool {
 func (s *session) ack(packetID uint16) {
 	s.mu.Lock()
 	delete(s.inflight, packetID)
+	if id, ok := s.inflightIDs[packetID]; ok {
+		delete(s.inflightIDs, packetID)
+		if s.durableLocked() {
+			s.persist.noteAcked(s.clientID, id)
+		}
+	}
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/store"
+)
+
+// Model checkpointing. With Config.Store set, the module journals a
+// checkpoint of every hosted learner's state every CheckpointInterval and
+// replays the journal on Start, so a crashed-and-restarted neuron module
+// resumes training with at most one interval of updates lost instead of
+// rejoining MIX from zero. Checkpoints are keyed by subtask name: when the
+// management node reassigns the same subtask to a restarted module, the
+// learner picks up its previous state.
+//
+// Blobs are the ml package's name-keyed JSON interchange (see
+// ml.Checkpointer); a blob written by a different learner kind (the recipe
+// changed under the same name) fails restore loudly and the task starts
+// fresh.
+
+// ckptRec is one WAL record: the latest checkpoint of one learner.
+type ckptRec struct {
+	Task string          `json:"task"`
+	Blob json.RawMessage `json:"blob"`
+}
+
+// ckptSnapshot is the compacted form: latest blob per subtask.
+type ckptSnapshot struct {
+	Tasks map[string]json.RawMessage `json:"tasks"`
+}
+
+// ckptManager tracks the learners enrolled for checkpointing and the
+// latest blob per subtask (including recovered blobs for tasks not yet —
+// or no longer — running here).
+type ckptManager struct {
+	journal *store.Journal
+
+	mu       sync.Mutex
+	learners map[string]ml.Checkpointer
+	latest   map[string]json.RawMessage
+}
+
+// initCheckpoints recovers checkpoint state from the configured store and
+// arms the journal. Called once from Start, before any task can start.
+func (m *Module) initCheckpoints() error {
+	st := m.cfg.Store
+	if st == nil {
+		return nil
+	}
+	ck := &ckptManager{
+		learners: make(map[string]ml.Checkpointer),
+		latest:   make(map[string]json.RawMessage),
+	}
+	start := time.Now()
+	if err := ck.recover(st); err != nil {
+		return fmt.Errorf("core: module %s checkpoint recovery: %w", m.cfg.ID, err)
+	}
+	if d, ok := st.(interface{ AddRecoveryDuration(time.Duration) }); ok {
+		d.AddRecoveryDuration(time.Since(start))
+	}
+	ck.journal = store.NewJournal(st, ck.capture, m.cfg.CheckpointSnapshotBytes, m.cfg.Logger)
+	m.ckpt = ck
+	return nil
+}
+
+// recover rebuilds the latest-blob map from snapshot plus WAL replay.
+// Records are last-writer-wins per task, so replaying a record the
+// snapshot already covers is harmless.
+func (ck *ckptManager) recover(st store.Store) error {
+	snap, err := st.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		var s ckptSnapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			return fmt.Errorf("decode snapshot: %w", err)
+		}
+		for task, blob := range s.Tasks {
+			ck.latest[task] = blob
+		}
+	}
+	return st.Replay(func(rec []byte) error {
+		var r ckptRec
+		if err := json.Unmarshal(rec, &r); err != nil {
+			return fmt.Errorf("decode record: %w", err)
+		}
+		ck.latest[r.Task] = r.Blob
+		return nil
+	})
+}
+
+// capture serializes the latest-blob map for snapshot compaction.
+func (ck *ckptManager) capture() ([]byte, error) {
+	ck.mu.Lock()
+	snap := ckptSnapshot{Tasks: make(map[string]json.RawMessage, len(ck.latest))}
+	for task, blob := range ck.latest {
+		snap.Tasks[task] = blob
+	}
+	ck.mu.Unlock()
+	return json.Marshal(snap)
+}
+
+// registerCheckpointer enrolls a learner for periodic checkpointing and
+// restores its recovered state, if any. Runs before the task subscribes to
+// traffic, so the learner never serves from a half-restored state. No-op
+// without a Store.
+func (m *Module) registerCheckpointer(inst *taskInstance, name string, ck ml.Checkpointer) {
+	cm := m.ckpt
+	if cm == nil {
+		return
+	}
+	cm.mu.Lock()
+	blob, recovered := cm.latest[name]
+	cm.learners[name] = ck
+	cm.mu.Unlock()
+	if recovered {
+		if err := ck.RestoreState(blob); err != nil {
+			m.logf("module %s: restore checkpoint %s: %v (starting fresh)", m.cfg.ID, name, err)
+		} else {
+			m.logf("module %s: restored model checkpoint for %s", m.cfg.ID, name)
+		}
+	}
+	inst.onStop(func() {
+		// Final checkpoint so a later reassignment of this subtask (here
+		// or after a restart) resumes from the freshest state.
+		m.checkpointTask(name, ck)
+		cm.mu.Lock()
+		if cm.learners[name] == ck {
+			delete(cm.learners, name)
+		}
+		cm.mu.Unlock()
+	})
+}
+
+// checkpointTask serializes one learner and journals the blob if it
+// changed since the last checkpoint (idle learners cost no WAL growth).
+func (m *Module) checkpointTask(name string, ck ml.Checkpointer) {
+	cm := m.ckpt
+	if cm == nil {
+		return
+	}
+	blob, err := ck.CheckpointState()
+	if err != nil {
+		m.logf("module %s: checkpoint %s: %v", m.cfg.ID, name, err)
+		return
+	}
+	cm.mu.Lock()
+	prev, had := cm.latest[name]
+	same := had && string(prev) == string(blob)
+	if !same {
+		cm.latest[name] = json.RawMessage(blob)
+	}
+	cm.mu.Unlock()
+	if same {
+		return
+	}
+	rec, err := json.Marshal(ckptRec{Task: name, Blob: blob})
+	if err != nil {
+		m.logf("module %s: encode checkpoint %s: %v", m.cfg.ID, name, err)
+		return
+	}
+	if err := cm.journal.Append(rec); err != nil {
+		m.logf("module %s: journal checkpoint %s: %v", m.cfg.ID, name, err)
+	}
+}
+
+// checkpointAll checkpoints every enrolled learner.
+func (m *Module) checkpointAll() {
+	cm := m.ckpt
+	if cm == nil {
+		return
+	}
+	cm.mu.Lock()
+	snapshot := make(map[string]ml.Checkpointer, len(cm.learners))
+	for name, ck := range cm.learners {
+		snapshot[name] = ck
+	}
+	cm.mu.Unlock()
+	for name, ck := range snapshot {
+		m.checkpointTask(name, ck)
+	}
+}
+
+// checkpointLoop periodically checkpoints all learners; a final pass runs
+// on shutdown (Close cancels the context before stopping tasks, so the
+// learners are still enrolled).
+func (m *Module) checkpointLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			m.checkpointAll()
+			return
+		case <-m.cfg.Clock.After(m.cfg.CheckpointInterval):
+			m.checkpointAll()
+		}
+	}
+}

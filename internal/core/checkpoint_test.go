@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/store"
+)
+
+// anomalySub builds an unsharded anomaly subtask reading a fixed topic.
+func anomalySub(detector string) (recipe.Recipe, recipe.SubTask) {
+	rec := recipe.Recipe{Name: "ck"}
+	task := recipe.Task{
+		ID: "det", Kind: recipe.KindAnomaly,
+		Inputs: []string{"ck/in"}, Output: "ck/out",
+		Params: map[string]string{"detector": detector, "threshold": "5"},
+	}
+	return rec, recipe.SubTask{Recipe: rec.Name, TaskID: task.ID, ShardCount: 1, Task: task}
+}
+
+func sample(i int, v float64) sensor.Sample {
+	return sensor.Sample{
+		SensorIndex: 1, Kind: sensor.Sound, Seq: uint32(i),
+		Timestamp: time.Unix(int64(i), 0),
+		Values:    [3]float32{float32(v), float32(v / 2), float32(-v)},
+	}
+}
+
+// TestModuleCheckpointRestoreAcrossRestart trains a zscore anomaly task,
+// restarts the module against the same store, and verifies the restored
+// detector immediately flags an outlier — a fresh detector would score it
+// 0 ("normal") because its streaming statistics start empty.
+func TestModuleCheckpointRestoreAcrossRestart(t *testing.T) {
+	tc := newTestCluster(t)
+	st := store.NewMemStore()
+
+	decisions := make(chan Decision, 1024)
+	observe := Observer{OnDecision: func(d Decision) {
+		select {
+		case decisions <- d:
+		default:
+		}
+	}}
+	rec, sub := anomalySub("zscore")
+
+	m1 := tc.module(Config{ID: "node", Store: st, Observer: observe})
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.StartTask(rec, sub); err != nil {
+		t.Fatal(err)
+	}
+	feeder := tc.module(Config{ID: "feeder"})
+	if err := feeder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := feeder.Publish("ck/in", sample(i, math.Sin(float64(i))).Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	waitFor(t, "training decisions", func() bool {
+		for {
+			select {
+			case <-decisions:
+				seen++
+			default:
+				return seen >= 200
+			}
+		}
+	})
+	if err := m1.Close(); err != nil { // final checkpoint journals on task stop
+		t.Fatal(err)
+	}
+
+	m2 := tc.module(Config{ID: "node", Store: st, Observer: observe})
+	if err := m2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.StartTask(rec, sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := feeder.Publish("ck/in", sample(1000, 500).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	var got Decision
+	select {
+	case got = <-decisions:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no decision after restart")
+	}
+	if got.Label != "anomaly" {
+		t.Fatalf("restored detector scored outlier %q (score %v), want anomaly — checkpoint not restored",
+			got.Label, got.Score)
+	}
+}
+
+// TestModuleCheckpointKindMismatchStartsFresh restarts the same subtask
+// name with a different detector kind; the stale blob must be rejected and
+// the task must run fresh instead of serving a foreign model.
+func TestModuleCheckpointKindMismatchStartsFresh(t *testing.T) {
+	tc := newTestCluster(t)
+	st := store.NewMemStore()
+	decisions := make(chan Decision, 64)
+	observe := Observer{OnDecision: func(d Decision) {
+		select {
+		case decisions <- d:
+		default:
+		}
+	}}
+
+	rec, sub := anomalySub("zscore")
+	m1 := tc.module(Config{ID: "node", Store: st, Observer: observe})
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.StartTask(rec, sub); err != nil {
+		t.Fatal(err)
+	}
+	feeder := tc.module(Config{ID: "feeder"})
+	if err := feeder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feeder.Publish("ck/in", sample(0, 1).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-decisions:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no decision before restart")
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same subtask name, now a knn detector: the zscore blob must not load.
+	rec2, sub2 := anomalySub("knn")
+	m2 := tc.module(Config{ID: "node", Store: st, Observer: observe})
+	if err := m2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.StartTask(rec2, sub2); err != nil {
+		t.Fatal(err)
+	}
+	if err := feeder.Publish("ck/in", sample(1, 1).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-decisions:
+		if d.Label != "normal" {
+			t.Fatalf("fresh knn detector decision = %q, want normal", d.Label)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("task did not start fresh after kind mismatch")
+	}
+}
+
+// TestModuleCheckpointPeriodicLoop verifies the interval loop journals
+// checkpoints while the task is live (not only at stop).
+func TestModuleCheckpointPeriodicLoop(t *testing.T) {
+	tc := newTestCluster(t)
+	st := store.NewMemStore()
+	rec, sub := anomalySub("zscore")
+	m := tc.module(Config{ID: "node", Store: st, CheckpointInterval: 20 * time.Millisecond})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartTask(rec, sub); err != nil {
+		t.Fatal(err)
+	}
+	feeder := tc.module(Config{ID: "feeder"})
+	if err := feeder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := feeder.Publish("ck/in", sample(i, float64(i%5)).Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "periodic checkpoint", func() bool { return st.Records() > 0 })
+}

@@ -512,6 +512,9 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 		return m.startTrainRegression(inst, rec, sub, topics)
 	}
 	clf := newClassifier(sub)
+	if ck, ok := clf.(ml.Checkpointer); ok {
+		m.registerCheckpointer(inst, sub.Name(), ck)
+	}
 	dclf, dense := clf.(ml.DenseClassifier)
 	var (
 		mu       sync.Mutex
@@ -665,6 +668,7 @@ func regressionSplit(batch []sensor.Sample, targetSensor uint16) (v feature.Vect
 // from the other streams.
 func (m *Module) startTrainRegression(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, topics []string) error {
 	regressor := ml.NewPARegressor(paramFloat(sub, "epsilon", 0.1), paramFloat(sub, "c", 1))
+	m.registerCheckpointer(inst, sub.Name(), regressor)
 	targetSensor := uint16(paramInt(sub, "targetSensor", 0))
 	var (
 		mu       sync.Mutex
@@ -858,6 +862,9 @@ func (m *Module) startAnomaly(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	default:
 		detector = ml.NewZScoreDetector()
 	}
+	if ck, ok := detector.(ml.Checkpointer); ok {
+		m.registerCheckpointer(inst, sub.Name(), ck)
+	}
 	ddet, dense := detector.(ml.DenseAnomalyDetector)
 
 	// With a "window" param the detector scores sliding-window summary
@@ -958,6 +965,7 @@ func (m *Module) startCluster(inst *taskInstance, rec recipe.Recipe, sub recipe.
 		return err
 	}
 	km := ml.NewSequentialKMeans(paramInt(sub, "k", 2))
+	m.registerCheckpointer(inst, sub.Name(), km)
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
 		batch, tc, err := decodeSamplesTraced(msg.Payload)
 		if err != nil || len(batch) == 0 {

@@ -13,6 +13,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/clock"
 	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/tasks"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
@@ -52,6 +53,14 @@ type ManagerConfig struct {
 	// assembles cross-module traces from modules running with span
 	// export enabled.
 	TraceFlowCapacity int
+	// Store, when set, journals deployments and failover reassignments so
+	// a restarted manager resumes supervising recipes deployed by its
+	// previous incarnation. The caller owns the store and closes it after
+	// Close. Nil keeps today's in-memory behavior.
+	Store store.Store
+	// SnapshotBytes bounds journal growth between snapshot compactions
+	// (default 1 MiB).
+	SnapshotBytes int64
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -66,6 +75,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 15 * time.Second
+	}
+	if c.SnapshotBytes <= 0 {
+		c.SnapshotBytes = 1 << 20
 	}
 	return c
 }
@@ -156,6 +168,7 @@ type Manager struct {
 	streams     map[string]StreamInfo // keyed by topic
 
 	collector *TraceCollector
+	journal   *store.Journal // nil without ManagerConfig.Store
 }
 
 // NewManager creates an unstarted manager.
@@ -195,6 +208,11 @@ func (mgr *Manager) Start() error {
 	if mgr.cfg.Dial == nil {
 		return errors.New("core: manager config needs a Dial function")
 	}
+	// Recover journaled deployments first: status and leave handlers walk
+	// the deployment table the moment the subscriptions below exist.
+	if err := mgr.initPersistence(); err != nil {
+		return err
+	}
 	conn, err := mgr.cfg.Dial()
 	if err != nil {
 		return fmt.Errorf("core: manager dial: %w", err)
@@ -230,6 +248,7 @@ func (mgr *Manager) Start() error {
 		_ = client.Close()
 		return fmt.Errorf("core: manager subscribe traces: %w", err)
 	}
+	mgr.resumeDeployments()
 	mgr.logf("manager %s started", mgr.cfg.ID)
 	return nil
 }
@@ -245,8 +264,12 @@ func (mgr *Manager) handleTrace(msg mqttclient.Message) {
 	}
 }
 
-// Close disconnects the manager.
+// Close disconnects the manager. The journal's store stays open (and is
+// closed by whoever opened it), so state survives for the next start.
 func (mgr *Manager) Close() error {
+	if mgr.journal != nil {
+		mgr.journal.Close()
+	}
 	if mgr.client != nil {
 		return mgr.client.Disconnect()
 	}
@@ -336,6 +359,12 @@ func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
 			}
 		}
 	}
+	// Journal under the same lock as the table mutation so WAL order
+	// matches memory order.
+	mgr.persist(mgrRec{
+		Op: mgrOpDeploy, Name: rec.Name, Recipe: rec,
+		SubTasks: subtasks, Assignment: assignment,
+	})
 	mgr.mu.Unlock()
 
 	for _, s := range subtasks {
@@ -360,6 +389,7 @@ func (mgr *Manager) Undeploy(name string) error {
 				delete(mgr.streams, topic)
 			}
 		}
+		mgr.persist(mgrRec{Op: mgrOpUndeploy, Name: name})
 	}
 	mgr.mu.Unlock()
 	if !ok {
@@ -507,6 +537,7 @@ func (mgr *Manager) reassignFrom(deadModuleID string) {
 					mgr.streams[s.Task.Output] = info
 				}
 			}
+			mgr.persist(mgrRec{Op: mgrOpAssign, Name: dep.Recipe.Name, Task: s.Name(), Module: target})
 			mgr.mu.Unlock()
 			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe})
 			if err := mgr.client.Publish(TopicAssignPrefix+target, payload, wire.QoS1, false); err != nil {

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/tasks"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// Deployment journaling. With ManagerConfig.Store set, the manager
+// journals every deployment, undeployment, and failover reassignment; a
+// restarted manager replays the journal, re-publishes the recovered
+// assignments (modules already hosting a subtask acknowledge idempotently),
+// and resumes supervising — status tracking and failover keep working for
+// recipes deployed by the previous incarnation.
+//
+// Record application is idempotent and last-writer-wins per recipe, which
+// is what the store's snapshot contract requires (records between the
+// compaction mark and the capture may replay on top of the snapshot).
+
+// Manager journal ops.
+const (
+	mgrOpDeploy   = "deploy"
+	mgrOpUndeploy = "undeploy"
+	mgrOpAssign   = "assign"
+)
+
+// mgrRec is one manager WAL record.
+type mgrRec struct {
+	Op         string           `json:"op"`
+	Name       string           `json:"name,omitempty"`   // recipe name
+	Task       string           `json:"task,omitempty"`   // subtask name (assign)
+	Module     string           `json:"module,omitempty"` // assign target
+	Recipe     *recipe.Recipe   `json:"recipe,omitempty"`
+	SubTasks   []recipe.SubTask `json:"subTasks,omitempty"`
+	Assignment tasks.Assignment `json:"assignment,omitempty"`
+}
+
+// mgrSnapshot is the compacted journal: every live deployment.
+type mgrSnapshot struct {
+	Deployments []mgrRec `json:"deployments"`
+}
+
+// persist appends one journal record; journaling errors degrade
+// durability, they never take down a live manager.
+func (mgr *Manager) persist(rec mgrRec) {
+	if mgr.journal == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		mgr.logf("manager: encode journal record: %v", err)
+		return
+	}
+	if err := mgr.journal.Append(data); err != nil {
+		mgr.logf("manager: journal append: %v", err)
+	}
+}
+
+// captureState serializes all deployments for snapshot compaction.
+func (mgr *Manager) captureState() ([]byte, error) {
+	mgr.mu.Lock()
+	snap := mgrSnapshot{Deployments: make([]mgrRec, 0, len(mgr.deployments))}
+	for _, dep := range mgr.deployments {
+		rec := dep.Recipe
+		assignment := make(tasks.Assignment, len(dep.Assignment))
+		for k, v := range dep.Assignment {
+			assignment[k] = v
+		}
+		snap.Deployments = append(snap.Deployments, mgrRec{
+			Op:         mgrOpDeploy,
+			Name:       rec.Name,
+			Recipe:     &rec,
+			SubTasks:   dep.SubTasks,
+			Assignment: assignment,
+		})
+	}
+	mgr.mu.Unlock()
+	return json.Marshal(snap)
+}
+
+// recoverState rebuilds the deployment table from snapshot plus WAL.
+func (mgr *Manager) recoverState(st store.Store) error {
+	snap, err := st.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		var s mgrSnapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			return fmt.Errorf("decode snapshot: %w", err)
+		}
+		for i := range s.Deployments {
+			mgr.applyRecovered(s.Deployments[i])
+		}
+	}
+	return st.Replay(func(data []byte) error {
+		var rec mgrRec
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("decode record: %w", err)
+		}
+		mgr.applyRecovered(rec)
+		return nil
+	})
+}
+
+// applyRecovered folds one journal record into the deployment table.
+// Runs before Start connects, so no locking races with handlers.
+func (mgr *Manager) applyRecovered(rec mgrRec) {
+	switch rec.Op {
+	case mgrOpDeploy:
+		if rec.Recipe == nil {
+			return
+		}
+		dep := &Deployment{
+			Recipe:     *rec.Recipe,
+			SubTasks:   rec.SubTasks,
+			Assignment: rec.Assignment,
+			pending:    make(map[string]struct{}, len(rec.SubTasks)),
+			failed:     make(map[string]string),
+			done:       make(chan struct{}),
+		}
+		if dep.Assignment == nil {
+			dep.Assignment = make(tasks.Assignment)
+		}
+		// Every subtask is pending again: resumeDeployments re-publishes
+		// the assignments and modules ack (idempotently when already
+		// running), draining the set.
+		for _, s := range rec.SubTasks {
+			dep.pending[s.Name()] = struct{}{}
+		}
+		mgr.deployments[rec.Name] = dep
+		for _, s := range rec.SubTasks {
+			if s.Task.Output != "" {
+				mgr.streams[s.Task.Output] = StreamInfo{
+					Topic:    s.Task.Output,
+					Recipe:   rec.Name,
+					TaskID:   s.TaskID,
+					Kind:     string(s.Task.Kind),
+					ModuleID: dep.Assignment[s.Name()],
+				}
+			}
+		}
+	case mgrOpUndeploy:
+		delete(mgr.deployments, rec.Name)
+		for topic, info := range mgr.streams {
+			if info.Recipe == rec.Name {
+				delete(mgr.streams, topic)
+			}
+		}
+	case mgrOpAssign:
+		dep, ok := mgr.deployments[rec.Name]
+		if !ok {
+			return
+		}
+		dep.Assignment[rec.Task] = rec.Module
+		for topic, info := range mgr.streams {
+			if info.Recipe == rec.Name {
+				for _, s := range dep.SubTasks {
+					if s.Name() == rec.Task && s.Task.Output == topic {
+						info.ModuleID = rec.Module
+						mgr.streams[topic] = info
+					}
+				}
+			}
+		}
+	}
+}
+
+// initPersistence recovers journaled deployments and arms the journal.
+// Called from Start before the control subscriptions exist.
+func (mgr *Manager) initPersistence() error {
+	st := mgr.cfg.Store
+	if st == nil {
+		return nil
+	}
+	start := time.Now()
+	if err := mgr.recoverState(st); err != nil {
+		return fmt.Errorf("core: manager journal recovery: %w", err)
+	}
+	if d, ok := st.(interface{ AddRecoveryDuration(time.Duration) }); ok {
+		d.AddRecoveryDuration(time.Since(start))
+	}
+	mgr.journal = store.NewJournal(st, mgr.captureState, mgr.cfg.SnapshotBytes, mgr.cfg.Logger)
+	return nil
+}
+
+// resumeDeployments re-publishes every recovered assignment so modules
+// (re)start their subtasks and re-ack; the previous incarnation's
+// deployments become supervised again. Called once after Start's
+// subscriptions are live.
+func (mgr *Manager) resumeDeployments() {
+	mgr.mu.Lock()
+	deps := make([]*Deployment, 0, len(mgr.deployments))
+	for _, d := range mgr.deployments {
+		deps = append(deps, d)
+	}
+	mgr.mu.Unlock()
+	for _, dep := range deps {
+		for _, s := range dep.SubTasks {
+			moduleID, ok := dep.Assignment[s.Name()]
+			if !ok {
+				continue
+			}
+			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe})
+			if err := mgr.client.Publish(TopicAssignPrefix+moduleID, payload, wire.QoS1, false); err != nil {
+				mgr.logf("manager: resume %s on %s: %v", s.Name(), moduleID, err)
+			}
+		}
+		mgr.logf("manager: resumed supervision of %s (%d subtasks)", dep.Recipe.Name, len(dep.SubTasks))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/recipe"
 	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
@@ -102,6 +103,17 @@ type Config struct {
 	// Keying on the flow seq keeps sampling consistent across modules:
 	// every stage of a sampled flow is recorded everywhere it runs.
 	TraceSampleEvery uint32
+	// Store, when set, persists checkpoints of the module's ML model state
+	// (WAL + snapshots) so a restarted module resumes training with at
+	// most CheckpointInterval of updates lost. The caller owns the store
+	// and closes it after Close. Nil keeps today's in-memory behavior.
+	Store store.Store
+	// CheckpointInterval spaces model checkpoints (default 30s when Store
+	// is set).
+	CheckpointInterval time.Duration
+	// CheckpointSnapshotBytes bounds checkpoint-WAL growth between
+	// snapshot compactions (default 4 MiB).
+	CheckpointSnapshotBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +128,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReconnectBackoff <= 0 {
 		c.ReconnectBackoff = 200 * time.Millisecond
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.CheckpointSnapshotBytes <= 0 {
+		c.CheckpointSnapshotBytes = 4 << 20
 	}
 	return c
 }
@@ -141,6 +159,7 @@ type Module struct {
 
 	metrics  *moduleMetrics
 	exporter *telemetry.SpanExporter
+	ckpt     *ckptManager // nil without Config.Store
 }
 
 // taskSpec is the durable description of an assigned subtask, kept so
@@ -287,6 +306,13 @@ func (m *Module) Start() error {
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	m.mu.Unlock()
 
+	// Recover model checkpoints before connecting: assignments can arrive
+	// the moment the control subscriptions exist, and restored learners
+	// must be in place before their tasks see traffic.
+	if err := m.initCheckpoints(); err != nil {
+		return err
+	}
+
 	client, err := m.connect()
 	if err != nil {
 		return err
@@ -299,6 +325,10 @@ func (m *Module) Start() error {
 	m.wg.Add(2)
 	go m.heartbeatLoop()
 	go m.watchConnection(client)
+	if m.ckpt != nil {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
 	if m.exporter != nil {
 		m.wg.Add(1)
 		go m.traceExportLoop()
@@ -487,6 +517,11 @@ func (m *Module) Close() error {
 		inst.stop()
 	}
 	m.wg.Wait()
+	if m.ckpt != nil {
+		// Final checkpoints were journaled as each task stopped; the
+		// store itself is closed (and synced) by whoever opened it.
+		m.ckpt.journal.Close()
+	}
 	if client := m.currentClient(); client != nil {
 		_ = client.Publish(TopicLeavePrefix+m.cfg.ID,
 			EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}), wire.QoS1, false)
@@ -594,6 +629,12 @@ func (m *Module) handleAssign(msg mqttclient.Message) {
 		return
 	}
 	if err := m.StartTask(a.Recipe, a.SubTask); err != nil {
+		if errors.Is(err, ErrTaskExists) {
+			// A restarted manager re-publishes recovered assignments;
+			// acknowledge so its pending set drains.
+			m.reportStatus(a.SubTask.Name(), StatusStarted, "already running")
+			return
+		}
 		m.logf("module %s: start %s: %v", m.cfg.ID, a.SubTask.Name(), err)
 	}
 }

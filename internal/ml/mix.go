@@ -39,6 +39,10 @@ func (p *PassiveAggressive) ImportWeights(w map[string]feature.Vector) { p.model
 func (m *linearModel) exportWeights() map[string]feature.Vector {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.exportWeightsLocked()
+}
+
+func (m *linearModel) exportWeightsLocked() map[string]feature.Vector {
 	out := make(map[string]feature.Vector, len(m.labels))
 	for li, label := range m.labels {
 		vec := make(feature.Vector)
@@ -55,6 +59,10 @@ func (m *linearModel) exportWeights() map[string]feature.Vector {
 func (m *linearModel) importWeights(w map[string]feature.Vector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.importWeightsLocked(w)
+}
+
+func (m *linearModel) importWeightsLocked(w map[string]feature.Vector) {
 	m.labels = m.labels[:0]
 	m.labelIdx = make(map[string]int, len(w))
 	m.weights = m.weights[:0]

@@ -79,6 +79,31 @@ func (w *Welford) Max() float64 {
 	return w.max
 }
 
+// WelfordState is the serializable form of a Welford accumulator, used by
+// model checkpoints.
+type WelfordState struct {
+	N     int64   `json:"n"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	First bool    `json:"first"`
+}
+
+// State snapshots the accumulator.
+func (w *Welford) State() WelfordState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max, First: w.first}
+}
+
+// SetState replaces the accumulator's contents with st.
+func (w *Welford) SetState(st WelfordState) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n, w.mean, w.m2, w.min, w.max, w.first = st.N, st.Mean, st.M2, st.Min, st.Max, st.First
+}
+
 // ZScore reports how many standard deviations x lies from the running mean;
 // zero when fewer than two samples or zero variance.
 func (w *Welford) ZScore(x float64) float64 {

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal wraps a Store for consumers that append small records from hot
+// paths (often while holding their own locks) and want snapshots taken
+// automatically once the live log grows past a byte threshold.
+//
+// Snapshots run on a background goroutine, never inline with an append:
+// broker appends happen under session/retained locks, and the snapshot
+// capture needs broader locks — taking it inline would invert the lock
+// order. The trigger is single-flight: at most one snapshot runs at a
+// time, and append-time signaling is a non-blocking channel send.
+type Journal struct {
+	store   Store
+	capture func() ([]byte, error)
+	logger  *log.Logger
+
+	threshold int64
+	liveBytes atomic.Int64
+
+	snapReq chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewJournal wraps store. capture serializes the consumer's full state
+// (called under the consumer's own locks, per the Snapshotter contract).
+// snapshotBytes is the live-log size that triggers compaction (<=0
+// disables automatic snapshots; SnapshotNow still works). logger may be
+// nil.
+func NewJournal(store Store, capture func() ([]byte, error), snapshotBytes int64, logger *log.Logger) *Journal {
+	j := &Journal{
+		store:     store,
+		capture:   capture,
+		logger:    logger,
+		threshold: snapshotBytes,
+		snapReq:   make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go j.snapLoop()
+	return j
+}
+
+// Store exposes the wrapped store (for Replay/LoadSnapshot at recovery).
+func (j *Journal) Store() Store { return j.store }
+
+// Append journals one record and arms the snapshot trigger when the live
+// log crosses the threshold. Errors are returned to the caller but the
+// journal stays usable (the store itself may have gone sticky).
+func (j *Journal) Append(rec []byte) error {
+	if err := j.store.Append(rec); err != nil {
+		return err
+	}
+	j.noteBytes(recordSize(rec))
+	return nil
+}
+
+// AppendSync journals one record durably (group-committed).
+func (j *Journal) AppendSync(rec []byte) error {
+	if err := j.store.AppendSync(rec); err != nil {
+		return err
+	}
+	j.noteBytes(recordSize(rec))
+	return nil
+}
+
+func (j *Journal) noteBytes(n int64) {
+	if j.threshold <= 0 {
+		return
+	}
+	if j.liveBytes.Add(n) >= j.threshold {
+		select {
+		case j.snapReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SnapshotNow requests a snapshot on the background goroutine; it does not
+// wait for completion. Used by daemons on graceful shutdown prep or
+// SIGUSR-style triggers.
+func (j *Journal) SnapshotNow() {
+	select {
+	case j.snapReq <- struct{}{}:
+	default:
+	}
+}
+
+func (j *Journal) snapLoop() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.quit:
+			return
+		case <-j.snapReq:
+		}
+		if err := j.store.SaveSnapshot(j.capture); err != nil {
+			if j.logger != nil {
+				j.logger.Printf("store journal: snapshot failed: %v", err)
+			}
+			continue
+		}
+		j.liveBytes.Store(0)
+	}
+}
+
+// Close stops the snapshot goroutine. It does not close the wrapped store;
+// the consumer owns that (and usually wants a final snapshot or flush
+// first).
+func (j *Journal) Close() {
+	j.once.Do(func() { close(j.quit) })
+	<-j.done
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// WAL record framing: every record is length-prefixed and CRC32C-framed so
+// a torn or bit-flipped tail is detected, never silently replayed.
+//
+//	offset 0: uint32 little-endian payload length
+//	offset 4: uint32 little-endian CRC32C (Castagnoli) of the payload
+//	offset 8: payload bytes
+const recordHeaderSize = 8
+
+// DefaultMaxRecordBytes bounds a single record (16 MiB). A length prefix
+// beyond the limit is treated as frame garbage (ErrTooLarge), since real
+// records are orders of magnitude smaller.
+const DefaultMaxRecordBytes = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends the framed form of payload to dst and returns the
+// extended slice. Zero-length payloads are valid records.
+func AppendRecord(dst, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeRecord decodes the first framed record in b, returning its payload
+// and the remaining bytes. maxBytes bounds the accepted payload length
+// (<=0 means DefaultMaxRecordBytes). Errors:
+//
+//   - io.EOF: b is empty (clean end of log)
+//   - ErrTruncated: the frame or payload ends early (torn tail)
+//   - ErrTooLarge: the length prefix exceeds maxBytes
+//   - ErrCRC: the payload does not match its checksum
+//
+// The returned payload aliases b; callers that retain it must copy.
+func DecodeRecord(b []byte, maxBytes int) (payload, rest []byte, err error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxRecordBytes
+	}
+	if len(b) == 0 {
+		return nil, nil, io.EOF
+	}
+	if len(b) < recordHeaderSize {
+		return nil, b, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > uint32(maxBytes) {
+		return nil, b, ErrTooLarge
+	}
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if len(b)-recordHeaderSize < int(n) {
+		return nil, b, ErrTruncated
+	}
+	payload = b[recordHeaderSize : recordHeaderSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, b, ErrCRC
+	}
+	return payload, b[recordHeaderSize+int(n):], nil
+}
+
+// recordSize is the framed on-disk size of a payload.
+func recordSize(payload []byte) int64 {
+	return int64(recordHeaderSize + len(payload))
+}

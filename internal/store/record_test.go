@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello, WAL"),
+		bytes.Repeat([]byte{0xAB}, 100_000),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		got, next, err := DecodeRecord(rest, 0)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: payload mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+		rest = next
+	}
+	if _, _, err := DecodeRecord(rest, 0); err != io.EOF {
+		t.Fatalf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestDecodeRecordTruncated(t *testing.T) {
+	full := AppendRecord(nil, []byte("abcdefgh"))
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := DecodeRecord(full[:cut], 0)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRecordCRC(t *testing.T) {
+	full := AppendRecord(nil, []byte("abcdefgh"))
+	for i := recordHeaderSize; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x01
+		if _, _, err := DecodeRecord(mut, 0); !errors.Is(err, ErrCRC) {
+			t.Fatalf("flip byte %d: want ErrCRC, got %v", i, err)
+		}
+	}
+	// Flipping a CRC header byte must also fail the checksum.
+	mut := append([]byte(nil), full...)
+	mut[5] ^= 0xFF
+	if _, _, err := DecodeRecord(mut, 0); !errors.Is(err, ErrCRC) {
+		t.Fatalf("flip CRC byte: want ErrCRC, got %v", err)
+	}
+}
+
+func TestDecodeRecordTooLarge(t *testing.T) {
+	var b [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], 1<<30)
+	if _, _, err := DecodeRecord(b[:], 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	// A plausible length under a caller-supplied tighter bound.
+	rec := AppendRecord(nil, bytes.Repeat([]byte{1}, 64))
+	if _, _, err := DecodeRecord(rec, 32); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge under maxBytes=32, got %v", err)
+	}
+}
+
+func TestDecodeRecordZeroLength(t *testing.T) {
+	rec := AppendRecord(nil, nil)
+	payload, rest, err := DecodeRecord(rec, 0)
+	if err != nil || len(payload) != 0 || len(rest) != 0 {
+		t.Fatalf("zero-length record: payload=%v rest=%v err=%v", payload, rest, err)
+	}
+}
