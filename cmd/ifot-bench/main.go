@@ -13,6 +13,7 @@
 //	ifot-bench -ablation all     # cloud/broker/parallel/qos/scale
 //	ifot-bench -topology -trace  # print Fig. 7 / Fig. 9 structure
 //	ifot-bench -throughput       # saturate a real broker over loopback TCP
+//	ifot-bench -tsweep           # the same saturation run across a GOMAXPROCS ladder
 //	ifot-bench -analysis         # analyzed msgs/sec through dispatch lanes + dense classify
 //	ifot-bench -durability       # WAL recovery time, checkpoint overhead, group-commit sweep
 package main
@@ -48,6 +49,7 @@ func run() error {
 		breakdown  = flag.Bool("breakdown", false, "decompose table latencies per pipeline stage")
 		realtime   = flag.Bool("realtime", false, "run the Fig. 9 pipeline on the live middleware stack")
 		throughput = flag.Bool("throughput", false, "saturate a real broker over loopback TCP and report msgs/sec")
+		tsweep     = flag.Bool("tsweep", false, "repeat the throughput saturation run across a GOMAXPROCS ladder (1, 4, all cores) and print the scaling curve")
 		tpubs      = flag.Int("tpubs", 4, "throughput mode: concurrent publishers")
 		tsubs      = flag.Int("tsubs", 64, "throughput mode: subscribers on the bench topic")
 		tpayload   = flag.Int("tpayload", 128, "throughput mode: payload bytes")
@@ -128,6 +130,17 @@ func run() error {
 	}
 	if *throughput {
 		if err := runThroughput(throughputConfig{
+			publishers:  *tpubs,
+			subscribers: *tsubs,
+			payload:     *tpayload,
+			duration:    *tduration,
+		}); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *tsweep {
+		if err := runThroughputSweep(throughputConfig{
 			publishers:  *tpubs,
 			subscribers: *tsubs,
 			payload:     *tpayload,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,19 +22,91 @@ type throughputConfig struct {
 	duration    time.Duration
 }
 
-// runThroughput drives a real broker over loopback TCP to saturation:
-// tpubs raw publishers each blast a pre-encoded QoS0 PUBLISH frame at one
-// topic while tsubs subscribers drain their connections, and the run
-// reports ingress/egress message rates plus queue-overflow drops from the
-// broker's own counters. Unlike the go-bench fan-out benchmark (which
+// throughputResult is one saturation run's measured rates.
+type throughputResult struct {
+	sent      int64
+	received  int64
+	delivered int64
+	dropped   int64
+	elapsed   time.Duration
+}
+
+// runThroughput drives a real broker over loopback TCP to saturation and
+// prints the measured rates. Unlike the go-bench fan-out benchmark (which
 // paces publishers to measure sustained no-drop delivery), this mode is
 // deliberately unpaced: it answers "what does the broker do when offered
 // more load than it can deliver".
 func runThroughput(cfg throughputConfig) error {
+	r, err := measureThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	secs := r.elapsed.Seconds()
+	fmt.Println("THROUGHPUT: loopback TCP broker saturation (QoS0, unpaced)")
+	fmt.Printf("publishers=%d subscribers=%d payload=%dB duration=%s\n",
+		cfg.publishers, cfg.subscribers, cfg.payload, r.elapsed.Round(time.Millisecond))
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "sent", r.sent, float64(r.sent)/secs)
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "received", r.received, float64(r.received)/secs)
+	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "delivered", r.delivered, float64(r.delivered)/secs)
+	if r.received > 0 {
+		fmt.Printf("%-12s %12d msgs  (%.1f%% of fan-out)\n", "dropped", r.dropped,
+			100*float64(r.dropped)/float64(r.received*int64(cfg.subscribers)))
+	}
+	fmt.Println()
+	return nil
+}
+
+// runThroughputSweep repeats the saturation run across a GOMAXPROCS ladder
+// (1, 4, all cores — deduplicated and capped at the host's core count) so
+// the multicore scaling curve of the lock-free publish path is measured on
+// one machine in one command. Each row restores the previous GOMAXPROCS
+// before moving on.
+func runThroughputSweep(cfg throughputConfig) error {
+	maxProcs := runtime.NumCPU()
+	ladder := []int{1, 4, maxProcs}
+	sort.Ints(ladder)
+	procs := ladder[:0]
+	for _, p := range ladder {
+		if p <= maxProcs && (len(procs) == 0 || procs[len(procs)-1] != p) {
+			procs = append(procs, p)
+		}
+	}
+
+	fmt.Println("THROUGHPUT SWEEP: loopback TCP saturation vs GOMAXPROCS")
+	fmt.Printf("publishers=%d subscribers=%d payload=%dB duration/run=%s host-cores=%d\n",
+		cfg.publishers, cfg.subscribers, cfg.payload, cfg.duration, maxProcs)
+	fmt.Printf("%-10s %14s %14s %14s %10s\n",
+		"GOMAXPROCS", "recv msgs/sec", "deliv msgs/sec", "sent msgs/sec", "drop%")
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		r, err := measureThroughput(cfg)
+		if err != nil {
+			return err
+		}
+		secs := r.elapsed.Seconds()
+		dropPct := 0.0
+		if r.received > 0 {
+			dropPct = 100 * float64(r.dropped) / float64(r.received*int64(cfg.subscribers))
+		}
+		fmt.Printf("%-10d %14.0f %14.0f %14.0f %9.1f%%\n", p,
+			float64(r.received)/secs, float64(r.delivered)/secs, float64(r.sent)/secs, dropPct)
+	}
+	fmt.Println()
+	return nil
+}
+
+// measureThroughput runs one saturation measurement: tpubs raw publishers
+// each blast a pre-encoded QoS0 PUBLISH frame at one topic while tsubs
+// subscribers drain their connections, and the run reports ingress/egress
+// message counts plus queue-overflow drops from the broker's own counters.
+func measureThroughput(cfg throughputConfig) (throughputResult, error) {
+	var res throughputResult
 	br := broker.New(broker.Options{SessionQueueSize: 8192})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return res, err
 	}
 	serveDone := make(chan struct{})
 	go func() {
@@ -64,7 +138,7 @@ func runThroughput(cfg throughputConfig) error {
 	for i := 0; i < cfg.subscribers; i++ {
 		conn, err := handshake(fmt.Sprintf("tsub-%d", i))
 		if err != nil {
-			return err
+			return res, err
 		}
 		subConns = append(subConns, conn)
 		sub := &wire.SubscribePacket{
@@ -72,17 +146,17 @@ func runThroughput(cfg throughputConfig) error {
 			Subscriptions: []wire.Subscription{{TopicFilter: topic, QoS: wire.QoS0}},
 		}
 		if err := wire.WritePacket(conn, sub); err != nil {
-			return err
+			return res, err
 		}
 		if _, err := wire.ReadPacket(conn, 0); err != nil {
-			return fmt.Errorf("SUBACK: %w", err)
+			return res, fmt.Errorf("SUBACK: %w", err)
 		}
 		go io.Copy(io.Discard, conn) //nolint:errcheck // sink until closed
 	}
 
 	frame, err := wire.Encode(&wire.PublishPacket{Topic: topic, Payload: make([]byte, cfg.payload)})
 	if err != nil {
-		return err
+		return res, err
 	}
 
 	statsBefore := br.Stats()
@@ -93,7 +167,7 @@ func runThroughput(cfg throughputConfig) error {
 	for i := 0; i < cfg.publishers; i++ {
 		conn, err := handshake(fmt.Sprintf("tpub-%d", i))
 		if err != nil {
-			return err
+			return res, err
 		}
 		pubConns = append(pubConns, conn)
 		wg.Add(1)
@@ -134,21 +208,10 @@ func runThroughput(cfg throughputConfig) error {
 	br.Close()
 	<-serveDone
 
-	sent := published.Load()
-	recv := stats.MessagesReceived - statsBefore.MessagesReceived
-	deliv := stats.MessagesDelivered - statsBefore.MessagesDelivered
-	drop := stats.MessagesDropped - statsBefore.MessagesDropped
-	secs := elapsed.Seconds()
-	fmt.Println("THROUGHPUT: loopback TCP broker saturation (QoS0, unpaced)")
-	fmt.Printf("publishers=%d subscribers=%d payload=%dB duration=%s\n",
-		cfg.publishers, cfg.subscribers, cfg.payload, elapsed.Round(time.Millisecond))
-	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "sent", sent, float64(sent)/secs)
-	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "received", recv, float64(recv)/secs)
-	fmt.Printf("%-12s %12d msgs  %12.0f msgs/sec\n", "delivered", deliv, float64(deliv)/secs)
-	if recv > 0 {
-		fmt.Printf("%-12s %12d msgs  (%.1f%% of fan-out)\n", "dropped", drop,
-			100*float64(drop)/float64(recv*int64(cfg.subscribers)))
-	}
-	fmt.Println()
-	return nil
+	res.sent = published.Load()
+	res.received = stats.MessagesReceived - statsBefore.MessagesReceived
+	res.delivered = stats.MessagesDelivered - statsBefore.MessagesDelivered
+	res.dropped = stats.MessagesDropped - statsBefore.MessagesDropped
+	res.elapsed = elapsed
+	return res, nil
 }

@@ -131,6 +131,93 @@ func BenchmarkPublishConcurrent(b *testing.B) {
 	b.ReportMetric(float64(st.MessagesDropped-base.MessagesDropped)/float64(b.N), "drops/op")
 }
 
+// BenchmarkPublishChurn measures publish latency under subscription churn:
+// a background client subscribes and unsubscribes continuously, forcing
+// route-snapshot swaps, while the publisher drives the hot topic. Besides
+// msgs/sec it reports the worst single-publish latency observed — the
+// acceptance bound is that no publish stalls longer than one snapshot swap
+// (the gate parks a publisher only for the pointer store plus retained
+// replay, never for the snapshot rebuild).
+func BenchmarkPublishChurn(b *testing.B) {
+	const subs = 4
+	br, addr := startBenchBroker(b, Options{SessionQueueSize: 8192})
+	for i := 0; i < subs; i++ {
+		benchSubscriber(b, addr, fmt.Sprintf("churn-%d", i), "bench/churn/#")
+	}
+	waitSubs(b, br, subs)
+
+	// Churner: a raw wire-level client flipping a filter as fast as the
+	// broker acks, swapping the route snapshot on every flip.
+	churnConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = churnConn.Close() })
+	if err := wire.WritePacket(churnConn, &wire.ConnectPacket{ClientID: "churner", CleanSession: true}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wire.ReadPacket(churnConn, 0); err != nil { // CONNACK
+		b.Fatal(err)
+	}
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for id := uint16(1); ; id += 2 {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			sub := &wire.SubscribePacket{
+				PacketID:      id,
+				Subscriptions: []wire.Subscription{{TopicFilter: "bench/noise/+", QoS: wire.QoS0}},
+			}
+			if err := wire.WritePacket(churnConn, sub); err != nil {
+				return
+			}
+			if _, err := wire.ReadPacket(churnConn, 0); err != nil { // SUBACK
+				return
+			}
+			unsub := &wire.UnsubscribePacket{PacketID: id + 1, TopicFilters: []string{"bench/noise/+"}}
+			if err := wire.WritePacket(churnConn, unsub); err != nil {
+				return
+			}
+			if _, err := wire.ReadPacket(churnConn, 0); err != nil { // UNSUBACK
+				return
+			}
+		}
+	}()
+
+	payload := make([]byte, 128)
+	base := br.Stats()
+	startEpoch := br.RouteEpoch()
+
+	var maxLatency time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		br.Publish("bench/churn/t", payload, wire.QoS0, false)
+		if d := time.Since(t0); d > maxLatency {
+			maxLatency = d
+		}
+		if (i+1)%benchWindow == 0 {
+			drainDeliveries(b, br, base, int64(subs)*int64(i+1))
+		}
+	}
+	st := drainDeliveries(b, br, base, int64(subs)*int64(b.N))
+	b.StopTimer()
+	close(stopChurn)
+	_ = churnConn.Close()
+	<-churnDone
+	swaps := br.RouteEpoch() - startEpoch
+	b.ReportMetric(float64(int64(subs)*int64(b.N))/b.Elapsed().Seconds(), "msgs/sec")
+	b.ReportMetric(float64(st.MessagesDropped-base.MessagesDropped)/float64(b.N), "drops/op")
+	b.ReportMetric(float64(maxLatency.Nanoseconds()), "max-publish-ns")
+	b.ReportMetric(float64(swaps), "swaps")
+}
+
 func waitSubs(b *testing.B, br *Broker, want int) {
 	b.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -1,0 +1,132 @@
+package broker
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// epochGate is the broker's publish-path fence: a reader/writer gate whose
+// read side is distributed across cache-line-padded shards so concurrent
+// publishers never contend on a shared reader count (the scaling limit of
+// sync.RWMutex, whose single reader word all cores bounce). It provides
+// exactly the exclusion the routing core's correctness argument needs —
+// a writer (subscribe, unsubscribe, session churn) observes every publish
+// read section either entirely before or entirely after its critical
+// section — while a publisher's enter/exit is two uncontended atomic adds
+// on a shard line that stays in its own core's cache.
+//
+// Protocol. A reader increments its shard's count, then checks the writer
+// flag: clear means the reader owns a read section (the seq-cst ordering
+// of Go atomics guarantees a writer that sets the flag afterwards will see
+// the increment when it scans the shards). Set means a writer is fencing:
+// the reader backs its increment out, parks on the writer's barrier
+// channel, and retries. A writer serializes on wmu, installs a fresh
+// barrier, raises the flag, and spin-waits each shard's count down to
+// zero; at that point every publish that entered before the fence has
+// fully exited and every later one is parked — the same whole-section
+// exclusion the previous mu.RLock/mu.Lock pairing provided. Readers
+// cannot starve writers (the flag blocks new entries, mirroring
+// sync.RWMutex's writer preference), and writers cannot starve each other
+// (wmu is a plain mutex).
+//
+// Shard selection rides a sync.Pool: Get hands each concurrently-running
+// publisher a distinct *gateShard (pool storage is per-P, so the hint a
+// publisher gets back is usually the one last used on its core), and New
+// assigns fresh hints round-robin across the shards. The pool never
+// shrinks the shard array itself — a cleared pool just re-distributes.
+type epochGate struct {
+	wmu     sync.Mutex // serializes writers; held across the writer section
+	writer  atomic.Int32
+	barrier atomic.Pointer[chan struct{}] // non-nil while a writer is active
+	seq     atomic.Uint32                 // round-robin shard assignment
+	shards  [gateShards]gateShard
+	hints   sync.Pool // *gateShard
+}
+
+// gateShards is sized for large servers; unused shards cost one cache line
+// each and zero time (the writer scan visits 64 zeros).
+const gateShards = 64
+
+// gateShard is one reader slot, padded to a cache line so adjacent shards
+// never false-share. The route-cache hit/miss counters live in the padding:
+// a publisher bumps them while it already owns this line for the reader
+// count, making cache accounting free of additional coherence traffic.
+type gateShard struct {
+	readers     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	_           [104]byte
+}
+
+func newEpochGate() *epochGate {
+	g := &epochGate{}
+	g.hints.New = func() any {
+		return &g.shards[g.seq.Add(1)%gateShards]
+	}
+	return g
+}
+
+// enter opens a publish read section and returns the shard that must be
+// handed back to exit. It blocks only while a writer is fencing.
+func (g *epochGate) enter() *gateShard {
+	sh := g.hints.Get().(*gateShard)
+	for {
+		sh.readers.Add(1)
+		if g.writer.Load() == 0 {
+			return sh
+		}
+		// A writer is fencing: back out so its drain completes, park
+		// until it finishes, then retry.
+		sh.readers.Add(-1)
+		if ch := g.barrier.Load(); ch != nil {
+			<-*ch
+		}
+	}
+}
+
+// exit closes the read section opened by enter.
+func (g *epochGate) exit(sh *gateShard) {
+	sh.readers.Add(-1)
+	g.hints.Put(sh)
+}
+
+// lock fences the gate for a writer: new readers park, and lock returns
+// once every in-flight read section has exited.
+func (g *epochGate) lock() {
+	g.wmu.Lock()
+	ch := make(chan struct{})
+	g.barrier.Store(&ch)
+	g.writer.Store(1)
+	for i := range g.shards {
+		for spin := 0; g.shards[i].readers.Load() != 0; spin++ {
+			// Read sections are short (non-blocking queue inserts plus a
+			// buffered WAL append at most), so yield first and only back
+			// off to sleeping if a reader is descheduled mid-section.
+			if spin < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// unlock releases the writer fence and wakes parked readers.
+func (g *epochGate) unlock() {
+	g.writer.Store(0)
+	if ch := g.barrier.Swap(nil); ch != nil {
+		close(*ch)
+	}
+	g.wmu.Unlock()
+}
+
+// cacheStats sums the per-shard route-cache hit/miss counters.
+func (g *epochGate) cacheStats() (hits, misses int64) {
+	for i := range g.shards {
+		hits += g.shards[i].cacheHits.Load()
+		misses += g.shards[i].cacheMisses.Load()
+	}
+	return hits, misses
+}

@@ -128,7 +128,7 @@ func (pp *persister) noteAcked(clientID string, id uint64) {
 // --- journaling hooks (called from broker.go under the locks noted) ---
 
 // persistRetain journals a retained set/delete. Caller holds retainedMu
-// (inside a publish's mu read section), so WAL order matches map order.
+// (inside a publish's gate read section), so WAL order matches map order.
 func (b *Broker) persistRetain(p *wire.PublishPacket) {
 	if b.persist == nil {
 		return
@@ -176,8 +176,13 @@ func (b *Broker) persistSessionRemove(clientID string) {
 // captureState serializes the broker's durable state. It runs inside
 // Snapshotter.SaveSnapshot on the journal's background goroutine and takes
 // the broker's locks in the canonical order (mu ⊃ retainedMu, session.mu),
-// so it sees a consistent point-in-time view and never inverts the order
-// used by the append paths.
+// never inverting the order used by the append paths. Each domain is
+// captured point-in-time under its own append lock (retainedMu for the
+// retained map, session.mu per session); publishes running concurrently
+// with the capture — mu no longer excludes them under epoch-published
+// routing — land their WAL records after the journal's rotation mark, so
+// replay over the snapshot reapplies them idempotently (last-writer-wins
+// retained records, ID-deduplicated queue records).
 func (b *Broker) captureState() ([]byte, error) {
 	snap := persistSnapshot{MsgSeq: b.persist.msgSeq.Load()}
 
@@ -386,7 +391,7 @@ func (s *session) recoverQueued(p *wire.PublishPacket, msgID uint64) {
 	if len(s.queued) >= maxQueuedOffline {
 		s.queued = s.queued[1:]
 		s.queuedIDs = s.queuedIDs[1:]
-		s.droppedMessages++
+		s.droppedMessages.Add(1)
 	}
 	s.queued = append(s.queued, p)
 	s.queuedIDs = append(s.queuedIDs, msgID)

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
@@ -30,6 +31,13 @@ type session struct {
 	outbound  chan outPacket // non-nil while connected
 	attachGen uint64         // increments per (re)connection
 
+	// fastOut mirrors outbound for the lock-free QoS0 frame path: non-nil
+	// exactly while connected, maintained by attach/detach under mu. The
+	// channel itself is never closed (the connection writer exits on a
+	// sentinel), so a racing lock-free send can at worst land in an
+	// abandoned buffer, never panic.
+	fastOut atomic.Pointer[chan outPacket]
+
 	// subscriptions mirrors the trie entries owned by this session so
 	// they can be reported and cleaned up.
 	subscriptions map[string]wire.QoS
@@ -46,7 +54,9 @@ type session struct {
 
 	nextPacketID uint16
 
-	droppedMessages int64
+	// droppedMessages is atomic so Stats and metrics scrapes read it
+	// without taking s.mu — a stats tick never contends with deliveries.
+	droppedMessages atomic.Int64
 
 	// persist, when non-nil, journals this session's QoS1 window to the
 	// broker's WAL. Packet IDs are per-connection, so durable messages
@@ -79,6 +89,8 @@ func (s *session) attach(queueSize int) (outbound chan outPacket, resend []*wire
 	s.connected = true
 	s.attachGen++
 	s.outbound = make(chan outPacket, queueSize)
+	ch := s.outbound
+	s.fastOut.Store(&ch)
 
 	resend = make([]*wire.PublishPacket, 0, len(s.inflight)+len(s.queued))
 	for _, p := range s.inflight {
@@ -113,6 +125,7 @@ func (s *session) detach(gen uint64) {
 	}
 	s.connected = false
 	s.outbound = nil
+	s.fastOut.Store(nil)
 }
 
 // deliver routes an application message to the client. Connected sessions
@@ -135,7 +148,7 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 		case s.outbound <- outPacket{pkt: p}:
 			return true
 		default:
-			s.droppedMessages++
+			s.droppedMessages.Add(1)
 			if p.QoS > wire.QoS0 {
 				// Stays in inflight; it will be retried on reconnect.
 				delete(s.inflight, p.PacketID)
@@ -159,18 +172,22 @@ func (s *session) deliver(p *wire.PublishPacket) bool {
 
 // deliverFrame routes a pre-encoded QoS0 application frame to a connected
 // client. QoS0 messages are never queued offline, so a disconnected (or
-// saturated) session just reports the drop.
+// saturated) session just reports the drop. The path is lock-free: the
+// outbound channel rides fastOut, so the fan-out loop costs one atomic
+// load plus a non-blocking channel send per subscriber — no session mutex.
+// A send racing a disconnect can land in the just-abandoned buffer (the
+// frame is simply garbage-collected with it); QoS0 tolerates that, and
+// the QoS1 path keeps the mutex for its inflight-window bookkeeping.
 func (s *session) deliverFrame(frame []byte) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.connected {
+	ch := s.fastOut.Load()
+	if ch == nil {
 		return false
 	}
 	select {
-	case s.outbound <- outPacket{frame: frame}:
+	case *ch <- outPacket{frame: frame}:
 		return true
 	default:
-		s.droppedMessages++
+		s.droppedMessages.Add(1)
 		return false
 	}
 }
@@ -187,7 +204,7 @@ func (s *session) queueOfflineLocked(p *wire.PublishPacket, msgID uint64) {
 		}
 		copy(s.queued, s.queued[1:])
 		s.queued = s.queued[:len(s.queued)-1]
-		s.droppedMessages++
+		s.droppedMessages.Add(1)
 	}
 	s.queued = append(s.queued, p)
 	if s.durableLocked() {
@@ -206,7 +223,7 @@ func (s *session) send(p wire.Packet) bool {
 	case s.outbound <- outPacket{pkt: p}:
 		return true
 	default:
-		s.droppedMessages++
+		s.droppedMessages.Add(1)
 		return false
 	}
 }
@@ -265,11 +282,9 @@ func (s *session) subscriptionList() map[string]wire.QoS {
 	return out
 }
 
-func (s *session) dropped() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.droppedMessages
-}
+// dropped reports this session's cumulative drop count; lock-free so a
+// stats scrape never touches the delivery mutex.
+func (s *session) dropped() int64 { return s.droppedMessages.Load() }
 
 // allocPacketIDLocked returns the next free nonzero packet identifier.
 func (s *session) allocPacketIDLocked() uint16 {

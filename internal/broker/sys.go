@@ -61,14 +61,18 @@ func (b *Broker) PublishSysStats(interval time.Duration, stop <-chan struct{}) <
 // live update it receives, never fresher.
 func (b *Broker) publishSysStatsOnce(counts, prev map[string]int64, elapsed time.Duration) {
 	s := b.Stats()
+	hits, misses := b.RouteCacheStats()
 	for topic, value := range map[string]int64{
-		SysTopicPrefix + "clients/connected":  int64(s.ConnectedClients),
-		SysTopicPrefix + "clients/total":      int64(s.Sessions),
-		SysTopicPrefix + "subscriptions":      int64(s.Subscriptions),
-		SysTopicPrefix + "retained":           int64(s.RetainedMessages),
-		SysTopicPrefix + "messages/received":  s.MessagesReceived,
-		SysTopicPrefix + "messages/delivered": s.MessagesDelivered,
-		SysTopicPrefix + "messages/dropped":   s.MessagesDropped,
+		SysTopicPrefix + "clients/connected":   int64(s.ConnectedClients),
+		SysTopicPrefix + "clients/total":       int64(s.Sessions),
+		SysTopicPrefix + "subscriptions":       int64(s.Subscriptions),
+		SysTopicPrefix + "retained":            int64(s.RetainedMessages),
+		SysTopicPrefix + "messages/received":   s.MessagesReceived,
+		SysTopicPrefix + "messages/delivered":  s.MessagesDelivered,
+		SysTopicPrefix + "messages/dropped":    s.MessagesDropped,
+		SysTopicPrefix + "routes/epoch":        int64(b.RouteEpoch()),
+		SysTopicPrefix + "routes/cache/hits":   hits,
+		SysTopicPrefix + "routes/cache/misses": misses,
 	} {
 		b.Publish(topic, []byte(strconv.FormatInt(value, 10)), wire.QoS0, true)
 	}

@@ -16,6 +16,11 @@ type subscriber struct {
 // subTrie indexes topic filters by level so that matching a published topic
 // visits only the relevant branches instead of every subscription. It is
 // safe for concurrent use.
+//
+// In the broker it serves as the mutable *builder* behind the immutable
+// route snapshots (routes.go): churn writers mutate it under Broker.mu and
+// then publish a rebuilt routeTable; the publish path never touches it.
+// Its own mutex keeps it independently safe for direct use in tests.
 type subTrie struct {
 	mu   sync.RWMutex
 	root *trieNode
@@ -79,21 +84,30 @@ func (n *trieNode) remove(levels []string, clientID string) bool {
 	return removed
 }
 
-// removeAll drops every subscription held by clientID.
-func (t *subTrie) removeAll(clientID string) {
+// removeAll drops every subscription held by clientID. It reports whether
+// any subscription was removed, so callers can skip a snapshot rebuild
+// when the client held none.
+func (t *subTrie) removeAll(clientID string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.root.removeAllFrom(clientID)
+	return t.root.removeAllFrom(clientID)
 }
 
-func (n *trieNode) removeAllFrom(clientID string) {
-	delete(n.subs, clientID)
+func (n *trieNode) removeAllFrom(clientID string) bool {
+	removed := false
+	if _, ok := n.subs[clientID]; ok {
+		delete(n.subs, clientID)
+		removed = true
+	}
 	for level, child := range n.children {
-		child.removeAllFrom(clientID)
+		if child.removeAllFrom(clientID) {
+			removed = true
+		}
 		if len(child.subs) == 0 && len(child.children) == 0 {
 			delete(n.children, level)
 		}
 	}
+	return removed
 }
 
 // match returns the subscribers whose filters match topic. If one session

@@ -44,6 +44,28 @@ func randomFilter(rng *rand.Rand) string {
 	return strings.Join(levels, "/")
 }
 
+// idsRoute flattens a snapshot match result the same way ids does for the
+// builder trie's subscriber list.
+func idsRoute(subs []routeSub) map[string]wire.QoS {
+	out := make(map[string]wire.QoS, len(subs))
+	for _, s := range subs {
+		out[s.session.clientID] = s.qos
+	}
+	return out
+}
+
+func sameMatch(got, want map[string]wire.QoS) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for id, qos := range want {
+		if g, ok := got[id]; !ok || g != qos {
+			return false
+		}
+	}
+	return true
+}
+
 // TestTrieMatchesNaiveOracle drives random subscribe/unsubscribe sequences
 // and checks that trie matching agrees with the spec-level wire.MatchTopic
 // oracle applied to a plain list of subscriptions.
@@ -87,10 +109,16 @@ func TestTrieMatchesNaiveOracle(t *testing.T) {
 			}
 		}
 
-		// Compare matching behaviour on random topics.
+		// All three matchers must agree with the oracle: the builder trie,
+		// the immutable route snapshot built from it, and a route-cache
+		// store/lookup round-trip of the snapshot's result.
+		tbl := tr.build(7)
+		var rc routeCache
+		mb := getMatchBuf()
+		defer mb.release()
+
 		for probe := 0; probe < 40; probe++ {
 			topic := randomTopic(rng)
-			got := ids(tr.match(topic))
 
 			want := make(map[string]wire.QoS)
 			for id, subs := range oracle {
@@ -103,25 +131,44 @@ func TestTrieMatchesNaiveOracle(t *testing.T) {
 				}
 			}
 
-			if len(got) != len(want) {
+			got := ids(tr.match(topic))
+			if !sameMatch(got, want) {
 				t.Logf("seed %d topic %q: trie=%v oracle=%v", seed, topic, got, want)
 				return false
 			}
-			for id, qos := range want {
-				if got[id] != qos {
-					t.Logf("seed %d topic %q client %s: trie qos=%v oracle=%v", seed, topic, id, got[id], qos)
-					return false
-				}
+			snapGot := idsRoute(tbl.match(topic, mb))
+			if !sameMatch(snapGot, want) {
+				t.Logf("seed %d topic %q: snapshot=%v oracle=%v", seed, topic, snapGot, want)
+				return false
+			}
+			rc.store(topic, 7, tbl.match(topic, mb), nil, true)
+			hit := rc.lookup(topic, 7)
+			if hit == nil {
+				t.Logf("seed %d topic %q: cache miss right after store", seed, topic)
+				return false
+			}
+			if cacheGot := idsRoute(hit.subs); !sameMatch(cacheGot, want) {
+				t.Logf("seed %d topic %q: cache=%v oracle=%v", seed, topic, cacheGot, want)
+				return false
+			}
+			if rc.lookup(topic, 8) != nil {
+				t.Logf("seed %d topic %q: cache served a stale epoch", seed, topic)
+				return false
 			}
 		}
 
-		// Count must equal the oracle's total subscription count.
+		// Count must equal the oracle's total subscription count, in both
+		// the builder and the snapshot it produced.
 		total := 0
 		for _, subs := range oracle {
 			total += len(subs)
 		}
 		if tr.countSubscriptions() != total {
 			t.Logf("seed %d: trie count %d, oracle %d", seed, tr.countSubscriptions(), total)
+			return false
+		}
+		if tbl.subCount != total {
+			t.Logf("seed %d: snapshot count %d, oracle %d", seed, tbl.subCount, total)
 			return false
 		}
 		return true

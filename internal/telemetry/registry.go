@@ -53,7 +53,8 @@ func (k Kind) String() string {
 // Counter is a monotonically increasing metric. The zero value is unusable;
 // obtain one from Registry.Counter.
 type Counter struct {
-	n atomic.Int64
+	n  atomic.Int64
+	fn func() int64 // non-nil for CounterFunc-backed counters
 }
 
 // Inc increments by one.
@@ -68,7 +69,12 @@ func (c *Counter) Add(delta int64) {
 }
 
 // Value reports the current count.
-func (c *Counter) Value() int64 { return c.n.Load() }
+func (c *Counter) Value() int64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.n.Load()
+}
 
 // Gauge is a metric that can go up and down.
 type Gauge struct {
@@ -204,6 +210,15 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	s := r.series(name, help, KindGauge, labels)
 	s.g.fn = fn
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// collection time — for monotonic counts maintained by another subsystem
+// in its own sharded or padded storage (e.g. the broker's per-shard
+// route-cache statistics). fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	s := r.series(name, help, KindCounter, labels)
+	s.c.fn = fn
 }
 
 // Histogram returns the histogram for name+labels, creating it on first

@@ -271,6 +271,30 @@ func AppendEncode(dst []byte, p Packet) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendEncodePublish appends a QoS 0, non-retained, non-dup PUBLISH frame
+// for topic/payload to dst — the frame brokers fan out to every effective-
+// QoS-0 subscriber. It is equivalent to AppendEncode with such a
+// PublishPacket but encodes in a single pass with the exact frame size
+// reserved up front: no packet value, no interface dispatch, no pooled
+// body scratch. On error dst is returned unchanged.
+func AppendEncodePublish(dst []byte, topic string, payload []byte) ([]byte, error) {
+	if err := ValidateTopicName(topic); err != nil {
+		return dst, err
+	}
+	remaining := 2 + len(topic) + len(payload)
+	if remaining > MaxRemainingLength {
+		return dst, ErrPacketTooLarge
+	}
+	if dst == nil {
+		// 1 type byte + at most 4 remaining-length digits + body.
+		dst = make([]byte, 0, 5+remaining)
+	}
+	dst = append(dst, byte(PUBLISH)<<4)
+	dst = appendRemainingLength(dst, remaining)
+	dst = appendString(dst, topic)
+	return append(dst, payload...), nil
+}
+
 // ReadPacket reads and decodes exactly one packet from r. maxSize bounds the
 // remaining length to defend against hostile peers; pass 0 for the protocol
 // maximum.
