@@ -62,6 +62,9 @@ func run() error {
 		traceSmp  = flag.Uint("trace-sample", 32, "trace one flow in every N (1 = every flow)")
 		dataDir   = flag.String("data-dir", "", "directory for the model-checkpoint WAL (empty = in-memory only)")
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between ML model checkpoints (needs -data-dir)")
+		mixKeyfr  = flag.Int("mix-keyframe", 0, "publish a retained full-state MIX keyframe every N rounds (0 = default cadence, 1 = every round)")
+		mixStale  = flag.Duration("mix-stale-after", 0, "evict MIX peers silent for longer than this (0 = 3x the mix interval)")
+		mixJSON   = flag.Bool("mix-json", false, "publish MIX weights as legacy retained JSON snapshots instead of binary deltas (mixed-version clusters)")
 		sensors   stringsFlag
 		actuators stringsFlag
 		caps      stringsFlag
@@ -81,6 +84,9 @@ func run() error {
 		Dial: func() (net.Conn, error) {
 			return net.Dial("tcp", *brokerStr)
 		},
+		MixKeyframeEvery: *mixKeyfr,
+		MixStaleAfter:    *mixStale,
+		MixJSON:          *mixJSON,
 	}
 	if *telAddr != "" || *sysEvery > 0 {
 		cfg.Telemetry = telemetry.NewRegistry()

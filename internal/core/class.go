@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/ifot-middleware/ifot/internal/feature"
 	"github.com/ifot-middleware/ifot/internal/flow"
@@ -573,14 +574,163 @@ func (m *Module) startTrain(inst *taskInstance, rec recipe.Recipe, sub recipe.Su
 	return nil
 }
 
-// startMixLoop runs the Managing class's MIX protocol for one learner:
-// every MixInterval the model's weights are published retained under the
-// task's mix topic; for sharded tasks, sibling snapshots are averaged back
-// into the local model.
+// startMixLoop runs the Managing class's MIX protocol for one learner.
+// Delta-capable learners use the binary delta protocol (startMixLoopDelta);
+// Config.MixJSON or a plain WeightExporter falls back to the legacy
+// retained-JSON full-snapshot exchange.
 func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, exporter ml.WeightExporter) error {
+	if dm, ok := exporter.(ml.DeltaMixer); ok && !m.cfg.MixJSON {
+		return m.startMixLoopDelta(inst, rec, sub, dm)
+	}
+	return m.startMixLoopJSON(inst, rec, sub, exporter)
+}
+
+// mixEvictCounter returns the peer-eviction counter (nil without telemetry).
+func (m *Module) mixEvictCounter() *telemetry.Counter {
+	if m.metrics == nil {
+		return nil
+	}
+	return m.metrics.mixEvictions
+}
+
+// noteMixRound records one published MIX round and its payload bytes.
+func (m *Module) noteMixRound(payloadBytes int, staleness time.Duration) {
+	if m.metrics == nil {
+		return
+	}
+	m.metrics.mixRounds.Inc()
+	m.metrics.mixBytes.Add(int64(payloadBytes))
+	m.metrics.mixStaleness.Set(staleness.Seconds())
+}
+
+// startMixLoopDelta is the Delta-MIX publisher: every MixInterval the
+// updates accumulated since the last round ship as one QoS-DataQoS,
+// non-retained binary delta with an unbroken round sequence; every
+// MixKeyframeEvery rounds the full state follows as a retained keyframe
+// (joiners bootstrap from it, desynchronized peers resync). Incremental
+// averaging happens in place: each in-order peer delta is applied at 1/n,
+// and after publishing, the local model keeps only its own 1/n share of
+// the round's updates — algebraically one synchronized full average per
+// round, without ever materializing the union of weight maps.
+func (m *Module) startMixLoopDelta(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, dm ml.DeltaMixer) error {
+	topic := mixTopic(rec.Name, sub.TaskID)
+	mixClient := m.currentClient()
+	if mixClient == nil {
+		return ErrNotStarted
+	}
+	dm.EnableDeltaTracking()
+	syms := feature.DefaultSymbols()
+	rx := newMixReceiver(dm, true, m.cfg.MixStaleAfter, m.mixEvictCounter())
+	if sub.ShardCount > 1 {
+		// Reusable decode target: the handler runs serially on its lane.
+		var peerDelta ml.MixDelta
+		_, reg, err := mixClient.SubscribeHandle(topic+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
+			h, err := DecodeMix(msg.Payload, syms, &peerDelta)
+			if err != nil || h.ModuleID == m.cfg.ID {
+				return
+			}
+			rx.onPayload(h, &peerDelta, m.now())
+		})
+		if err != nil {
+			return fmt.Errorf("core: subscribe mix: %w", err)
+		}
+		inst.onStop(reg.Remove)
+	}
+
+	ctx, cancel := context.WithCancel(m.ctx)
+	inst.onStop(cancel)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		var (
+			enc          []byte
+			delta, dense ml.MixDelta
+			round        uint64
+		)
+		keyframeEvery := uint64(m.cfg.MixKeyframeEvery)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.cfg.Clock.After(m.cfg.MixInterval):
+				round++
+				now := m.now()
+				dm.ExportDeltaInto(&delta)
+				if delta.Len() > 0 {
+					rx.noteLocalUpdate()
+				}
+				h := MixHeader{ModuleID: m.cfg.ID, Shard: sub.Shard, Round: round, At: now}
+				enc = AppendEncodeMix(enc[:0], h, &delta, syms)
+				if err := mixClient.Publish(topic+"/"+m.cfg.ID, enc, m.cfg.DataQoS, false); err != nil {
+					m.logf("train %s mix publish: %v", sub.Name(), err)
+				}
+				bytes := len(enc)
+				// Keep only the local 1/n share of this round's updates;
+				// every live peer applies the published delta at 1/n too,
+				// so the cluster-wide sum still adds each update exactly
+				// once — incremental averaging without the union maps.
+				if sub.ShardCount > 1 && delta.Len() > 0 {
+					if n := rx.shardCount(now); n > 1 {
+						dm.ApplyDelta(&delta, 1/float64(n)-1)
+					}
+				}
+				if keyframeEvery <= 1 || round%keyframeEvery == 1 {
+					dm.ExportDenseInto(&dense)
+					hk := h
+					hk.Keyframe = true
+					enc = AppendEncodeMix(enc[:0], hk, &dense, syms)
+					if err := mixClient.Publish(topic+"/"+m.cfg.ID, enc, m.cfg.DataQoS, true); err != nil {
+						m.logf("train %s mix keyframe publish: %v", sub.Name(), err)
+					}
+					bytes += len(enc)
+				}
+				m.noteMixRound(bytes, rx.staleness(now))
+			}
+		}
+	}()
+	return nil
+}
+
+// startModelSync subscribes a Judging-class model to the named trainer
+// task's MIX stream and folds arriving payloads — binary deltas,
+// keyframes, or legacy JSON snapshots — into it via a mixReceiver with
+// no local shard membership.
+func (m *Module) startModelSync(inst *taskInstance, rec recipe.Recipe, from string, model ml.DeltaMixer) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	syms := feature.DefaultSymbols()
+	rx := newMixReceiver(model, false, m.cfg.MixStaleAfter, m.mixEvictCounter())
+	// Reusable decode target: the handler runs serially on its lane.
+	var pd ml.MixDelta
+	_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
+		h, err := DecodeMix(msg.Payload, syms, &pd)
+		if err != nil {
+			return
+		}
+		rx.onPayload(h, &pd, m.now())
+	})
+	if err != nil {
+		return fmt.Errorf("core: subscribe model: %w", err)
+	}
+	inst.onStop(reg.Remove)
+	return nil
+}
+
+// startMixLoopJSON is the legacy MIX exchange kept for mixed-version
+// clusters (Config.MixJSON) and learners without delta support: every
+// MixInterval the full model is published as a retained JSON MixSnapshot;
+// for sharded tasks, sibling snapshots are averaged back into the local
+// model. Peers beyond the staleness bound are evicted before averaging.
+func (m *Module) startMixLoopJSON(inst *taskInstance, rec recipe.Recipe, sub recipe.SubTask, exporter ml.WeightExporter) error {
+	type jsonPeer struct {
+		weights map[string]feature.Vector
+		at      time.Time
+	}
 	var (
 		peersMu sync.Mutex
-		peers   = make(map[string]map[string]feature.Vector)
+		peers   = make(map[string]*jsonPeer)
 	)
 	topic := mixTopic(rec.Name, sub.TaskID)
 	mixClient := m.currentClient()
@@ -594,7 +744,7 @@ func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.
 				return
 			}
 			peersMu.Lock()
-			peers[snap.ModuleID] = fromJSONWeights(snap.Weights)
+			peers[snap.ModuleID] = &jsonPeer{weights: fromJSONWeights(snap.Weights), at: m.now()}
 			peersMu.Unlock()
 		})
 		if err != nil {
@@ -608,6 +758,7 @@ func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
+		evictions := m.mixEvictCounter()
 		for {
 			select {
 			case <-ctx.Done():
@@ -620,15 +771,28 @@ func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.
 					Weights:  toJSONWeights(own),
 					At:       m.now(),
 				}
-				if err := mixClient.Publish(topic+"/"+m.cfg.ID, EncodeJSON(snap), m.cfg.DataQoS, true); err != nil {
+				payload := EncodeJSON(snap)
+				if err := mixClient.Publish(topic+"/"+m.cfg.ID, payload, m.cfg.DataQoS, true); err != nil {
 					m.logf("train %s mix publish: %v", sub.Name(), err)
 				}
+				var staleness time.Duration
 				if sub.ShardCount > 1 {
+					now := m.now()
 					peersMu.Lock()
 					snapshots := make([]map[string]feature.Vector, 0, len(peers)+1)
 					snapshots = append(snapshots, own)
-					for _, p := range peers {
-						snapshots = append(snapshots, p)
+					for id, p := range peers {
+						if m.cfg.MixStaleAfter > 0 && now.Sub(p.at) > m.cfg.MixStaleAfter {
+							delete(peers, id)
+							if evictions != nil {
+								evictions.Inc()
+							}
+							continue
+						}
+						if age := now.Sub(p.at); age > staleness {
+							staleness = age
+						}
+						snapshots = append(snapshots, p.weights)
 					}
 					peersMu.Unlock()
 					if len(snapshots) > 1 {
@@ -637,6 +801,7 @@ func (m *Module) startMixLoop(inst *taskInstance, rec recipe.Recipe, sub recipe.
 						}
 					}
 				}
+				m.noteMixRound(len(payload), staleness)
 			}
 		}
 	}()
@@ -729,39 +894,15 @@ func (m *Module) startPredict(inst *taskInstance, rec recipe.Recipe, sub recipe.
 	}
 	clf := newClassifier(sub)
 	dclf, dense := clf.(ml.DenseClassifier)
-	exporter, mixable := clf.(ml.WeightExporter)
 
-	// Model sync: import (averaged) weights published by the named
-	// trainer task's shards.
-	if from := paramString(sub, "modelFrom", ""); from != "" && mixable {
-		client := m.currentClient()
-		if client == nil {
-			return ErrNotStarted
+	// Model sync: fold the named trainer task's MIX stream — binary
+	// deltas, keyframes, or legacy JSON snapshots — into the local model.
+	if from := paramString(sub, "modelFrom", ""); from != "" {
+		if dm, ok := clf.(ml.DeltaMixer); ok {
+			if err := m.startModelSync(inst, rec, from, dm); err != nil {
+				return err
+			}
 		}
-		var (
-			mu        sync.Mutex
-			snapshots = make(map[string]map[string]feature.Vector)
-		)
-		_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
-			var snap MixSnapshot
-			if err := DecodeJSON(msg.Payload, &snap); err != nil {
-				return
-			}
-			mu.Lock()
-			snapshots[snap.ModuleID] = fromJSONWeights(snap.Weights)
-			all := make([]map[string]feature.Vector, 0, len(snapshots))
-			for _, s := range snapshots {
-				all = append(all, s)
-			}
-			mu.Unlock()
-			if avg, err := ml.AverageWeights(all); err == nil {
-				exporter.ImportWeights(avg)
-			}
-		})
-		if err != nil {
-			return fmt.Errorf("core: subscribe model: %w", err)
-		}
-		inst.onStop(reg.Remove)
 	}
 
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {
@@ -808,21 +949,9 @@ func (m *Module) startPredictRegression(inst *taskInstance, rec recipe.Recipe, s
 	targetSensor := uint16(paramInt(sub, "targetSensor", 0))
 
 	if from := paramString(sub, "modelFrom", ""); from != "" {
-		client := m.currentClient()
-		if client == nil {
-			return ErrNotStarted
+		if err := m.startModelSync(inst, rec, from, regressor); err != nil {
+			return err
 		}
-		_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
-			var snap MixSnapshot
-			if err := DecodeJSON(msg.Payload, &snap); err != nil {
-				return
-			}
-			regressor.ImportWeights(fromJSONWeights(snap.Weights))
-		})
-		if err != nil {
-			return fmt.Errorf("core: subscribe model: %w", err)
-		}
-		inst.onStop(reg.Remove)
 	}
 
 	return m.subscribeInputs(inst, topics, func(msg mqttclient.Message) {

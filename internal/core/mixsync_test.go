@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/feature"
+	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/recipe"
+	"github.com/ifot-middleware/ifot/internal/sensor"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+func mixDeltaOf(syms *feature.Symbols, label string, weights map[string]float64) *ml.MixDelta {
+	var d ml.MixDelta
+	ld := d.Grow(label)
+	for name, v := range weights {
+		ld.IDs = append(ld.IDs, syms.Intern(name))
+		ld.Vals = append(ld.Vals, v)
+	}
+	ld.Sort()
+	return &d
+}
+
+func weightOf(m ml.WeightExporter, label, name string) float64 {
+	return m.ExportWeights()[label][name]
+}
+
+// TestMixReceiverDeltaSequencing drives the round-sequence rules directly:
+// deltas apply only in unbroken order, gaps desynchronize until the next
+// keyframe, duplicates are idempotent.
+func TestMixReceiverDeltaSequencing(t *testing.T) {
+	syms := feature.DefaultSymbols()
+	model := ml.NewPassiveAggressive(1)
+	rx := newMixReceiver(model, false, 0, nil)
+	t0 := time.Unix(100, 0)
+
+	// Unsynced peer: deltas are dropped until a keyframe arrives.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 4}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 9}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 0 {
+		t.Fatalf("pre-keyframe delta applied: %v", got)
+	}
+
+	// Keyframe bootstraps wholesale.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 5, Keyframe: true}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 1}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 1 {
+		t.Fatalf("after keyframe: %v, want 1", got)
+	}
+
+	// In-order delta applies at 1/n (single peer: n=1).
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 6}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 0.5}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 1.5 {
+		t.Fatalf("after round 6 delta: %v, want 1.5", got)
+	}
+
+	// Duplicate replay: idempotent skip.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 6}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 0.5}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 1.5 {
+		t.Fatalf("duplicate delta re-applied: %v", got)
+	}
+
+	// Gap (round 8 skips 7): desync, delta dropped.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 8}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 100}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 1.5 {
+		t.Fatalf("gapped delta applied: %v", got)
+	}
+	// Still desynced: even the in-order successor is dropped now.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 9}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 100}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 1.5 {
+		t.Fatalf("post-gap delta applied: %v", got)
+	}
+
+	// Next keyframe resynchronizes (single synced-peer view: wholesale).
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 10, Keyframe: true}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 3}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 3 {
+		t.Fatalf("after resync keyframe: %v, want 3", got)
+	}
+	// And sequencing resumes from the keyframe's round.
+	rx.onPayload(MixHeader{ModuleID: "p", Round: 11}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 1}), t0)
+	if got := weightOf(model, "hot", "a@x"); got != 4 {
+		t.Fatalf("post-resync delta: %v, want 4", got)
+	}
+}
+
+// TestMixReceiverEvictsStalePeers verifies the stale-peer bound: a peer
+// silent for longer than staleAfter stops counting toward the shard count
+// and is dropped, with the eviction counted.
+func TestMixReceiverEvictsStalePeers(t *testing.T) {
+	syms := feature.DefaultSymbols()
+	reg := telemetry.NewRegistry()
+	evictions := reg.Counter("test_mix_evictions", "")
+	model := ml.NewPassiveAggressive(1)
+	model.EnableDeltaTracking()
+	rx := newMixReceiver(model, true, 100*time.Millisecond, evictions)
+	t0 := time.Unix(100, 0)
+
+	rx.onPayload(MixHeader{ModuleID: "p1", Round: 1, Keyframe: true}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 1}), t0)
+	rx.onPayload(MixHeader{ModuleID: "p2", Round: 1, Keyframe: true}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 1}), t0)
+	if n := rx.shardCount(t0); n != 3 {
+		t.Fatalf("shardCount = %d, want 3 (local + two peers)", n)
+	}
+
+	// p2 keeps publishing; p1 goes silent past the bound.
+	t1 := t0.Add(150 * time.Millisecond)
+	rx.onPayload(MixHeader{ModuleID: "p2", Round: 2}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 0}), t1)
+	if n := rx.shardCount(t1); n != 2 {
+		t.Fatalf("shardCount = %d, want 2 after eviction", n)
+	}
+	if got := evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// A reappearing peer is unknown again: its deltas drop until the next
+	// keyframe re-bootstraps it.
+	before := weightOf(model, "hot", "a@x")
+	rx.onPayload(MixHeader{ModuleID: "p1", Round: 7}, mixDeltaOf(syms, "hot", map[string]float64{"a@x": 50}), t1)
+	if got := weightOf(model, "hot", "a@x"); got != before {
+		t.Fatalf("evicted peer's delta applied: %v", got)
+	}
+}
+
+// TestShardedMixConvergesExactly runs a two-module sharded trainer over a
+// real broker, stops the sensor source, and verifies both shards' next
+// keyframes carry identical weights — the delta exchange left no residue.
+// Run under -race in CI, it also exercises handler/loop synchronization.
+func TestShardedMixConvergesExactly(t *testing.T) {
+	tc := newTestCluster(t)
+	mgr := tc.manager(ManagerConfig{})
+
+	var (
+		mu    sync.Mutex
+		seen  = map[string]int{}
+		total int
+	)
+	mkWorker := func(id string, capacity float64) *Module {
+		return tc.module(Config{
+			ID: id, CapacityOps: capacity,
+			MixInterval:      50 * time.Millisecond,
+			MixKeyframeEvery: 2,
+			// Generous staleness bound: race-instrumented runs schedule
+			// coarsely, and a spurious eviction would skew the averaging
+			// weights this test pins down.
+			MixStaleAfter: 5 * time.Second,
+			Observer: Observer{OnTrain: func(ev TrainEvent) {
+				mu.Lock()
+				seen[id]++
+				total++
+				mu.Unlock()
+			}},
+		})
+	}
+	// src hosts only the sensor: its low capacity keeps both trainer
+	// shards on w1/w2, so closing it quiesces training without failover
+	// touching the shards.
+	src := mkWorker("src", 10)
+	src.RegisterSensor(&sensor.Sensor{
+		ID: "sig", Index: 1, Kind: sensor.Temperature, RateHz: 100,
+		Gen: sensor.Sine(5, 5),
+	})
+	w1, w2 := mkWorker("w1", 100000), mkWorker("w2", 100000)
+	for _, m := range []*Module{src, w1, w2} {
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "modules", func() bool { return len(mgr.Modules()) == 3 })
+
+	rec := &recipe.Recipe{
+		Name: "dmix",
+		Tasks: []recipe.Task{
+			{ID: "sense", Kind: recipe.KindSense, Output: "dm/raw",
+				Params: map[string]string{"sensor": "sig"}},
+			{ID: "train", Kind: recipe.KindTrain, Inputs: []string{"task:sense"},
+				Output: "dm/events", Parallelism: 2},
+		},
+	}
+	dep, err := mgr.Deploy(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := dep.WaitRunning(ctx); err != nil {
+		t.Fatal(err)
+	}
+	shard0 := dep.Assignment["dmix/train#0"]
+	shard1 := dep.Assignment["dmix/train#1"]
+	if shard0 == shard1 {
+		t.Skipf("both shards landed on %s; cross-module MIX not exercised", shard0)
+	}
+
+	if shard0 == "src" || shard1 == "src" {
+		t.Skipf("a shard landed on the sensor host (%s/%s)", shard0, shard1)
+	}
+
+	waitFor(t, "both shards trained", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen[shard0] >= 30 && seen[shard1] >= 30
+	})
+
+	// Quiesce: stop the source so no further updates enter the shards,
+	// then give in-flight deltas a few rounds to drain.
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Collect one fresh post-quiescence keyframe from each shard.
+	conn, err := tc.listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := mqttclient.Connect(conn, mqttclient.NewOptions("mix-observer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+
+	syms := feature.DefaultSymbols()
+	type kf struct {
+		round   uint64
+		weights map[string]map[string]float64
+	}
+	var (
+		kfMu   sync.Mutex
+		frames = map[string]kf{}
+	)
+	started := time.Now()
+	_, err = obs.Subscribe(mixTopic("dmix", "train")+"/+", wire.QoS0, func(msg mqttclient.Message) {
+		var d ml.MixDelta
+		h, err := DecodeMix(msg.Payload, syms, &d)
+		if err != nil || !h.Keyframe || h.Legacy {
+			return
+		}
+		// Retained keyframes replay on subscribe; only trust frames
+		// published after quiescence.
+		if h.At.Before(started) {
+			return
+		}
+		kfMu.Lock()
+		frames[h.ModuleID] = kf{round: h.Round, weights: mixDeltaMap(&d, syms)}
+		kfMu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shards' post-quiescence keyframes must agree weight-for-weight.
+	frameDiff := func() (float64, bool) {
+		kfMu.Lock()
+		defer kfMu.Unlock()
+		a, b := frames[shard0], frames[shard1]
+		if len(a.weights) == 0 || len(b.weights) == 0 {
+			return 0, false
+		}
+		worst := 0.0
+		labels := map[string]struct{}{}
+		for l := range a.weights {
+			labels[l] = struct{}{}
+		}
+		for l := range b.weights {
+			labels[l] = struct{}{}
+		}
+		for l := range labels {
+			names := map[string]struct{}{}
+			for n := range a.weights[l] {
+				names[n] = struct{}{}
+			}
+			for n := range b.weights[l] {
+				names[n] = struct{}{}
+			}
+			for n := range names {
+				diff := a.weights[l][n] - b.weights[l][n]
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > worst {
+					worst = diff
+				}
+			}
+		}
+		return worst, true
+	}
+	waitFor(t, "keyframes from both shards converge", func() bool {
+		diff, ok := frameDiff()
+		return ok && diff <= 1e-9
+	})
+	if diff, ok := frameDiff(); !ok || diff > 1e-9 {
+		t.Fatalf("shards diverged: max weight diff %.3e (frames ok=%v)", diff, ok)
+	}
+}

@@ -64,6 +64,20 @@ type Config struct {
 	// MixInterval spaces MIX weight exchanges for sharded trainers
 	// (default 2s).
 	MixInterval time.Duration
+	// MixKeyframeEvery is the keyframe cadence of the delta MIX protocol:
+	// every Nth round the full model state is published retained (QoS as
+	// DataQoS) in addition to that round's delta, so joiners bootstrap and
+	// desynchronized peers recover. 1 publishes full state every round
+	// (deltas effectively disabled); default 8.
+	MixKeyframeEvery int
+	// MixStaleAfter evicts MIX peers whose last payload is older than this
+	// bound, so departed or stalled modules stop dragging the average
+	// (default 3×MixInterval).
+	MixStaleAfter time.Duration
+	// MixJSON switches MIX publishing back to the legacy retained-JSON
+	// full-snapshot protocol for interoperability with pre-delta modules.
+	// Delta-capable receivers understand both formats either way.
+	MixJSON bool
 	// Observer receives middleware events.
 	Observer Observer
 	// DisableReconnect turns off automatic reconnection after a broker
@@ -126,6 +140,12 @@ func (c Config) withDefaults() Config {
 	if c.MixInterval <= 0 {
 		c.MixInterval = 2 * time.Second
 	}
+	if c.MixKeyframeEvery <= 0 {
+		c.MixKeyframeEvery = 8
+	}
+	if c.MixStaleAfter <= 0 {
+		c.MixStaleAfter = 3 * c.MixInterval
+	}
 	if c.ReconnectBackoff <= 0 {
 		c.ReconnectBackoff = 200 * time.Millisecond
 	}
@@ -184,8 +204,14 @@ func NewModule(cfg Config) *Module {
 		m.metrics = &moduleMetrics{
 			decisions: reg.Counter("ifot_module_decisions_total", "Judging-class decisions emitted", id),
 			trained:   reg.Counter("ifot_module_train_events_total", "Learning-class model updates", id),
-			stageLat:  make(map[string]*telemetry.Histogram),
-			reg:       reg,
+			mixRounds: reg.Counter("ifot_mix_rounds_total", "MIX weight-exchange rounds published", id),
+			mixBytes:  reg.Counter("ifot_mix_bytes_total", "MIX payload bytes published (deltas + keyframes)", id),
+			mixEvictions: reg.Counter("ifot_mix_peer_evictions_total",
+				"MIX peers evicted for exceeding the staleness bound", id),
+			mixStaleness: reg.Gauge("ifot_mix_peer_staleness_seconds",
+				"age of the oldest live MIX peer's last payload", id),
+			stageLat: make(map[string]*telemetry.Histogram),
+			reg:      reg,
 		}
 		reg.GaugeFunc("ifot_module_tasks_running", "subtasks currently hosted", func() float64 {
 			m.mu.Lock()
@@ -209,11 +235,15 @@ func NewModule(cfg Config) *Module {
 // moduleMetrics holds a module's telemetry handles. stageLat is guarded by
 // mu (stages appear rarely; the hot path only reads).
 type moduleMetrics struct {
-	decisions *telemetry.Counter
-	trained   *telemetry.Counter
-	reg       *telemetry.Registry
-	mu        sync.Mutex
-	stageLat  map[string]*telemetry.Histogram
+	decisions    *telemetry.Counter
+	trained      *telemetry.Counter
+	mixRounds    *telemetry.Counter
+	mixBytes     *telemetry.Counter
+	mixEvictions *telemetry.Counter
+	mixStaleness *telemetry.Gauge
+	reg          *telemetry.Registry
+	mu           sync.Mutex
+	stageLat     map[string]*telemetry.Histogram
 }
 
 func (mm *moduleMetrics) stage(moduleID, stage string) *telemetry.Histogram {

@@ -55,6 +55,15 @@ type linearModel struct {
 	labels   []string       // label index -> name, in first-Train order
 	labelIdx map[string]int // name -> label index
 	weights  [][]float64    // [label index][feature ID]
+
+	// Delta-MIX tracking (see delta.go), off until EnableDeltaTracking:
+	// acc accumulates training updates since the last ExportDeltaInto;
+	// dirty lists the touched feature IDs per label, with inDirty as its
+	// membership bitmap so marking stays O(1) per update.
+	trackDeltas bool
+	acc         [][]float64
+	dirty       [][]uint32
+	inDirty     [][]bool
 }
 
 func newLinearModel() linearModel {
@@ -79,6 +88,11 @@ func (m *linearModel) ensureLabelLocked(label string) int {
 	m.labelIdx[label] = li
 	m.labels = append(m.labels, label)
 	m.weights = append(m.weights, nil)
+	if m.trackDeltas {
+		m.acc = append(m.acc, nil)
+		m.dirty = append(m.dirty, nil)
+		m.inDirty = append(m.inDirty, nil)
+	}
 	return li
 }
 
@@ -193,8 +207,8 @@ func (p *Perceptron) TrainDense(dv *feature.DenseVec, label string) {
 		return // first label ever: nothing to separate yet
 	}
 	if truth <= rivalScore {
-		m.weights[li] = dv.AddScaledTo(m.weights[li], p.learningRate)
-		m.weights[rival] = dv.AddScaledTo(m.weights[rival], -p.learningRate)
+		m.addScaledLocked(li, dv, p.learningRate)
+		m.addScaledLocked(rival, dv, -p.learningRate)
 	}
 }
 
@@ -262,8 +276,8 @@ func (p *PassiveAggressive) TrainDense(dv *feature.DenseVec, label string) {
 	if tau > p.c {
 		tau = p.c
 	}
-	m.weights[li] = dv.AddScaledTo(m.weights[li], tau)
-	m.weights[rival] = dv.AddScaledTo(m.weights[rival], -tau)
+	m.addScaledLocked(li, dv, tau)
+	m.addScaledLocked(rival, dv, -tau)
 }
 
 // BestDense implements DenseClassifier.

@@ -66,6 +66,12 @@ func (m *linearModel) importWeightsLocked(w map[string]feature.Vector) {
 	m.labels = m.labels[:0]
 	m.labelIdx = make(map[string]int, len(w))
 	m.weights = m.weights[:0]
+	if m.trackDeltas {
+		// Wholesale replacement invalidates the delta baseline.
+		m.acc = m.acc[:0]
+		m.dirty = m.dirty[:0]
+		m.inDirty = m.inDirty[:0]
+	}
 	for label, vec := range w {
 		li := m.ensureLabelLocked(label)
 		var arr []float64
@@ -102,9 +108,24 @@ func AverageWeights(snapshots []map[string]feature.Vector) (map[string]feature.V
 
 // Mix gathers weights from every model, averages them, and pushes the
 // average back into each model — one MIX round of distributed training.
+// When every model supports the delta path it runs as MixDense (streaming,
+// no string-keyed maps); otherwise it falls back to the map-based union
+// average.
 func Mix(models ...WeightExporter) error {
 	if len(models) == 0 {
 		return ErrNothingToMix
+	}
+	mixers := make([]DeltaMixer, 0, len(models))
+	for _, m := range models {
+		dm, ok := m.(DeltaMixer)
+		if !ok {
+			mixers = nil
+			break
+		}
+		mixers = append(mixers, dm)
+	}
+	if mixers != nil {
+		return MixDense(mixers...)
 	}
 	snapshots := make([]map[string]feature.Vector, len(models))
 	for i, m := range models {

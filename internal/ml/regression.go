@@ -22,6 +22,12 @@ type PARegressor struct {
 	bias    float64
 	epsilon float64
 	c       float64
+
+	// Delta-MIX tracking (off until EnableDeltaTracking): acc/accBias
+	// accumulate training updates since the last ExportDeltaInto.
+	trackDeltas bool
+	acc         feature.Vector
+	accBias     float64
 }
 
 var _ Regressor = (*PARegressor)(nil)
@@ -58,6 +64,10 @@ func (r *PARegressor) Train(v feature.Vector, target float64) {
 	}
 	r.weights.AddScaled(v, tau)
 	r.bias += tau
+	if r.trackDeltas {
+		r.acc.AddScaled(v, tau)
+		r.accBias += tau
+	}
 }
 
 // Predict implements Regressor.
@@ -79,12 +89,12 @@ func (r *PARegressor) ExportWeights() map[string]feature.Vector {
 	defer r.mu.RUnlock()
 	out := r.weights.Clone()
 	out[biasKey] = r.bias
-	return map[string]feature.Vector{"regression": out}
+	return map[string]feature.Vector{regressionLabel: out}
 }
 
 // ImportWeights implements WeightExporter.
 func (r *PARegressor) ImportWeights(w map[string]feature.Vector) {
-	snap, ok := w["regression"]
+	snap, ok := w[regressionLabel]
 	if !ok {
 		return
 	}
@@ -93,9 +103,151 @@ func (r *PARegressor) ImportWeights(w map[string]feature.Vector) {
 	r.weights = snap.Clone()
 	r.bias = r.weights[biasKey]
 	delete(r.weights, biasKey)
+	r.clearDeltaLocked()
 }
 
 var _ WeightExporter = (*PARegressor)(nil)
+
+// regressionLabel is the single pseudo-label regressor snapshots and
+// deltas travel under, shared with the map-based ExportWeights form.
+const regressionLabel = "regression"
+
+// clearDeltaLocked drops the pending delta accumulator: after a wholesale
+// weight replacement its baseline no longer exists.
+func (r *PARegressor) clearDeltaLocked() {
+	if !r.trackDeltas {
+		return
+	}
+	for k := range r.acc {
+		delete(r.acc, k)
+	}
+	r.accBias = 0
+}
+
+// EnableDeltaTracking implements DeltaMixer.
+func (r *PARegressor) EnableDeltaTracking() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trackDeltas {
+		return
+	}
+	r.trackDeltas = true
+	r.acc = make(feature.Vector)
+}
+
+// ExportDeltaInto implements DeltaMixer. Weight names (and the bias
+// pseudo-feature) are interned through the process-wide symbol table so the
+// delta speaks the same ID language as the linear classifiers.
+func (r *PARegressor) ExportDeltaInto(d *MixDelta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d.Reset()
+	if !r.trackDeltas || (len(r.acc) == 0 && r.accBias == 0) {
+		return
+	}
+	syms := feature.DefaultSymbols()
+	ld := d.Grow(regressionLabel)
+	for name, v := range r.acc {
+		if v != 0 {
+			ld.IDs = append(ld.IDs, syms.Intern(name))
+			ld.Vals = append(ld.Vals, v)
+		}
+	}
+	if r.accBias != 0 {
+		ld.IDs = append(ld.IDs, syms.Intern(biasKey))
+		ld.Vals = append(ld.Vals, r.accBias)
+	}
+	r.clearDeltaLocked()
+	if len(ld.IDs) == 0 {
+		d.Labels = d.Labels[:len(d.Labels)-1]
+		return
+	}
+	ld.Sort()
+}
+
+// ExportDenseInto implements DeltaMixer.
+func (r *PARegressor) ExportDenseInto(d *MixDelta) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d.Reset()
+	syms := feature.DefaultSymbols()
+	ld := d.Grow(regressionLabel)
+	for name, v := range r.weights {
+		if v != 0 {
+			ld.IDs = append(ld.IDs, syms.Intern(name))
+			ld.Vals = append(ld.Vals, v)
+		}
+	}
+	if r.bias != 0 {
+		ld.IDs = append(ld.IDs, syms.Intern(biasKey))
+		ld.Vals = append(ld.Vals, r.bias)
+	}
+	ld.Sort()
+}
+
+// applyEntries adds scale * entries into the live weights; bias entries
+// route to the intercept. Unknown IDs (never interned here) are skipped.
+func (r *PARegressor) applyEntriesLocked(ld *MixLabelDelta, scale float64) {
+	syms := feature.DefaultSymbols()
+	for j, id := range ld.IDs {
+		name := syms.Name(id)
+		switch name {
+		case "":
+			// unresolvable in this process; nothing it could refer to
+		case biasKey:
+			r.bias += scale * ld.Vals[j]
+		default:
+			r.weights[name] += scale * ld.Vals[j]
+		}
+	}
+}
+
+// ApplyDelta implements DeltaMixer. Labels other than "regression" are
+// foreign (classifier traffic) and ignored, mirroring ImportWeights.
+func (r *PARegressor) ApplyDelta(d *MixDelta, scale float64) {
+	if scale == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range d.Labels {
+		if d.Labels[i].Label == regressionLabel {
+			r.applyEntriesLocked(&d.Labels[i], scale)
+		}
+	}
+}
+
+// MergeDense implements DeltaMixer.
+func (r *PARegressor) MergeDense(d *MixDelta, alpha float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keep := 1 - alpha
+	for k := range r.weights {
+		r.weights[k] *= keep
+	}
+	r.bias *= keep
+	for i := range d.Labels {
+		if d.Labels[i].Label == regressionLabel {
+			r.applyEntriesLocked(&d.Labels[i], alpha)
+		}
+	}
+}
+
+// ImportDense implements DeltaMixer.
+func (r *PARegressor) ImportDense(d *MixDelta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.weights = make(feature.Vector, len(r.weights))
+	r.bias = 0
+	for i := range d.Labels {
+		if d.Labels[i].Label == regressionLabel {
+			r.applyEntriesLocked(&d.Labels[i], 1)
+		}
+	}
+	r.clearDeltaLocked()
+}
+
+var _ DeltaMixer = (*PARegressor)(nil)
 
 func abs(x float64) float64 {
 	if x < 0 {
