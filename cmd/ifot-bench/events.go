@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
+	"github.com/ifot-middleware/ifot/internal/wire"
+)
+
+// runEventTail subscribes ifot/ctrl/events/# on a live broker and
+// pretty-prints the cluster event stream — the operator's `tail -f` over
+// everything modules, the broker, and the management node export:
+//
+//	15:04:05.000  WARN   moduleB      wal_torn_tail       segment=3 dropped_bytes=112
+//
+// A zero duration tails until interrupted.
+func runEventTail(addr string, duration time.Duration) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	opts := mqttclient.NewOptions(fmt.Sprintf("bench-events-%d", os.Getpid()))
+	client, err := mqttclient.Connect(conn, opts)
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("connect %s: %w", addr, err)
+	}
+	defer func() { _ = client.Disconnect() }()
+
+	_, err = client.Subscribe(core.TopicEventsPrefix+"#", wire.QoS0, func(msg mqttclient.Message) {
+		batch, err := telemetry.DecodeEventBatch(msg.Payload)
+		if err != nil {
+			fmt.Printf("?? undecodable batch on %s: %v\n", msg.Topic, err)
+			return
+		}
+		for _, ev := range batch.Events {
+			printEvent(batch.Module, ev)
+		}
+		if batch.Dropped > 0 {
+			fmt.Printf("%-12s  ....   %-12s (%d events shed at the source so far)\n",
+				"", batch.Module, batch.Dropped)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("subscribe events: %w", err)
+	}
+	fmt.Printf("tailing %s%s on %s (ctrl-c to stop)\n", core.TopicEventsPrefix, "#", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if duration > 0 {
+		select {
+		case <-sig:
+		case <-time.After(duration):
+		}
+		return nil
+	}
+	<-sig
+	return nil
+}
+
+func printEvent(fallbackModule string, ev telemetry.Event) {
+	module := ev.Module
+	if module == "" {
+		module = fallbackModule
+	}
+	keys := make([]string, 0, len(ev.Fields))
+	for k := range ev.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var fields strings.Builder
+	for _, k := range keys {
+		if fields.Len() > 0 {
+			fields.WriteByte(' ')
+		}
+		fmt.Fprintf(&fields, "%s=%s", k, ev.Fields[k])
+	}
+	if ev.TraceKey != nil {
+		if fields.Len() > 0 {
+			fields.WriteByte(' ')
+		}
+		fmt.Fprintf(&fields, "flow=%s/%s/%d", ev.TraceKey.Recipe, ev.TraceKey.TaskID, ev.TraceKey.Seq)
+	}
+	fmt.Printf("%-12s  %-5s  %-12s %-20s %s\n",
+		ev.Time.Format("15:04:05.000"),
+		strings.ToUpper(string(ev.Severity)),
+		module, ev.Kind, fields.String())
+}

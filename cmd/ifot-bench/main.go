@@ -65,6 +65,9 @@ func run() error {
 		asensors   = flag.Int("asensors", 3, "analysis mode: sensor streams joined per batch")
 		awindow    = flag.Int("awindow", 128, "analysis mode: paced in-flight window (zero-drop)")
 		aduration  = flag.Duration("aduration", 3*time.Second, "analysis mode: wall-clock run time")
+		events     = flag.Bool("events", false, "tail the cluster event stream: subscribe ifot/ctrl/events/# on -ebroker and pretty-print structured events")
+		ebroker    = flag.String("ebroker", "localhost:1883", "events mode: broker address to tail")
+		eduration  = flag.Duration("eduration", 0, "events mode: stop after this long (0 = until interrupted)")
 		trace      = flag.Bool("trace", false, "print the Fig. 9 class-cooperation pipeline")
 		csvPath    = flag.String("csv", "", "also write the sweep series as CSV to this file")
 		duration   = flag.Duration("duration", 30*time.Second, "virtual duration per run")
@@ -175,6 +178,12 @@ func run() error {
 	}
 	if *mix {
 		if err := runMix(mixConfig{rounds: *mixRounds, features: *mixFeats}); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *events {
+		if err := runEventTail(*ebroker, *eduration); err != nil {
 			return err
 		}
 		did = true

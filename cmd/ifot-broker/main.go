@@ -23,6 +23,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/bridge"
 	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/core"
 	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
@@ -45,6 +46,8 @@ func run() error {
 		bridgeTo  = flag.String("bridge", "", "remote broker address to bridge with")
 		dataDir   = flag.String("data-dir", "", "directory for the durability WAL (empty = in-memory only)")
 		syncDelay = flag.Duration("wal-sync-delay", 5*time.Millisecond, "group-commit fsync window for the WAL")
+		eventCap  = flag.Int("event-capacity", telemetry.DefaultEventCapacity, "structured events retained for the local /events endpoint")
+		eventExp  = flag.Duration("event-export", time.Second, "interval for publishing events on ifot/ctrl/events/ifot-broker (0 = no export)")
 		bridgeOut stringsFlag
 		bridgeIn  stringsFlag
 	)
@@ -52,6 +55,7 @@ func run() error {
 	flag.Var(&bridgeIn, "bridge-in", "topic filter pulled from the remote broker (repeatable)")
 	flag.Parse()
 
+	const brokerID = "ifot-broker"
 	opts := broker.Options{MaxQoS: wire.QoS(*maxQoS)}
 	if *verbose {
 		opts.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -59,12 +63,22 @@ func run() error {
 	if *telAddr != "" {
 		opts.Registry = telemetry.NewRegistry()
 	}
+	// One event log shared between the store and the broker, so WAL
+	// recovery events from store.Open and persistence-degradation events
+	// land in the same ring and export stream.
+	events := telemetry.NewEventLog(*eventCap)
+	if *eventExp > 0 {
+		events.SetExportBuffer(0)
+	}
+	events.BindRegistry(opts.Registry, telemetry.L("module", brokerID))
+	opts.Events = events
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir, store.Options{
 			Name:      "broker",
 			SyncDelay: *syncDelay,
 			Registry:  opts.Registry,
 			Logger:    opts.Logger,
+			Events:    events,
 		})
 		if err != nil {
 			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
@@ -80,7 +94,7 @@ func run() error {
 		log.Printf("durability on: %s (recovered in %s)", *dataDir, st.RecoveryDuration())
 	}
 	if *telAddr != "" {
-		bound, shutdown, err := telemetry.StartServer(*telAddr, opts.Registry, nil)
+		bound, shutdown, err := telemetry.StartServer(*telAddr, opts.Registry, nil, events)
 		if err != nil {
 			return err
 		}
@@ -93,6 +107,38 @@ func run() error {
 		return err
 	}
 	log.Printf("ifot-broker listening on %s (max QoS %d)", l.Addr(), *maxQoS)
+
+	if *eventExp > 0 {
+		// The broker injects its own event batches directly into the
+		// routing path (no client loopback needed), so a management node
+		// or `ifot-bench -events` tail sees broker-side events too.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*eventExp)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					evs := events.Drain()
+					if len(evs) == 0 {
+						continue
+					}
+					batch := telemetry.EventBatch{
+						Module:  brokerID,
+						SentAt:  time.Now(),
+						Dropped: events.Dropped(),
+						Events:  evs,
+					}
+					if payload, err := telemetry.EncodeEventBatch(batch); err == nil {
+						b.Publish(core.TopicEventsPrefix+brokerID, payload, wire.QoS0, false)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	if *stats > 0 {
 		// Publish Mosquitto-style $SYS/broker/# statistics and log them.

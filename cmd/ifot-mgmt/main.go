@@ -41,9 +41,14 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		strategy  = flag.String("strategy", "least-loaded", "task assignment strategy (least-loaded|round-robin)")
 		settle    = flag.Duration("settle", 2*time.Second, "time to wait for module announcements")
-		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows and /debug/pprof (empty = off)")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows, /events, /health and /debug/pprof (empty = off)")
 		traceCap  = flag.Int("trace-capacity", core.DefaultCollectorFlows, "cross-module flows retained by the trace collector")
 		dataDir   = flag.String("data-dir", "", "directory for the deployment journal (empty = in-memory only); a restarted manager resumes supervising journaled deployments")
+		eventCap  = flag.Int("event-capacity", telemetry.DefaultEventCapacity, "structured events retained (manager's own plus the ingested cluster view)")
+		eventExp  = flag.Duration("event-export", 0, "interval publishing the manager's own events on ifot/ctrl/events/<id> (0 = local /events only)")
+		sloTarget = flag.Duration("slo-target", 0, "per-stage latency objective armed as a wildcard SLO burn-rate alert (0 = off)")
+		sloQ      = flag.Float64("slo-quantile", 0.95, "objective quantile for -slo-target")
+		sloBurn   = flag.Float64("slo-burn", telemetry.DefaultSLOBurnThreshold, "burn-rate multiple that trips the SLO alert")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -60,6 +65,14 @@ func run() error {
 		Logger:   log.New(os.Stderr, "", log.LstdFlags),
 	}
 	mcfg.TraceFlowCapacity = *traceCap
+	mcfg.EventCapacity = *eventCap
+	mcfg.EventExportInterval = *eventExp
+	if *sloTarget > 0 {
+		mcfg.SLO = telemetry.SLOConfig{
+			Targets:       []telemetry.SLOTarget{{Stage: "*", Quantile: *sloQ, Target: *sloTarget}},
+			BurnThreshold: *sloBurn,
+		}
+	}
 	if *telAddr != "" {
 		mcfg.Telemetry = telemetry.NewRegistry()
 	}
@@ -78,8 +91,10 @@ func run() error {
 	mgr := core.NewManager(mcfg)
 	if *telAddr != "" {
 		// The collector serves /traces (cluster-wide assembled flows) and
-		// /flows (per-stage latency SLO digest) alongside /metrics.
-		bound, shutdown, err := telemetry.StartServer(*telAddr, mcfg.Telemetry, mgr.Collector())
+		// /flows (per-stage latency SLO digest) alongside /metrics; the
+		// event log and health monitor add /events and /health.
+		bound, shutdown, err := telemetry.StartServer(*telAddr, mcfg.Telemetry, mgr.Collector(),
+			mgr.Events(), mgr.Health())
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func run() error {
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
 		capacity  = flag.Float64("capacity", 1000, "advertised processing capacity (ops/s)")
 		verbose   = flag.Bool("v", false, "log middleware events")
-		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows and /debug/pprof (empty = off)")
+		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows, /events and /debug/pprof (empty = off)")
 		sysEvery  = flag.Duration("sys-stats", 0, "publish module metrics retained under $SYS/modules/<id>/ at this interval (0 = off)")
 		traceCap  = flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "spans retained in the tracer ring buffer")
 		traceExp  = flag.Duration("trace-export", time.Second, "interval for publishing completed spans on ifot/ctrl/trace/<id> (0 = no export)")
@@ -65,6 +65,8 @@ func run() error {
 		mixKeyfr  = flag.Int("mix-keyframe", 0, "publish a retained full-state MIX keyframe every N rounds (0 = default cadence, 1 = every round)")
 		mixStale  = flag.Duration("mix-stale-after", 0, "evict MIX peers silent for longer than this (0 = 3x the mix interval)")
 		mixJSON   = flag.Bool("mix-json", false, "publish MIX weights as legacy retained JSON snapshots instead of binary deltas (mixed-version clusters)")
+		eventCap  = flag.Int("event-capacity", telemetry.DefaultEventCapacity, "structured events retained for the local /events endpoint")
+		eventExp  = flag.Duration("event-export", time.Second, "interval for publishing events on ifot/ctrl/events/<id> (0 = no export)")
 		sensors   stringsFlag
 		actuators stringsFlag
 		caps      stringsFlag
@@ -88,6 +90,15 @@ func run() error {
 		MixStaleAfter:    *mixStale,
 		MixJSON:          *mixJSON,
 	}
+	// Create the event log up front and share it with the store, so WAL
+	// recovery events emitted during store.Open (before the module
+	// exists) ride the module's ring and export stream. The export queue
+	// must be armed before store.Open, or recovery events skip it.
+	cfg.Events = telemetry.NewEventLog(*eventCap)
+	cfg.EventExportInterval = *eventExp
+	if *eventExp > 0 {
+		cfg.Events.SetExportBuffer(0)
+	}
 	if *telAddr != "" || *sysEvery > 0 {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.Tracer = telemetry.NewTracer(nil, *traceCap)
@@ -99,7 +110,7 @@ func run() error {
 		cfg.TraceSampleEvery = uint32(*traceSmp)
 	}
 	if *telAddr != "" {
-		bound, shutdown, err := telemetry.StartServer(*telAddr, cfg.Telemetry, cfg.Tracer)
+		bound, shutdown, err := telemetry.StartServer(*telAddr, cfg.Telemetry, cfg.Tracer, cfg.Events)
 		if err != nil {
 			return err
 		}
@@ -110,6 +121,7 @@ func run() error {
 		st, err := store.Open(*dataDir, store.Options{
 			Name:     "neuron",
 			Registry: cfg.Telemetry,
+			Events:   cfg.Events,
 		})
 		if err != nil {
 			return fmt.Errorf("open data dir %s: %w", *dataDir, err)

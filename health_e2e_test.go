@@ -1,0 +1,243 @@
+package ifot_test
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ifot-middleware/ifot/internal/broker"
+	"github.com/ifot-middleware/ifot/internal/core"
+	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
+)
+
+// blackholeProxy is a TCP relay that can be wedged: after Blackhole() it
+// keeps both sides' connections open but silently discards all traffic —
+// the network-partition failure mode, where a module falls silent without
+// the broker ever seeing a close (so no will/leave fires and only
+// beacon-liveness detection can notice).
+type blackholeProxy struct {
+	l        net.Listener
+	addr     string
+	upstream string
+	wedged   atomic.Bool
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newBlackholeProxy(t *testing.T, upstream string) *blackholeProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &blackholeProxy{l: l, addr: l.Addr().String(), upstream: upstream}
+	go p.acceptLoop()
+	return p
+}
+
+func (p *blackholeProxy) acceptLoop() {
+	for {
+		down, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			_ = down.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, down, up)
+		p.mu.Unlock()
+		go p.pipe(down, up)
+		go p.pipe(up, down)
+	}
+}
+
+// pipe forwards src→dst until either side closes; while wedged it still
+// drains src (so writers never block) but forwards nothing.
+func (p *blackholeProxy) pipe(src, dst net.Conn) {
+	defer func() { _ = dst.Close() }()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 && !p.wedged.Load() {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *blackholeProxy) Blackhole() { p.wedged.Store(true) }
+
+func (p *blackholeProxy) Close() {
+	_ = p.l.Close()
+	p.mu.Lock()
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// TestClusterHealthEndToEnd drives the cluster health subsystem over real
+// TCP with the race detector on: a manager with tight liveness windows
+// watches a neuron module whose network is then blackholed mid-run — the
+// module must be classified suspect and then dead purely from beacon
+// silence, with the transition events landing in the manager's cluster
+// event view. The module's store is crashed and its WAL tail corrupted;
+// after restart, the wal_torn_tail recovery event must travel
+// module→broker→manager and appear in the cluster view attributed to the
+// module, and the module must classify healthy again.
+func TestClusterHealthEndToEnd(t *testing.T) {
+	neuronDir := t.TempDir()
+
+	b, err := broker.Open(broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+	defer b.Close()
+	addr := l.Addr().String()
+
+	mgr := core.NewManager(core.ManagerConfig{
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Health: core.HealthConfig{
+			BeaconInterval: 50 * time.Millisecond,
+			SuspectAfter:   250 * time.Millisecond,
+			DeadAfter:      500 * time.Millisecond,
+		},
+	})
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// --- Phase 1: healthy module behind a wedgeable link ---
+	px := newBlackholeProxy(t, addr)
+	defer px.Close()
+
+	events := telemetry.NewEventLog(128)
+	nst, err := store.Open(neuronDir, store.Options{Name: "neuron", NoSync: true, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := core.NewModule(core.Config{
+		ID:                  "edge1",
+		Store:               nst,
+		Events:              events,
+		EventExportInterval: 50 * time.Millisecond,
+		HeartbeatInterval:   50 * time.Millisecond,
+		Dial:                func() (net.Conn, error) { return net.Dial("tcp", px.addr) },
+	})
+	if err := mod.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "module classified healthy", func() bool {
+		return mgr.Health().State("edge1") == core.HealthHealthy
+	})
+
+	// Journal a few records so the crashed WAL has a tail to corrupt.
+	for i := 0; i < 8; i++ {
+		if err := nst.Append([]byte("checkpoint-record")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, "WAL bytes on disk", func() bool { return nst.WALBytes() > 0 })
+
+	// --- Phase 2: partition — silence without a close ---
+	px.Blackhole()
+	waitCond(t, "module classified dead", func() bool {
+		return mgr.Health().State("edge1") == core.HealthDead
+	})
+	snap := mgr.Health().HealthSnapshot()
+	if snap.Dead != 1 || snap.Healthy != 0 {
+		t.Fatalf("health snapshot after partition = %+v", snap)
+	}
+	kinds := map[string]int{}
+	for _, ev := range mgr.Events().Events(0, time.Time{}) {
+		if ev.Module == "edge1" {
+			kinds[ev.Kind]++
+		}
+	}
+	if kinds["module_suspect"] != 1 || kinds["module_dead"] != 1 {
+		t.Fatalf("liveness transition events for edge1 = %v, want one suspect and one dead", kinds)
+	}
+
+	// --- Phase 3: crash, corrupt the WAL tail, restart ---
+	nst.Crash()
+	_ = mod.Close()
+	segs, err := filepath.Glob(filepath.Join(neuronDir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err=%v)", neuronDir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	events2 := telemetry.NewEventLog(128)
+	// Arm the export queue before store.Open (as the daemons do) so the
+	// recovery events emitted during open ride the module's export loop.
+	events2.SetExportBuffer(0)
+	st2, err := store.Open(neuronDir, store.Options{Name: "neuron", NoSync: true, Events: events2})
+	if err != nil {
+		t.Fatalf("reopen neuron store over torn WAL: %v", err)
+	}
+	defer st2.Close()
+	var torn []telemetry.Event
+	for _, ev := range events2.Events(0, time.Time{}) {
+		if ev.Kind == "wal_torn_tail" {
+			torn = append(torn, ev)
+		}
+	}
+	if len(torn) != 1 || torn[0].Fields["store"] != "neuron" {
+		t.Fatalf("local wal_torn_tail events after recovery = %+v, want exactly one", torn)
+	}
+
+	mod2 := core.NewModule(core.Config{
+		ID:                  "edge1",
+		Events:              events2,
+		EventExportInterval: 50 * time.Millisecond,
+		HeartbeatInterval:   50 * time.Millisecond,
+		Dial:                func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	})
+	if err := mod2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mod2.Close()
+
+	// The recovery event must reach the manager's cluster event view,
+	// attributed to the module that recovered.
+	waitCond(t, "wal_torn_tail in the manager's cluster view", func() bool {
+		for _, ev := range mgr.Events().Events(0, time.Time{}) {
+			if ev.Kind == "wal_torn_tail" && ev.Module == "edge1" &&
+				ev.Fields["store"] == "neuron" && ev.Severity == telemetry.SevWarn {
+				return true
+			}
+		}
+		return false
+	})
+	waitCond(t, "module classified healthy after restart", func() bool {
+		return mgr.Health().State("edge1") == core.HealthHealthy
+	})
+}

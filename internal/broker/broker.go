@@ -57,6 +57,11 @@ type Options struct {
 	// SnapshotBytes is the live-WAL size that triggers automatic
 	// snapshot compaction (default 4 MiB; only meaningful with Store).
 	SnapshotBytes int64
+	// Events, when set, receives structured events for durability
+	// degradation (journal append failures, snapshot failures). Share
+	// the same log with Store's Options.Events to get WAL recovery
+	// events alongside them.
+	Events *telemetry.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -235,11 +240,12 @@ func Open(opts Options) (*Broker, error) {
 		b.metrics = newBrokerMetrics(b.opts.Registry, b)
 	}
 	if st := b.opts.Store; st != nil {
-		b.persist = &persister{logger: b.opts.Logger}
+		b.persist = &persister{logger: b.opts.Logger, events: b.opts.Events}
 		if err := b.recoverState(st); err != nil {
 			return nil, err
 		}
 		b.persist.journal = store.NewJournal(st, b.captureState, b.opts.SnapshotBytes, b.opts.Logger)
+		b.persist.journal.SetEvents(b.opts.Events)
 	}
 	// Publish the initial route snapshot (covering any recovered
 	// subscriptions) before a connection or internal publisher can route.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
@@ -87,6 +88,11 @@ type persister struct {
 	journal *store.Journal
 	msgSeq  atomic.Uint64
 	logger  *log.Logger
+	events  *telemetry.EventLog
+	// degraded latches on the first append failure so the event log sees
+	// one persist_degraded per outage (every failed append still logs),
+	// and a persist_recovered when appends succeed again.
+	degraded atomic.Bool
 }
 
 func (pp *persister) nextMsgID() uint64 { return pp.msgSeq.Add(1) }
@@ -102,6 +108,14 @@ func (pp *persister) append(rec persistRec) {
 	}
 	if err := pp.journal.Append(buf); err != nil {
 		pp.logf("broker persist: append %s: %v", rec.Op, err)
+		if pp.degraded.CompareAndSwap(false, true) {
+			pp.events.Eventf(telemetry.SevError, "", "persist_degraded",
+				"op", rec.Op, "error", err.Error())
+		}
+		return
+	}
+	if pp.degraded.CompareAndSwap(true, false) {
+		pp.events.Eventf(telemetry.SevInfo, "", "persist_recovered")
 	}
 }
 

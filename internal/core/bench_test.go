@@ -295,6 +295,42 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 	// Every flow traced (TraceSampleEvery=1): the worst case, recorded so
 	// the full per-message cost of tracing stays visible.
 	b.Run("dense-traced-all", func(b *testing.B) { runStream(b, 1) })
+	// Structured event emission alongside the untraced stream, at the
+	// worst cadence the rate-limited emitters produce under sustained
+	// pressure (one event per 32-message period, export queue enabled and
+	// drained as the MQTT exporter would). The acceptance bar is ≤5%
+	// below dense-untraced — event reporting must be invisible on the
+	// analysis path.
+	b.Run("dense-events", func(b *testing.B) {
+		dclf := clf.(ml.DenseClassifier)
+		payloads := make([][]byte, period)
+		for seq := uint32(0); seq < period; seq++ {
+			p, err := EncodeBatch(benchBatch(sensors, seq))
+			if err != nil {
+				b.Fatal(err)
+			}
+			payloads[seq] = p
+		}
+		events := telemetry.NewEventLog(0)
+		events.SetExportBuffer(0)
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if uint32(i)%period == 0 {
+				events.Eventf(telemetry.SevWarn, "bench", "lane_drop", "filter", "bench/stream")
+				// Drain as the periodic exporter would: far less often
+				// than events are emitted, keeping the queue below its
+				// shed bound.
+				if uint32(i)%(period*128) == 0 {
+					events.Drain()
+				}
+			}
+			if _, err := analyzeDense(payloads[uint32(i)%period], dclf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "msgs/sec")
+	})
 }
 
 // BenchmarkAnalysisPipelineLanes runs the same analysis handler behind a

@@ -8,6 +8,7 @@ import (
 
 	"github.com/ifot-middleware/ifot/internal/ml"
 	"github.com/ifot-middleware/ifot/internal/store"
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 // Model checkpointing. With Config.Store set, the module journals a
@@ -122,6 +123,8 @@ func (m *Module) registerCheckpointer(inst *taskInstance, name string, ck ml.Che
 	if recovered {
 		if err := ck.RestoreState(blob); err != nil {
 			m.logf("module %s: restore checkpoint %s: %v (starting fresh)", m.cfg.ID, name, err)
+			m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "checkpoint_mismatch",
+				"task", name, "error", err.Error())
 		} else {
 			m.logf("module %s: restored model checkpoint for %s", m.cfg.ID, name)
 		}
@@ -167,6 +170,8 @@ func (m *Module) checkpointTask(name string, ck ml.Checkpointer) {
 	}
 	if err := cm.journal.Append(rec); err != nil {
 		m.logf("module %s: journal checkpoint %s: %v", m.cfg.ID, name, err)
+		m.events.Eventf(telemetry.SevError, m.cfg.ID, "checkpoint_append_failed",
+			"task", name, "error", err.Error())
 	}
 }
 

@@ -621,6 +621,7 @@ func (m *Module) startMixLoopDelta(inst *taskInstance, rec recipe.Recipe, sub re
 	dm.EnableDeltaTracking()
 	syms := feature.DefaultSymbols()
 	rx := newMixReceiver(dm, true, m.cfg.MixStaleAfter, m.mixEvictCounter())
+	rx.setEvents(m.events, m.cfg.ID)
 	if sub.ShardCount > 1 {
 		// Reusable decode target: the handler runs serially on its lane.
 		var peerDelta ml.MixDelta
@@ -702,6 +703,7 @@ func (m *Module) startModelSync(inst *taskInstance, rec recipe.Recipe, from stri
 	}
 	syms := feature.DefaultSymbols()
 	rx := newMixReceiver(model, false, m.cfg.MixStaleAfter, m.mixEvictCounter())
+	rx.setEvents(m.events, m.cfg.ID)
 	// Reusable decode target: the handler runs serially on its lane.
 	var pd ml.MixDelta
 	_, reg, err := client.SubscribeHandle(mixTopic(rec.Name, from)+"/+", m.cfg.DataQoS, func(msg mqttclient.Message) {
@@ -787,6 +789,8 @@ func (m *Module) startMixLoopJSON(inst *taskInstance, rec recipe.Recipe, sub rec
 							if evictions != nil {
 								evictions.Inc()
 							}
+							m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "mix_peer_evicted",
+								"peer", id, "age", now.Sub(p.at).String())
 							continue
 						}
 						if age := now.Sub(p.at); age > staleness {

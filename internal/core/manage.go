@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +62,33 @@ type ManagerConfig struct {
 	// SnapshotBytes bounds journal growth between snapshot compactions
 	// (default 1 MiB).
 	SnapshotBytes int64
+	// Events, when set, is the manager's event log: its own lifecycle
+	// events (deploys, failovers, health transitions) land here together
+	// with the cluster event view ingested from module exports on
+	// ifot/ctrl/events/#. Nil makes NewManager create one of
+	// EventCapacity.
+	Events *telemetry.EventLog
+	// EventCapacity bounds the ring NewManager creates when Events is
+	// nil (default telemetry.DefaultEventCapacity).
+	EventCapacity int
+	// EventExportInterval, when positive, publishes the manager's OWN
+	// events (deploys, failovers, health transitions — never re-exported
+	// ingested ones) as EventBatch JSON on TopicEventsPrefix+ID (QoS 0),
+	// so external tails like `ifot-bench -events` see them too.
+	EventExportInterval time.Duration
+	// EventExportBuffer bounds the pending-event export queue (default
+	// telemetry.DefaultEventExportBuffer).
+	EventExportBuffer int
+	// Health tunes the missed-beacon liveness state machine; a zero
+	// SuspectAfter inherits StaleAfter, the rest default per
+	// HealthConfig.
+	Health HealthConfig
+	// SLO, when it has Targets, arms the burn-rate watchdog over the
+	// trace collector's cluster-wide per-stage latency histograms:
+	// sustained violation of a latency objective over both burn windows
+	// emits slo_breach events and drives ifot_slo_burn_rate /
+	// ifot_slo_breaches_total.
+	SLO telemetry.SLOConfig
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -79,6 +107,10 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.SnapshotBytes <= 0 {
 		c.SnapshotBytes = 1 << 20
 	}
+	if c.Health.SuspectAfter <= 0 {
+		c.Health.SuspectAfter = c.StaleAfter
+	}
+	c.Health = c.Health.withDefaults()
 	return c
 }
 
@@ -169,6 +201,19 @@ type Manager struct {
 
 	collector *TraceCollector
 	journal   *store.Journal // nil without ManagerConfig.Store
+
+	events *telemetry.EventLog
+	health *HealthMonitor
+
+	// Cluster event-view ingestion accounting (guarded by mu):
+	// evIngested counts events accepted from module batches, evDrops
+	// holds each module's last-reported export-shed counter.
+	evIngested uint64
+	evDrops    map[string]uint64
+
+	stop    chan struct{} // closes on Close; stops the health sweep loop
+	sloStop func()        // nil without SLO targets
+	wg      sync.WaitGroup
 }
 
 // NewManager creates an unstarted manager.
@@ -178,14 +223,41 @@ func NewManager(cfg ManagerConfig) *Manager {
 		modules:     make(map[string]*moduleState),
 		deployments: make(map[string]*Deployment),
 		streams:     make(map[string]StreamInfo),
+		evDrops:     make(map[string]uint64),
 	}
 	mgr.collector = NewTraceCollector(mgr.cfg.Clock, mgr.cfg.TraceFlowCapacity)
+	mgr.events = mgr.cfg.Events
+	if mgr.events == nil {
+		mgr.events = telemetry.NewEventLog(mgr.cfg.EventCapacity)
+	}
+	if mgr.cfg.EventExportInterval > 0 {
+		mgr.events.SetExportBuffer(mgr.cfg.EventExportBuffer)
+	}
+	mgr.health = NewHealthMonitor(mgr.cfg.Clock, mgr.cfg.Health, mgr.events)
 	if reg := mgr.cfg.Telemetry; reg != nil {
 		mgr.collector.BindRegistry(reg)
-		reg.GaugeFunc("ifot_mgmt_trace_spans_total", "spans ingested by the cluster trace collector",
-			func() float64 { return float64(mgr.collector.TotalSpans()) })
-		reg.GaugeFunc("ifot_mgmt_trace_spans_dropped_total", "spans modules shed before export (summed drop counters)",
-			func() float64 { return float64(mgr.collector.DroppedSpans()) })
+		mgr.events.BindRegistry(reg, telemetry.L("module", mgr.cfg.ID))
+		mgr.health.BindRegistry(reg)
+		reg.CounterFunc("ifot_mgmt_trace_spans_total", "spans ingested by the cluster trace collector",
+			func() int64 { return int64(mgr.collector.TotalSpans()) })
+		reg.CounterFunc("ifot_mgmt_trace_spans_dropped_total", "spans modules shed before export (summed drop counters)",
+			func() int64 { return int64(mgr.collector.DroppedSpans()) })
+		reg.CounterFunc("ifot_mgmt_events_total", "events ingested into the cluster event view",
+			func() int64 {
+				mgr.mu.Lock()
+				defer mgr.mu.Unlock()
+				return int64(mgr.evIngested)
+			})
+		reg.CounterFunc("ifot_mgmt_events_dropped_total", "events modules shed before export (summed drop counters)",
+			func() int64 {
+				mgr.mu.Lock()
+				defer mgr.mu.Unlock()
+				var sum uint64
+				for _, d := range mgr.evDrops {
+					sum += d
+				}
+				return int64(sum)
+			})
 		count := func(f func() int) func() float64 {
 			return func() float64 {
 				mgr.mu.Lock()
@@ -248,9 +320,114 @@ func (mgr *Manager) Start() error {
 		_ = client.Close()
 		return fmt.Errorf("core: manager subscribe traces: %w", err)
 	}
+	// Event batches share the trace path's loss tolerance: QoS 0,
+	// fire-and-forget, the log is a bounded ring either way.
+	if _, err := client.Subscribe(TopicEventsPrefix+"#", wire.QoS0, mgr.handleEvents); err != nil {
+		_ = client.Close()
+		return fmt.Errorf("core: manager subscribe events: %w", err)
+	}
+	mgr.stop = make(chan struct{})
+	mgr.wg.Add(1)
+	go mgr.healthSweepLoop()
+	if mgr.cfg.EventExportInterval > 0 {
+		mgr.wg.Add(1)
+		go mgr.eventExportLoop()
+	}
+	if len(mgr.cfg.SLO.Targets) > 0 {
+		slo := mgr.cfg.SLO
+		if slo.Module == "" {
+			slo.Module = mgr.cfg.ID
+		}
+		mgr.sloStop = telemetry.NewSLOWatchdog(mgr.collector, slo, mgr.events, mgr.cfg.Telemetry).Start()
+	}
 	mgr.resumeDeployments()
 	mgr.logf("manager %s started", mgr.cfg.ID)
 	return nil
+}
+
+// healthSweepLoop advances the liveness state machine every beacon
+// interval, so a silent module turns suspect (then dead) within one
+// beacon of crossing its bound.
+func (mgr *Manager) healthSweepLoop() {
+	defer mgr.wg.Done()
+	for {
+		select {
+		case <-mgr.stop:
+			return
+		case <-mgr.cfg.Clock.After(mgr.cfg.Health.BeaconInterval):
+			mgr.health.Sweep(mgr.cfg.Clock.Now())
+		}
+	}
+}
+
+// Events exposes the manager's event log — its own lifecycle events
+// plus the ingested cluster event view — for the /events endpoint.
+func (mgr *Manager) Events() *telemetry.EventLog { return mgr.events }
+
+// Health exposes the liveness monitor — the telemetry.HealthSource the
+// management daemon hands to its telemetry HTTP server for /health.
+func (mgr *Manager) Health() *HealthMonitor { return mgr.health }
+
+// handleEvents ingests one module's exported event batch into the
+// cluster event view, stamping the publisher's identity on events that
+// did not carry one (store/broker emissions have no module context).
+func (mgr *Manager) handleEvents(msg mqttclient.Message) {
+	batch, err := telemetry.DecodeEventBatch(msg.Payload)
+	if err != nil {
+		mgr.logf("manager: bad event batch on %s: %v", msg.Topic, err)
+		return
+	}
+	if batch.Module == "" || batch.Module == mgr.cfg.ID {
+		return
+	}
+	mgr.mu.Lock()
+	mgr.evIngested += uint64(len(batch.Events))
+	mgr.evDrops[batch.Module] = batch.Dropped
+	mgr.mu.Unlock()
+	for _, ev := range batch.Events {
+		if ev.Module == "" {
+			ev.Module = batch.Module
+		}
+		// Ingest, not Emit: these events were already exported by their
+		// module; re-queuing them for the manager's own export would
+		// duplicate them on the wire.
+		mgr.events.Ingest(ev)
+	}
+}
+
+// eventExportLoop periodically publishes the manager's own pending
+// events; a final flush runs on shutdown.
+func (mgr *Manager) eventExportLoop() {
+	defer mgr.wg.Done()
+	for {
+		select {
+		case <-mgr.stop:
+			mgr.flushEvents()
+			return
+		case <-mgr.cfg.Clock.After(mgr.cfg.EventExportInterval):
+			mgr.flushEvents()
+		}
+	}
+}
+
+func (mgr *Manager) flushEvents() {
+	events := mgr.events.Drain()
+	if len(events) == 0 || mgr.client == nil {
+		return
+	}
+	batch := telemetry.EventBatch{
+		Module:  mgr.cfg.ID,
+		SentAt:  mgr.cfg.Clock.Now(),
+		Dropped: mgr.events.Dropped(),
+		Events:  events,
+	}
+	payload, err := telemetry.EncodeEventBatch(batch)
+	if err != nil {
+		return
+	}
+	if err := mgr.client.Publish(TopicEventsPrefix+mgr.cfg.ID, payload, wire.QoS0, false); err != nil {
+		mgr.logf("manager event export: %v", err)
+	}
 }
 
 // Collector exposes the manager's cluster trace collector — the
@@ -267,6 +444,15 @@ func (mgr *Manager) handleTrace(msg mqttclient.Message) {
 // Close disconnects the manager. The journal's store stays open (and is
 // closed by whoever opened it), so state survives for the next start.
 func (mgr *Manager) Close() error {
+	if mgr.stop != nil {
+		close(mgr.stop)
+		mgr.wg.Wait()
+		mgr.stop = nil
+	}
+	if mgr.sloStop != nil {
+		mgr.sloStop()
+		mgr.sloStop = nil
+	}
 	if mgr.journal != nil {
 		mgr.journal.Close()
 	}
@@ -375,6 +561,10 @@ func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
 		}
 		mgr.logf("manager: assigned %s (%s) to %s", s.Name(), describeKind(s.Task.Kind), moduleID)
 	}
+	mgr.events.Eventf(telemetry.SevInfo, mgr.cfg.ID, "deploy",
+		"recipe", rec.Name,
+		"version", strconv.Itoa(rec.Version),
+		"subtasks", strconv.Itoa(len(subtasks)))
 	return dep, nil
 }
 
@@ -395,6 +585,7 @@ func (mgr *Manager) Undeploy(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDeployment, name)
 	}
+	mgr.events.Eventf(telemetry.SevInfo, mgr.cfg.ID, "undeploy", "recipe", name)
 	for _, s := range dep.SubTasks {
 		moduleID := dep.Assignment[s.Name()]
 		payload := EncodeJSON(Revocation{SubTaskName: s.Name()})
@@ -480,6 +671,7 @@ func (mgr *Manager) handleAnnounce(msg mqttclient.Message) {
 	// Announce beacons double as clock-skew probes for the trace
 	// collector: SentAt is stamped by the module's clock, now by ours.
 	mgr.collector.NoteAnnounce(ann.ModuleID, ann.SentAt, now)
+	mgr.health.Observe(ann, now)
 }
 
 func (mgr *Manager) handleLeave(msg mqttclient.Message) {
@@ -490,6 +682,8 @@ func (mgr *Manager) handleLeave(msg mqttclient.Message) {
 	mgr.mu.Lock()
 	delete(mgr.modules, ann.ModuleID)
 	mgr.mu.Unlock()
+	mgr.health.Remove(ann.ModuleID)
+	mgr.events.Eventf(telemetry.SevInfo, ann.ModuleID, "module_left")
 	mgr.logf("manager: module %s left", ann.ModuleID)
 	if !mgr.cfg.DisableFailover {
 		mgr.reassignFrom(ann.ModuleID)
@@ -526,6 +720,8 @@ func (mgr *Manager) reassignFrom(deadModuleID string) {
 			assignment, err := mgr.cfg.Strategy.Assign([]recipe.SubTask{s}, infos)
 			if err != nil {
 				mgr.logf("manager: failover: %s unplaceable after %s left: %v", s.Name(), deadModuleID, err)
+				mgr.events.Eventf(telemetry.SevError, mgr.cfg.ID, "failover_unplaceable",
+					"task", s.Name(), "from", deadModuleID, "error", err.Error())
 				continue
 			}
 			target := assignment[s.Name()]
@@ -544,6 +740,8 @@ func (mgr *Manager) reassignFrom(deadModuleID string) {
 				mgr.logf("manager: failover publish %s to %s: %v", s.Name(), target, err)
 				continue
 			}
+			mgr.events.Eventf(telemetry.SevWarn, mgr.cfg.ID, "failover",
+				"task", s.Name(), "from", deadModuleID, "to", target)
 			mgr.logf("manager: failover: moved %s from %s to %s", s.Name(), deadModuleID, target)
 		}
 	}

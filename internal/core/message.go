@@ -39,6 +39,10 @@ const (
 	// (telemetry.SpanBatch JSON, QoS 0) toward the management node's
 	// cluster trace collector, which subscribes TopicTracePrefix + "#".
 	TopicTracePrefix = "ifot/ctrl/trace/"
+	// TopicEventsPrefix + moduleID carries batched structured events
+	// (telemetry.EventBatch JSON, QoS 0) toward the management node's
+	// cluster event view, which subscribes TopicEventsPrefix + "#".
+	TopicEventsPrefix = "ifot/ctrl/events/"
 )
 
 // Errors returned by the codec.
@@ -52,13 +56,17 @@ var (
 // format carries the sample count in a 2-byte big-endian prefix.
 const MaxBatchSamples = 1<<16 - 1
 
-// Announce is a module presence beacon.
+// Announce is a module presence beacon. Runtime, when present, carries
+// the sender's process resource sample (heap, goroutines, GC pause) so
+// the management node's HealthMonitor can expose per-node runtime gauges;
+// beacons from older modules simply omit it.
 type Announce struct {
-	ModuleID     string    `json:"moduleId"`
-	Capabilities []string  `json:"capabilities,omitempty"`
-	CapacityOps  float64   `json:"capacityOps"`
-	RunningTasks []string  `json:"runningTasks,omitempty"`
-	SentAt       time.Time `json:"sentAt"`
+	ModuleID     string                  `json:"moduleId"`
+	Capabilities []string                `json:"capabilities,omitempty"`
+	CapacityOps  float64                 `json:"capacityOps"`
+	RunningTasks []string                `json:"runningTasks,omitempty"`
+	SentAt       time.Time               `json:"sentAt"`
+	Runtime      *telemetry.RuntimeStats `json:"runtime,omitempty"`
 }
 
 // Assignment instructs a module to start one subtask.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 type mixPeer struct {
 	lastRound uint64
 	synced    bool // bootstrapped from a keyframe; deltas apply in order
+	desynced  bool // lost sync to a round gap; pending keyframe recovery
 	legacy    bool // JSON publisher: full state every round, no sequencing
 	lastAt    time.Time
 }
@@ -38,6 +40,12 @@ type mixReceiver struct {
 	localMember bool // local state already represents >=1 blend member
 
 	evictions *telemetry.Counter // may be nil
+
+	// events (may be nil) receives sync-discipline occurrences: peer
+	// evictions, delta-gap desyncs, keyframe resyncs. module names the
+	// receiving module in those events.
+	events *telemetry.EventLog
+	module string
 }
 
 func newMixReceiver(model ml.DeltaMixer, hasLocal bool, staleAfter time.Duration, evictions *telemetry.Counter) *mixReceiver {
@@ -48,6 +56,13 @@ func newMixReceiver(model ml.DeltaMixer, hasLocal bool, staleAfter time.Duration
 		peers:      make(map[string]*mixPeer),
 		evictions:  evictions,
 	}
+}
+
+// setEvents routes sync-discipline events (evictions, desyncs, resyncs)
+// into the module's event log. Call before the receiver sees traffic.
+func (rx *mixReceiver) setEvents(l *telemetry.EventLog, moduleID string) {
+	rx.events = l
+	rx.module = moduleID
 }
 
 // noteLocalUpdate marks the local model as holding real state (the trainer
@@ -84,6 +99,11 @@ func (rx *mixReceiver) onPayload(h MixHeader, d *ml.MixDelta, now time.Time) {
 		}
 		// Join, or resync after missed deltas: count the peer out of the
 		// current blend first, then fold its full state in.
+		if p.desynced {
+			p.desynced = false
+			rx.events.Eventf(telemetry.SevInfo, rx.module, "mix_resync",
+				"peer", h.ModuleID, "round", strconv.FormatUint(h.Round, 10))
+		}
 		p.synced = false
 		rx.absorbLocked(d, rx.blendMembersLocked(now)+1)
 		p.synced = true
@@ -97,6 +117,11 @@ func (rx *mixReceiver) onPayload(h MixHeader, d *ml.MixDelta, now time.Time) {
 		}
 		if h.Round != p.lastRound+1 {
 			p.synced = false // gap: desync until the next keyframe
+			p.desynced = true
+			rx.events.Eventf(telemetry.SevWarn, rx.module, "mix_desync",
+				"peer", h.ModuleID,
+				"expected", strconv.FormatUint(p.lastRound+1, 10),
+				"got", strconv.FormatUint(h.Round, 10))
 			return
 		}
 		p.lastRound = h.Round
@@ -177,6 +202,8 @@ func (rx *mixReceiver) evictLocked(now time.Time) {
 			if rx.evictions != nil {
 				rx.evictions.Inc()
 			}
+			rx.events.Eventf(telemetry.SevWarn, rx.module, "mix_peer_evicted",
+				"peer", id, "age", now.Sub(p.lastAt).String())
 		}
 	}
 }

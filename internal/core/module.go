@@ -117,6 +117,26 @@ type Config struct {
 	// Keying on the flow seq keeps sampling consistent across modules:
 	// every stage of a sampled flow is recorded everywhere it runs.
 	TraceSampleEvery uint32
+	// Events, when set, is the module's structured event log: task
+	// lifecycle, reconnects, checkpoint mismatches, MIX desyncs and lane
+	// drops land here (and on the local /events endpoint). Share the same
+	// log with store.Options.Events so WAL recovery events emitted before
+	// the module exists ride the same export stream. Nil makes NewModule
+	// create one of EventCapacity.
+	Events *telemetry.EventLog
+	// EventCapacity bounds the ring of the log NewModule creates when
+	// Events is nil (default telemetry.DefaultEventCapacity).
+	EventCapacity int
+	// EventExportInterval, when positive, turns on event export: buffered
+	// events are published as telemetry.EventBatch JSON on
+	// TopicEventsPrefix+ID (QoS 0) every interval, for the management
+	// node's cluster event view. Zero keeps events local to the module's
+	// own /events endpoint.
+	EventExportInterval time.Duration
+	// EventExportBuffer bounds the pending-event export queue (default
+	// telemetry.DefaultEventExportBuffer); overflow is dropped and
+	// counted, never blocking the paths that emit events.
+	EventExportBuffer int
 	// Store, when set, persists checkpoints of the module's ML model state
 	// (WAL + snapshots) so a restarted module resumes training with at
 	// most CheckpointInterval of updates lost. The caller owns the store
@@ -179,7 +199,15 @@ type Module struct {
 
 	metrics  *moduleMetrics
 	exporter *telemetry.SpanExporter
+	events   *telemetry.EventLog
 	ckpt     *ckptManager // nil without Config.Store
+
+	// laneDropLast rate-limits lane_drop events per filter: the drop
+	// callback fires on the dispatch hot path, the counter already counts
+	// every shed message, and the event stream only needs to know the
+	// shedding started.
+	laneDropMu   sync.Mutex
+	laneDropLast map[string]time.Time
 }
 
 // taskSpec is the durable description of an assigned subtask, kept so
@@ -192,13 +220,22 @@ type taskSpec struct {
 // NewModule creates an unstarted module.
 func NewModule(cfg Config) *Module {
 	m := &Module{
-		cfg:       cfg.withDefaults(),
-		sensors:   make(map[string]*sensor.Sensor),
-		actuators: make(map[string]sensor.Actuator),
-		customs:   make(map[string]CustomFunc),
-		running:   make(map[string]*taskInstance),
-		specs:     make(map[string]taskSpec),
+		cfg:          cfg.withDefaults(),
+		sensors:      make(map[string]*sensor.Sensor),
+		actuators:    make(map[string]sensor.Actuator),
+		customs:      make(map[string]CustomFunc),
+		running:      make(map[string]*taskInstance),
+		specs:        make(map[string]taskSpec),
+		laneDropLast: make(map[string]time.Time),
 	}
+	m.events = m.cfg.Events
+	if m.events == nil {
+		m.events = telemetry.NewEventLog(m.cfg.EventCapacity)
+	}
+	if m.cfg.EventExportInterval > 0 {
+		m.events.SetExportBuffer(m.cfg.EventExportBuffer)
+	}
+	m.events.BindRegistry(m.cfg.Telemetry, telemetry.L("module", m.cfg.ID))
 	if reg := m.cfg.Telemetry; reg != nil {
 		id := telemetry.L("module", m.cfg.ID)
 		m.metrics = &moduleMetrics{
@@ -223,9 +260,9 @@ func NewModule(cfg Config) *Module {
 		m.exporter = telemetry.NewSpanExporter(m.cfg.TraceExportBuffer)
 		m.cfg.Tracer.SetSink(m.exporter.Offer)
 		if reg := m.cfg.Telemetry; reg != nil {
-			reg.GaugeFunc("ifot_module_trace_spans_dropped_total",
+			reg.CounterFunc("ifot_module_trace_spans_dropped_total",
 				"spans shed because the trace export buffer was full",
-				func() float64 { return float64(m.exporter.Dropped()) },
+				func() int64 { return int64(m.exporter.Dropped()) },
 				telemetry.L("module", m.cfg.ID))
 		}
 	}
@@ -298,6 +335,11 @@ func (m *Module) traceFlow(key telemetry.TraceKey, originModule, stage string, f
 // ID returns the module identity.
 func (m *Module) ID() string { return m.cfg.ID }
 
+// Events returns the module's structured event log (never nil after
+// NewModule), for the local /events endpoint and ad-hoc emission by
+// application code.
+func (m *Module) Events() *telemetry.EventLog { return m.events }
+
 // RegisterSensor makes a local sensor available to sense tasks under its
 // sensor ID.
 func (m *Module) RegisterSensor(s *sensor.Sensor) {
@@ -363,6 +405,10 @@ func (m *Module) Start() error {
 		m.wg.Add(1)
 		go m.traceExportLoop()
 	}
+	if m.cfg.EventExportInterval > 0 {
+		m.wg.Add(1)
+		go m.eventExportLoop()
+	}
 	m.logf("module %s started", m.cfg.ID)
 	return nil
 }
@@ -414,6 +460,76 @@ func (m *Module) flushSpans() {
 	}
 }
 
+// eventExportLoop periodically ships buffered events toward the
+// management node's cluster event view; a final flush runs on shutdown
+// (and on client disconnect via the mqttclient OnBeforeDisconnect hook).
+func (m *Module) eventExportLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			m.flushEvents()
+			return
+		case <-m.cfg.Clock.After(m.cfg.EventExportInterval):
+			m.flushEvents()
+		}
+	}
+}
+
+// flushEvents publishes all pending events as one EventBatch on the
+// module's event topic (QoS 0 — event reporting must never apply
+// backpressure or retransmission load to the data plane).
+func (m *Module) flushEvents() {
+	if m.cfg.EventExportInterval <= 0 {
+		return
+	}
+	events := m.events.Drain()
+	if len(events) == 0 {
+		return
+	}
+	client := m.currentClient()
+	if client == nil {
+		return
+	}
+	batch := telemetry.EventBatch{
+		Module:  m.cfg.ID,
+		SentAt:  m.now(),
+		Dropped: m.events.Dropped(),
+		Events:  events,
+	}
+	payload, err := telemetry.EncodeEventBatch(batch)
+	if err != nil {
+		return
+	}
+	if err := client.Publish(TopicEventsPrefix+m.cfg.ID, payload, wire.QoS0, false); err != nil {
+		m.logf("module %s event export: %v", m.cfg.ID, err)
+	}
+}
+
+// flushTelemetry ships both spans and events; the OnBeforeDisconnect hook
+// target, so neither is stranded when the connection goes away first.
+func (m *Module) flushTelemetry() {
+	m.flushSpans()
+	m.flushEvents()
+}
+
+// noteLaneDrop turns dispatch-lane sheds into at most one event per
+// filter per 10s: the callback fires on the dispatch hot path and the
+// per-lane counter already counts every shed message, so the event
+// stream only needs to know the shedding started.
+func (m *Module) noteLaneDrop(filter string) {
+	now := m.now()
+	m.laneDropMu.Lock()
+	last, seen := m.laneDropLast[filter]
+	if seen && now.Sub(last) < 10*time.Second {
+		m.laneDropMu.Unlock()
+		return
+	}
+	m.laneDropLast[filter] = now
+	m.laneDropMu.Unlock()
+	m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "lane_drop", "filter", filter)
+}
+
 // connect dials the broker and establishes the control-plane session.
 func (m *Module) connect() (*mqttclient.Client, error) {
 	conn, err := m.cfg.Dial()
@@ -423,9 +539,10 @@ func (m *Module) connect() (*mqttclient.Client, error) {
 	opts := mqttclient.NewOptions(m.cfg.ID)
 	opts.KeepAlive = 30 * time.Second
 	opts.Registry = m.cfg.Telemetry
-	if m.exporter != nil {
-		opts.OnBeforeDisconnect = m.flushSpans
+	if m.exporter != nil || m.cfg.EventExportInterval > 0 {
+		opts.OnBeforeDisconnect = m.flushTelemetry
 	}
+	opts.OnLaneDrop = m.noteLaneDrop
 	opts.Will = &mqttclient.Message{
 		Topic:   TopicLeavePrefix + m.cfg.ID,
 		Payload: EncodeJSON(Announce{ModuleID: m.cfg.ID, SentAt: m.now()}),
@@ -465,6 +582,7 @@ func (m *Module) watchConnection(client *mqttclient.Client) {
 	if m.cfg.DisableReconnect {
 		return
 	}
+	m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "connection_lost")
 	backoff := m.cfg.ReconnectBackoff
 	for attempt := 0; attempt < 30; attempt++ {
 		select {
@@ -489,6 +607,8 @@ func (m *Module) watchConnection(client *mqttclient.Client) {
 		m.client = next
 		m.mu.Unlock()
 		m.logf("module %s reconnected", m.cfg.ID)
+		m.events.Eventf(telemetry.SevInfo, m.cfg.ID, "reconnected",
+			"attempts", fmt.Sprintf("%d", attempt+1))
 		m.announce()
 		m.restartTasks()
 		m.wg.Add(1)
@@ -496,6 +616,7 @@ func (m *Module) watchConnection(client *mqttclient.Client) {
 		return
 	}
 	m.logf("module %s gave up reconnecting", m.cfg.ID)
+	m.events.Eventf(telemetry.SevError, m.cfg.ID, "reconnect_gave_up")
 }
 
 // restartTasks rebuilds every assigned task on the current connection.
@@ -681,6 +802,11 @@ func (m *Module) handleRevoke(msg mqttclient.Message) {
 }
 
 func (m *Module) reportStatus(name string, kind StatusKind, detail string) {
+	sev := telemetry.SevInfo
+	if kind == StatusFailed {
+		sev = telemetry.SevError
+	}
+	m.events.Eventf(sev, m.cfg.ID, "task_"+string(kind), "task", name, "detail", detail)
 	client := m.currentClient()
 	if client == nil {
 		return
@@ -707,6 +833,9 @@ func (m *Module) announce() {
 		RunningTasks: m.RunningTasks(),
 		SentAt:       m.now(),
 	}
+	rt := telemetry.SampleRuntime()
+	rt.TasksRunning = len(ann.RunningTasks)
+	ann.Runtime = &rt
 	_ = client.Publish(TopicAnnounce, EncodeJSON(ann), wire.QoS1, false)
 }
 

@@ -232,6 +232,20 @@ func (tc *TraceCollector) Trace(key telemetry.TraceKey) telemetry.Trace {
 	return t
 }
 
+// StageHistograms snapshots the per-stage latency histograms (shared
+// live LogHistograms, safe for concurrent Observe), implementing
+// telemetry.StageHistSource so the manager's SLO watchdog evaluates
+// burn rates over the cluster-wide skew-adjusted latencies.
+func (tc *TraceCollector) StageHistograms() map[string]*telemetry.LogHistogram {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make(map[string]*telemetry.LogHistogram, len(tc.stages))
+	for stage, agg := range tc.stages {
+		out[stage] = agg.hist
+	}
+	return out
+}
+
 // FlowSummary digests the collector state for /flows: retained flow
 // count, ingested/dropped span totals, and per-stage latency SLO
 // quantiles over the skew-adjusted spans.

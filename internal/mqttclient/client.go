@@ -94,6 +94,11 @@ type Options struct {
 	// registered subscription handler (e.g. persistent-session messages
 	// replayed before Subscribe re-registers its handler).
 	DefaultHandler Handler
+	// OnLaneDrop, when set with LaneDropNewest, is invoked from the
+	// dispatcher each time a full lane sheds a message, with the lane's
+	// subscription filter. It runs on the dispatch hot path — keep it
+	// cheap (rate-limit any downstream reporting in the callback).
+	OnLaneDrop func(filter string)
 	// Registry, when set, receives client metrics: publish/receive
 	// counters and a QoS1 publish→PUBACK round-trip histogram.
 	Registry *telemetry.Registry
@@ -131,6 +136,7 @@ type lane struct {
 	quitOnce sync.Once
 	depth    atomic.Int64
 	drops    *atomic.Int64
+	filter   string
 }
 
 func (l *lane) stop() { l.quitOnce.Do(func() { close(l.quit) }) }
@@ -610,9 +616,10 @@ func (c *Client) newLane(filter string) *lane {
 		c.laneDrops[filter] = drops
 	}
 	return &lane{
-		ch:    make(chan Message, c.opts.DispatchBuffer),
-		quit:  make(chan struct{}),
-		drops: drops,
+		ch:     make(chan Message, c.opts.DispatchBuffer),
+		quit:   make(chan struct{}),
+		drops:  drops,
+		filter: filter,
 	}
 }
 
@@ -667,6 +674,9 @@ func (c *Client) enqueue(ln *lane, msg Message) {
 		case <-ln.quit:
 		default:
 			ln.drops.Add(1)
+			if c.opts.OnLaneDrop != nil {
+				c.opts.OnLaneDrop(ln.filter)
+			}
 		}
 		return
 	}

@@ -4,6 +4,8 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+
+	"github.com/ifot-middleware/ifot/internal/telemetry"
 )
 
 // Journal wraps a Store for consumers that append small records from hot
@@ -19,6 +21,7 @@ type Journal struct {
 	store   Store
 	capture func() ([]byte, error)
 	logger  *log.Logger
+	events  atomic.Pointer[telemetry.EventLog]
 
 	threshold int64
 	liveBytes atomic.Int64
@@ -50,6 +53,10 @@ func NewJournal(store Store, capture func() ([]byte, error), snapshotBytes int64
 
 // Store exposes the wrapped store (for Replay/LoadSnapshot at recovery).
 func (j *Journal) Store() Store { return j.store }
+
+// SetEvents attaches a structured event log receiving a snapshot_failed
+// event each time a background snapshot errors. Safe to call at any time.
+func (j *Journal) SetEvents(l *telemetry.EventLog) { j.events.Store(l) }
 
 // Append journals one record and arms the snapshot trigger when the live
 // log crosses the threshold. Errors are returned to the caller but the
@@ -105,6 +112,7 @@ func (j *Journal) snapLoop() {
 			if j.logger != nil {
 				j.logger.Printf("store journal: snapshot failed: %v", err)
 			}
+			j.events.Load().Eventf(telemetry.SevError, "", "snapshot_failed", "error", err.Error())
 			continue
 		}
 		j.liveBytes.Store(0)

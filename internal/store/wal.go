@@ -43,12 +43,16 @@ type Options struct {
 	// Name labels this store's telemetry series (default the directory
 	// base name).
 	Name string
-	// Registry, when set, receives the store's gauges
+	// Registry, when set, receives the store's metrics
 	// (ifot_store_wal_bytes, ifot_store_wal_fsyncs_total,
 	// ifot_store_recovery_seconds).
 	Registry *telemetry.Registry
 	// Logger receives diagnostics (nil = silent).
 	Logger *log.Logger
+	// Events, when set, receives structured recovery events (torn-tail
+	// truncation, corruption, unreadable snapshots) — the same facts the
+	// Logger narrates, in machine-consumable form.
+	Events *telemetry.EventLog
 }
 
 func (o Options) withDefaults(dir string) Options {
@@ -160,8 +164,8 @@ func (s *FileStore) bindRegistry() {
 	lbl := telemetry.L("store", s.opts.Name)
 	reg.GaugeFunc("ifot_store_wal_bytes", "live WAL segment bytes on disk",
 		func() float64 { return float64(s.walBytes.Load()) }, lbl)
-	reg.GaugeFunc("ifot_store_wal_fsyncs_total", "group-commit fsync batches issued",
-		func() float64 { return float64(s.fsyncs.Load()) }, lbl)
+	reg.CounterFunc("ifot_store_wal_fsyncs_total", "group-commit fsync batches issued",
+		func() int64 { return s.fsyncs.Load() }, lbl)
 	reg.GaugeFunc("ifot_store_recovery_seconds", "time spent scanning, truncating and replaying the WAL at open",
 		func() float64 { return time.Duration(s.recoveryNano.Load()).Seconds() }, lbl)
 }
@@ -207,6 +211,8 @@ func (s *FileStore) scan() error {
 				continue
 			}
 			s.logf("store %s: discarding unreadable snapshot %s", s.opts.Name, filepath.Base(path))
+			s.opts.Events.Eventf(telemetry.SevWarn, "", "store_snapshot_unreadable",
+				"store", s.opts.Name, "file", filepath.Base(path))
 		}
 		_ = os.Remove(path)
 	}
@@ -269,10 +275,17 @@ func (s *FileStore) validateSegment(path string, last bool) (int64, error) {
 		}
 		if err != nil {
 			if !last {
+				s.opts.Events.Eventf(telemetry.SevError, "", "wal_corrupt",
+					"store", s.opts.Name, "segment", filepath.Base(path),
+					"offset", fmt.Sprint(valid), "error", err.Error())
 				return 0, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, filepath.Base(path), valid, err)
 			}
 			s.logf("store %s: truncating torn tail of %s at offset %d (%v, %d bytes dropped)",
 				s.opts.Name, filepath.Base(path), valid, err, int64(len(data))-valid)
+			s.opts.Events.Eventf(telemetry.SevWarn, "", "wal_torn_tail",
+				"store", s.opts.Name, "segment", filepath.Base(path),
+				"offset", fmt.Sprint(valid),
+				"dropped_bytes", fmt.Sprint(int64(len(data))-valid))
 			if err := os.Truncate(path, valid); err != nil {
 				return 0, fmt.Errorf("store: truncate %s: %w", path, err)
 			}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRingWraparound(t *testing.T) {
+	l := NewEventLog(4)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 6; i++ {
+		l.Emit(Event{Time: base.Add(time.Duration(i) * time.Second), Kind: kindN(i)})
+	}
+	if got := l.TotalEvents(); got != 6 {
+		t.Fatalf("TotalEvents = %d, want 6", got)
+	}
+	evs := l.Events(0, time.Time{})
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(evs))
+	}
+	// Oldest two were overwritten; survivors are k2..k5 oldest-first.
+	for i, ev := range evs {
+		if want := kindN(i + 2); ev.Kind != want {
+			t.Fatalf("event[%d].Kind = %q, want %q (ring should drop oldest)", i, ev.Kind, want)
+		}
+	}
+}
+
+func kindN(i int) string { return string(rune('a'+i)) + "_event" }
+
+func TestEventLogQueryLimitAndSince(t *testing.T) {
+	l := NewEventLog(16)
+	base := time.Unix(2000, 0)
+	for i := 0; i < 8; i++ {
+		l.Emit(Event{Time: base.Add(time.Duration(i) * time.Second), Kind: kindN(i)})
+	}
+	if got := l.Events(3, time.Time{}); len(got) != 3 || got[0].Kind != kindN(5) {
+		t.Fatalf("limit=3 should keep the 3 newest, got %+v", got)
+	}
+	// since is exclusive: events at or before the cut are filtered.
+	got := l.Events(0, base.Add(5*time.Second))
+	if len(got) != 2 || got[0].Kind != kindN(6) {
+		t.Fatalf("since filter should leave the 2 newest, got %+v", got)
+	}
+	if got := l.Events(1, base.Add(5*time.Second)); len(got) != 1 || got[0].Kind != kindN(7) {
+		t.Fatalf("limit applies after since, got %+v", got)
+	}
+}
+
+func TestEventLogExportDropAccounting(t *testing.T) {
+	l := NewEventLog(16)
+	l.SetExportBuffer(3)
+	for i := 0; i < 5; i++ {
+		l.Eventf(SevWarn, "mod", "lane_drop", "filter", "f")
+	}
+	if p := l.Pending(); p != 3 {
+		t.Fatalf("Pending = %d, want export buffer cap 3", p)
+	}
+	if d := l.Dropped(); d != 2 {
+		t.Fatalf("Dropped = %d, want 2 shed beyond the buffer", d)
+	}
+	drained := l.Drain()
+	if len(drained) != 3 {
+		t.Fatalf("Drain returned %d events, want 3", len(drained))
+	}
+	if p := l.Pending(); p != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", p)
+	}
+	if evs := l.Drain(); evs != nil {
+		t.Fatalf("second Drain = %v, want nil", evs)
+	}
+	// The ring is unaffected by export shedding: all 5 retained.
+	if evs := l.Events(0, time.Time{}); len(evs) != 5 {
+		t.Fatalf("ring retained %d, want all 5", len(evs))
+	}
+	// The queue accepts again after a drain.
+	l.Eventf(SevInfo, "mod", "reconnected")
+	if p := l.Pending(); p != 1 {
+		t.Fatalf("Pending after post-drain emit = %d, want 1", p)
+	}
+}
+
+func TestEventLogIngestBypassesExport(t *testing.T) {
+	l := NewEventLog(16)
+	l.SetExportBuffer(8)
+	l.Ingest(Event{Module: "other", Kind: "wal_corrupt"})
+	if p := l.Pending(); p != 0 {
+		t.Fatalf("Ingest queued %d for export, want 0 (would re-publish another module's events)", p)
+	}
+	if got := l.TotalEvents(); got != 1 {
+		t.Fatalf("TotalEvents = %d, want 1", got)
+	}
+	evs := l.Events(0, time.Time{})
+	if len(evs) != 1 || evs[0].Kind != "wal_corrupt" || evs[0].Module != "other" {
+		t.Fatalf("ring = %+v, want the ingested event", evs)
+	}
+	if evs[0].Time.IsZero() || evs[0].Severity != SevInfo {
+		t.Fatalf("Ingest should stamp zero time and severity, got %+v", evs[0])
+	}
+}
+
+func TestEventfFieldPairs(t *testing.T) {
+	l := NewEventLog(4)
+	l.Eventf(SevError, "m", "k", "a", "1", "b", "2", "odd")
+	ev := l.Events(0, time.Time{})[0]
+	want := map[string]string{"a": "1", "b": "2", "odd": ""}
+	if !reflect.DeepEqual(ev.Fields, want) {
+		t.Fatalf("Fields = %v, want %v", ev.Fields, want)
+	}
+	if ev.Severity != SevError || ev.Module != "m" || ev.Kind != "k" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Kind: "x"})
+	l.Ingest(Event{Kind: "x"})
+	l.Eventf(SevWarn, "m", "k")
+	l.SetExportBuffer(4)
+	l.BindRegistry(NewRegistry())
+	if l.Events(0, time.Time{}) != nil || l.TotalEvents() != 0 || l.Dropped() != 0 ||
+		l.Drain() != nil || l.Pending() != 0 {
+		t.Fatal("nil EventLog methods must be no-ops")
+	}
+}
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	batch := EventBatch{
+		Module:  "moduleA",
+		SentAt:  time.Unix(3000, 0).UTC(),
+		Dropped: 7,
+		Events: []Event{
+			{Time: time.Unix(2999, 0).UTC(), Severity: SevWarn, Kind: "mix_desync",
+				Fields: map[string]string{"peer": "moduleB"}},
+			{Time: time.Unix(2999, 500).UTC(), Severity: SevError, Kind: "task_failed",
+				TraceKey: &TraceKey{Recipe: "r", TaskID: "t", Seq: 9}},
+		},
+	}
+	payload, err := EncodeEventBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEventBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("round trip = %+v, want %+v", got, batch)
+	}
+	if _, err := DecodeEventBatch([]byte("{garbage")); err == nil {
+		t.Fatal("decoding garbage should fail")
+	}
+}
+
+func TestEventLogBindRegistry(t *testing.T) {
+	reg := NewRegistry()
+	a := NewEventLog(4)
+	b := NewEventLog(4)
+	a.SetExportBuffer(1)
+	a.BindRegistry(reg, L("module", "a"))
+	b.BindRegistry(reg, L("module", "b"))
+	a.Eventf(SevInfo, "a", "k1")
+	a.Eventf(SevInfo, "a", "k2") // sheds on the 1-slot export queue
+	b.Eventf(SevInfo, "b", "k1")
+
+	samples := scrape(t, reg)
+	if got := samples["ifot_events_total{module=a}"]; got != 2 {
+		t.Fatalf("ifot_events_total{a} = %v, want 2", got)
+	}
+	if got := samples["ifot_events_total{module=b}"]; got != 1 {
+		t.Fatalf("ifot_events_total{b} = %v, want 1 (per-module label must not alias)", got)
+	}
+	if got := samples["ifot_events_dropped_total{module=a}"]; got != 1 {
+		t.Fatalf("ifot_events_dropped_total{a} = %v, want 1", got)
+	}
+}
+
+// scrape renders reg and indexes samples as name{k=v,...} → value.
+func scrape(t *testing.T, reg *Registry) map[string]float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, s := range parsePrometheus(t, sb.String()) {
+		key := s.name
+		if len(s.labels) > 0 {
+			keys := make([]string, 0, len(s.labels))
+			for k := range s.labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pairs := make([]string, len(keys))
+			for i, k := range keys {
+				pairs[i] = k + "=" + s.labels[k]
+			}
+			key += "{" + strings.Join(pairs, ",") + "}"
+		}
+		out[key] = s.value
+	}
+	return out
+}

@@ -25,18 +25,57 @@ type FlowReporter interface {
 	FlowSummary() FlowSummary
 }
 
+// EventSource is anything serving retained structured events — a local
+// EventLog, or a management node's cluster event view.
+type EventSource interface {
+	Events(limit int, since time.Time) []Event
+	TotalEvents() uint64
+}
+
+// ModuleHealth is one module's entry in the cluster health view.
+type ModuleHealth struct {
+	Module        string        `json:"module"`
+	State         string        `json:"state"` // healthy | suspect | dead
+	LastSeen      time.Time     `json:"lastSeen"`
+	MissedBeacons int           `json:"missedBeacons"`
+	CapacityOps   float64       `json:"capacityOps,omitempty"`
+	Tasks         []string      `json:"tasks,omitempty"`
+	Runtime       *RuntimeStats `json:"runtime,omitempty"`
+}
+
+// HealthSnapshot is the aggregate served on /health: per-state counts
+// plus every known module's classification and last runtime sample.
+type HealthSnapshot struct {
+	Now     time.Time      `json:"now"`
+	Healthy int            `json:"healthy"`
+	Suspect int            `json:"suspect"`
+	Dead    int            `json:"dead"`
+	Modules []ModuleHealth `json:"modules"`
+}
+
+// HealthSource is anything that can classify cluster liveness — the
+// management node's HealthMonitor.
+type HealthSource interface {
+	HealthSnapshot() HealthSnapshot
+}
+
 // Handler exposes a registry and trace source over HTTP:
 //
 //	/metrics       Prometheus text exposition format
 //	/traces        recent end-to-end traces as JSON (?limit=N)
 //	/spans         raw retained spans as JSON
 //	/flows         per-stage latency-SLO summary (p50/p95/p99/max)
+//	/events        recent structured events as JSON (?limit=N&since=T)
+//	/health        cluster liveness classification per module
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // Either reg or src may be nil, disabling the corresponding endpoints.
 // On a management node src is the cluster trace collector, so /traces
-// serves spans assembled from every module.
-func Handler(reg *Registry, src TraceSource) http.Handler {
+// serves spans assembled from every module. extras optionally attach an
+// EventSource (/events) and a HealthSource (/health) — on a module the
+// event source is its local EventLog, on a management node the cluster
+// event view and HealthMonitor.
+func Handler(reg *Registry, src TraceSource, extras ...any) http.Handler {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -68,12 +107,59 @@ func Handler(reg *Registry, src TraceSource) http.Handler {
 			})
 		}
 	}
+	var haveEvents, haveHealth bool
+	for _, x := range extras {
+		if es, ok := x.(EventSource); ok && !haveEvents {
+			haveEvents = true
+			es := es
+			mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+				limit := DefaultEventQueryLimit
+				if limStr := r.URL.Query().Get("limit"); limStr != "" {
+					lim, err := strconv.Atoi(limStr)
+					if err != nil || lim < 0 {
+						http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+						return
+					}
+					limit = lim
+				}
+				var since time.Time
+				if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+					s, err := parseSince(sinceStr)
+					if err != nil {
+						http.Error(w, "since must be RFC 3339 or unix seconds", http.StatusBadRequest)
+						return
+					}
+					since = s
+				}
+				writeJSON(w, map[string]any{
+					"events":      es.Events(limit, since),
+					"totalEvents": es.TotalEvents(),
+				})
+			})
+		}
+		if hs, ok := x.(HealthSource); ok && !haveHealth {
+			haveHealth = true
+			hs := hs
+			mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, hs.HealthSnapshot())
+			})
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// parseSince accepts the /events since parameter as either an RFC 3339
+// timestamp or integer unix seconds.
+func parseSince(s string) (time.Time, error) {
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	return time.Parse(time.RFC3339Nano, s)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -83,15 +169,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// StartServer listens on addr and serves Handler(reg, src) in the
-// background. It returns the bound address (useful with ":0") and a
+// StartServer listens on addr and serves Handler(reg, src, extras...) in
+// the background. It returns the bound address (useful with ":0") and a
 // shutdown function. Daemons call this behind their -telemetry flag.
-func StartServer(addr string, reg *Registry, src TraceSource) (string, func(context.Context) error, error) {
+func StartServer(addr string, reg *Registry, src TraceSource, extras ...any) (string, func(context.Context) error, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, src), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, src, extras...), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = srv.Serve(l) }()
 	return l.Addr().String(), srv.Shutdown, nil
 }

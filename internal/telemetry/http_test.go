@@ -300,3 +300,114 @@ type bareSource struct{}
 func (bareSource) Traces() []Trace    { return nil }
 func (bareSource) Spans() []Span      { return nil }
 func (bareSource) TotalSpans() uint64 { return 0 }
+
+func TestHTTPEvents(t *testing.T) {
+	l := NewEventLog(8)
+	base := time.Unix(4000, 0)
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{Time: base.Add(time.Duration(i) * time.Second), Kind: "k", Module: "m"})
+	}
+	srv := httptest.NewServer(Handler(nil, nil, l))
+	defer srv.Close()
+
+	var payload struct {
+		Events      []Event `json:"events"`
+		TotalEvents uint64  `json:"totalEvents"`
+	}
+	resp, err := http.Get(srv.URL + "/events?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Events) != 2 || payload.TotalEvents != 5 {
+		t.Fatalf("events = %d totalEvents = %d, want 2/5", len(payload.Events), payload.TotalEvents)
+	}
+	// since accepts both unix seconds and RFC 3339.
+	for _, since := range []string{"4002", base.Add(2 * time.Second).Format(time.RFC3339)} {
+		resp, err := http.Get(srv.URL + "/events?since=" + since)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p struct {
+			Events []Event `json:"events"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(p.Events) != 2 {
+			t.Fatalf("since=%s returned %d events, want 2", since, len(p.Events))
+		}
+	}
+}
+
+func TestHTTPEventsBadQuery(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, NewEventLog(8)))
+	defer srv.Close()
+	for _, q := range []string{"limit=-1", "limit=abc", "limit=1.5", "since=yesterday", "since=2026-13-99"} {
+		resp, err := http.Get(srv.URL + "/events?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /events?%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+type fakeHealthSource struct{ snap HealthSnapshot }
+
+func (f fakeHealthSource) HealthSnapshot() HealthSnapshot { return f.snap }
+
+func TestHTTPHealth(t *testing.T) {
+	snap := HealthSnapshot{
+		Now: time.Unix(5000, 0), Healthy: 1, Suspect: 1,
+		Modules: []ModuleHealth{
+			{Module: "a", State: "healthy", MissedBeacons: 0},
+			{Module: "b", State: "suspect", MissedBeacons: 4,
+				Runtime: &RuntimeStats{Goroutines: 12}},
+		},
+	}
+	srv := httptest.NewServer(Handler(nil, nil, NewEventLog(8), fakeHealthSource{snap}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got HealthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Healthy != 1 || got.Suspect != 1 || len(got.Modules) != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if got.Modules[1].State != "suspect" || got.Modules[1].Runtime == nil || got.Modules[1].Runtime.Goroutines != 12 {
+		t.Fatalf("module b = %+v", got.Modules[1])
+	}
+}
+
+func TestHTTPEventsHealthAbsentWithoutSources(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	for _, path := range []string{"/events", "/health"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404 when no source attached", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+)
+
+// RuntimeStats is the per-process resource sample a module attaches to
+// its announce beacon, read from the runtime/metrics interface: live heap
+// bytes, goroutine count, and a p99 over the runtime's cumulative GC
+// stop-the-world pause histogram. TasksRunning is stamped by the module
+// (the runtime cannot know it).
+type RuntimeStats struct {
+	HeapBytes    uint64  `json:"heapBytes"`
+	Goroutines   int     `json:"goroutines"`
+	GCPauseP99   float64 `json:"gcPauseP99Seconds"`
+	TasksRunning int     `json:"tasksRunning"`
+}
+
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/pauses:seconds",
+}
+
+// SampleRuntime reads the current process's runtime stats. Metrics the
+// running toolchain does not publish are left zero.
+func SampleRuntime() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	var rs RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.HeapBytes = s.Value.Uint64()
+			}
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.Goroutines = int(s.Value.Uint64())
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				rs.GCPauseP99 = histogramQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		}
+	}
+	return rs
+}
+
+// histogramQuantile estimates a quantile over a runtime/metrics
+// cumulative histogram, returning the upper bound of the bucket where the
+// cumulative count crosses q·total.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket's
+			// bound may be +Inf — fall back to its (finite) lower bound.
+			ub := h.Buckets[i+1]
+			if ub > 1e9 || ub != ub { // +Inf or NaN guard
+				ub = h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -171,6 +171,21 @@ func (h *LogHistogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// CountAbove reports how many recorded samples fell in buckets strictly
+// above the one containing d — the violation count for an SLO objective
+// of d. Like Quantile, the estimate carries at most one bucket's relative
+// error (samples above d inside d's own bucket are not counted).
+func (h *LogHistogram) CountAbove(d time.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := h.bucket(d.Seconds()) + 1; i < len(h.counts); i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // SLOQuantiles are the quantiles exported as gauges by
 // RegisterQuantileGauges, labelled "0.5", "0.95", "0.99", and "max".
 var SLOQuantiles = []float64{0.5, 0.95, 0.99}

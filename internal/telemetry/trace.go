@@ -322,6 +322,23 @@ func (t *Tracer) StageQuantile(stage string, q float64) time.Duration {
 	return agg.hist.Quantile(q)
 }
 
+// StageHistograms snapshots the per-stage latency histograms keyed by
+// stage name. The histograms are shared live pointers (LogHistogram reads
+// are lock-free), so an SLO watchdog can poll them without re-copying
+// bucket state.
+func (t *Tracer) StageHistograms() map[string]*LogHistogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]*LogHistogram, len(t.stages))
+	for stage, agg := range t.stages {
+		out[stage] = agg.hist
+	}
+	return out
+}
+
 // FlowSummary digests the tracer's current state for the /flows endpoint:
 // distinct retained flows, total spans, and per-stage SLO quantiles in
 // first-seen (pipeline) order.
