@@ -39,7 +39,8 @@ func main() {
 func run() error {
 	var (
 		brokerStr = flag.String("broker", "localhost:1883", "broker address")
-		strategy  = flag.String("strategy", "least-loaded", "task assignment strategy (least-loaded|round-robin)")
+		strategy  = flag.String("strategy", "least-loaded", "task assignment strategy (least-loaded|round-robin|runtime-aware)")
+		failover  = flag.Bool("failover-on-dead", true, "fail tasks over when the health monitor declares their module dead (not just on clean leave)")
 		settle    = flag.Duration("settle", 2*time.Second, "time to wait for module announcements")
 		telAddr   = flag.String("telemetry", "", "HTTP address serving /metrics, /traces, /flows, /events, /health and /debug/pprof (empty = off)")
 		traceCap  = flag.Int("trace-capacity", core.DefaultCollectorFlows, "cross-module flows retained by the trace collector")
@@ -60,9 +61,10 @@ func run() error {
 		return err
 	}
 	mcfg := core.ManagerConfig{
-		Strategy: strat,
-		Dial:     func() (net.Conn, error) { return net.Dial("tcp", *brokerStr) },
-		Logger:   log.New(os.Stderr, "", log.LstdFlags),
+		Strategy:            strat,
+		Dial:                func() (net.Conn, error) { return net.Dial("tcp", *brokerStr) },
+		Logger:              log.New(os.Stderr, "", log.LstdFlags),
+		DisableDeadFailover: !*failover,
 	}
 	mcfg.TraceFlowCapacity = *traceCap
 	mcfg.EventCapacity = *eventCap

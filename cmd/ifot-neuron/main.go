@@ -61,7 +61,10 @@ func run() error {
 		traceBuf  = flag.Int("trace-export-buffer", telemetry.DefaultSpanExportBuffer, "spans buffered between trace exports (overflow dropped+counted)")
 		traceSmp  = flag.Uint("trace-sample", 32, "trace one flow in every N (1 = every flow)")
 		dataDir   = flag.String("data-dir", "", "directory for the model-checkpoint WAL (empty = in-memory only)")
-		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between ML model checkpoints (needs -data-dir)")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between ML model checkpoints (needs -data-dir or -ckpt-handoff)")
+		ckptHand  = flag.Bool("ckpt-handoff", false, "publish model checkpoints as retained broker blobs so a failover target resumes warm")
+		fenceAft  = flag.Duration("fence-after", 0, "self-fence task outputs after this long without a broker announce ack (0 = off)")
+		drainTmo  = flag.Duration("drain-timeout", 0, "on SIGTERM, ask the manager to move tasks off and wait up to this long before closing (0 = immediate close)")
 		mixKeyfr  = flag.Int("mix-keyframe", 0, "publish a retained full-state MIX keyframe every N rounds (0 = default cadence, 1 = every round)")
 		mixStale  = flag.Duration("mix-stale-after", 0, "evict MIX peers silent for longer than this (0 = 3x the mix interval)")
 		mixJSON   = flag.Bool("mix-json", false, "publish MIX weights as legacy retained JSON snapshots instead of binary deltas (mixed-version clusters)")
@@ -86,9 +89,14 @@ func run() error {
 		Dial: func() (net.Conn, error) {
 			return net.Dial("tcp", *brokerStr)
 		},
-		MixKeyframeEvery: *mixKeyfr,
-		MixStaleAfter:    *mixStale,
-		MixJSON:          *mixJSON,
+		MixKeyframeEvery:  *mixKeyfr,
+		MixStaleAfter:     *mixStale,
+		MixJSON:           *mixJSON,
+		CheckpointHandoff: *ckptHand,
+		FenceAfter:        *fenceAft,
+	}
+	if *ckptHand {
+		cfg.CheckpointInterval = *ckptEvery
 	}
 	// Create the event log up front and share it with the store, so WAL
 	// recovery events emitted during store.Open (before the module
@@ -194,6 +202,17 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if *drainTmo > 0 {
+		log.Printf("draining (up to %v)", *drainTmo)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTmo)
+		err := m.Drain(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("drain: %v", err)
+		} else {
+			log.Println("drained")
+		}
+	}
 	log.Println("shutting down")
 	return m.Close()
 }

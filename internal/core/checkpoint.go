@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/ml"
+	"github.com/ifot-middleware/ifot/internal/mqttclient"
 	"github.com/ifot-middleware/ifot/internal/store"
 	"github.com/ifot-middleware/ifot/internal/telemetry"
+	"github.com/ifot-middleware/ifot/internal/wire"
 )
 
 // Model checkpointing. With Config.Store set, the module journals a
@@ -18,6 +20,13 @@ import (
 // rejoining MIX from zero. Checkpoints are keyed by subtask name: when the
 // management node reassigns the same subtask to a restarted module, the
 // learner picks up its previous state.
+//
+// With Config.CheckpointHandoff set, every changed checkpoint is ALSO
+// published as a retained QoS1 blob on CheckpointTopic(name), and a task
+// starting without local checkpoint state fetches that blob — so a
+// failed-over learner resumes warm on a host that never saw the dead
+// module's store. Fenced instances skip the handoff publish: a zombie's
+// stale state must not clobber the new host's.
 //
 // Blobs are the ml package's name-keyed JSON interchange (see
 // ml.Checkpointer); a blob written by a different learner kind (the recipe
@@ -37,7 +46,8 @@ type ckptSnapshot struct {
 
 // ckptManager tracks the learners enrolled for checkpointing and the
 // latest blob per subtask (including recovered blobs for tasks not yet —
-// or no longer — running here).
+// or no longer — running here). journal is nil when the module has no
+// Store (handoff-only checkpointing).
 type ckptManager struct {
 	journal *store.Journal
 
@@ -48,23 +58,27 @@ type ckptManager struct {
 
 // initCheckpoints recovers checkpoint state from the configured store and
 // arms the journal. Called once from Start, before any task can start.
+// With CheckpointHandoff but no Store, the manager exists (it tracks
+// enrolled learners and last-published blobs) but journals nothing.
 func (m *Module) initCheckpoints() error {
 	st := m.cfg.Store
-	if st == nil {
+	if st == nil && !m.cfg.CheckpointHandoff {
 		return nil
 	}
 	ck := &ckptManager{
 		learners: make(map[string]ml.Checkpointer),
 		latest:   make(map[string]json.RawMessage),
 	}
-	start := time.Now()
-	if err := ck.recover(st); err != nil {
-		return fmt.Errorf("core: module %s checkpoint recovery: %w", m.cfg.ID, err)
+	if st != nil {
+		start := time.Now()
+		if err := ck.recover(st); err != nil {
+			return fmt.Errorf("core: module %s checkpoint recovery: %w", m.cfg.ID, err)
+		}
+		if d, ok := st.(interface{ AddRecoveryDuration(time.Duration) }); ok {
+			d.AddRecoveryDuration(time.Since(start))
+		}
+		ck.journal = store.NewJournal(st, ck.capture, m.cfg.CheckpointSnapshotBytes, m.cfg.Logger)
 	}
-	if d, ok := st.(interface{ AddRecoveryDuration(time.Duration) }); ok {
-		d.AddRecoveryDuration(time.Since(start))
-	}
-	ck.journal = store.NewJournal(st, ck.capture, m.cfg.CheckpointSnapshotBytes, m.cfg.Logger)
 	m.ckpt = ck
 	return nil
 }
@@ -108,9 +122,11 @@ func (ck *ckptManager) capture() ([]byte, error) {
 }
 
 // registerCheckpointer enrolls a learner for periodic checkpointing and
-// restores its recovered state, if any. Runs before the task subscribes to
+// restores its state: from the locally recovered blob when the store has
+// one, else (with CheckpointHandoff) from the retained handoff blob the
+// subtask's previous host published. Runs before the task subscribes to
 // traffic, so the learner never serves from a half-restored state. No-op
-// without a Store.
+// without a Store or CheckpointHandoff.
 func (m *Module) registerCheckpointer(inst *taskInstance, name string, ck ml.Checkpointer) {
 	cm := m.ckpt
 	if cm == nil {
@@ -118,21 +134,40 @@ func (m *Module) registerCheckpointer(inst *taskInstance, name string, ck ml.Che
 	}
 	cm.mu.Lock()
 	blob, recovered := cm.latest[name]
-	cm.learners[name] = ck
 	cm.mu.Unlock()
+	source := "local"
+	if !recovered && m.cfg.CheckpointHandoff {
+		if fetched := m.fetchHandoff(name); fetched != nil {
+			blob, recovered, source = fetched, true, "handoff"
+			cm.mu.Lock()
+			cm.latest[name] = fetched
+			cm.mu.Unlock()
+		}
+	}
 	if recovered {
 		if err := ck.RestoreState(blob); err != nil {
 			m.logf("module %s: restore checkpoint %s: %v (starting fresh)", m.cfg.ID, name, err)
 			m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "checkpoint_mismatch",
 				"task", name, "error", err.Error())
 		} else {
-			m.logf("module %s: restored model checkpoint for %s", m.cfg.ID, name)
+			m.logf("module %s: restored model checkpoint for %s (%s)", m.cfg.ID, name, source)
+			m.events.Eventf(telemetry.SevInfo, m.cfg.ID, "checkpoint_restored",
+				"task", name, "source", source)
 		}
 	}
+	// Enroll only after the restore settled: if the periodic checkpoint
+	// loop could see the learner while the handoff fetch was still in
+	// flight, it would publish the fresh (empty) state as the retained
+	// blob — clobbering the very checkpoint the fetch is waiting for.
+	cm.mu.Lock()
+	cm.learners[name] = ck
+	cm.mu.Unlock()
 	inst.onStop(func() {
-		// Final checkpoint so a later reassignment of this subtask (here
-		// or after a restart) resumes from the freshest state.
-		m.checkpointTask(name, ck)
+		// Final checkpoint so a later reassignment of this subtask (here,
+		// after a restart, or on the failover target via the retained
+		// handoff blob) resumes from the freshest state. A fenced instance
+		// skips the handoff publish — its state lost the race.
+		m.checkpointTask(name, ck, !inst.isFenced())
 		cm.mu.Lock()
 		if cm.learners[name] == ck {
 			delete(cm.learners, name)
@@ -141,9 +176,47 @@ func (m *Module) registerCheckpointer(inst *taskInstance, name string, ck ml.Che
 	})
 }
 
-// checkpointTask serializes one learner and journals the blob if it
-// changed since the last checkpoint (idle learners cost no WAL growth).
-func (m *Module) checkpointTask(name string, ck ml.Checkpointer) {
+// fetchHandoff retrieves the retained handoff blob for one subtask,
+// waiting up to CheckpointFetchTimeout. The broker replays a retained
+// message immediately on subscribe, so the wait only runs long when no
+// blob is retained. Returns nil on miss (none published, cleared by
+// undeploy, or timeout).
+func (m *Module) fetchHandoff(name string) json.RawMessage {
+	client := m.currentClient()
+	if client == nil {
+		return nil
+	}
+	topic := CheckpointTopic(name)
+	got := make(chan []byte, 1)
+	_, reg, err := client.SubscribeHandle(topic, wire.QoS1, func(msg mqttclient.Message) {
+		select {
+		case got <- msg.Payload:
+		default:
+		}
+	})
+	if err != nil {
+		m.logf("module %s: fetch handoff %s: %v", m.cfg.ID, name, err)
+		return nil
+	}
+	defer reg.Remove()
+	select {
+	case blob := <-got:
+		if len(blob) == 0 {
+			return nil // cleared blob: the subtask was undeployed
+		}
+		return json.RawMessage(blob)
+	case <-m.cfg.Clock.After(m.cfg.CheckpointFetchTimeout):
+		return nil
+	case <-m.ctx.Done():
+		return nil
+	}
+}
+
+// checkpointTask serializes one learner, journals the blob if it changed
+// since the last checkpoint (idle learners cost no WAL growth), and —
+// with CheckpointHandoff and allowHandoff — republishes the retained
+// handoff blob.
+func (m *Module) checkpointTask(name string, ck ml.Checkpointer, allowHandoff bool) {
 	cm := m.ckpt
 	if cm == nil {
 		return
@@ -163,19 +236,30 @@ func (m *Module) checkpointTask(name string, ck ml.Checkpointer) {
 	if same {
 		return
 	}
-	rec, err := json.Marshal(ckptRec{Task: name, Blob: blob})
-	if err != nil {
-		m.logf("module %s: encode checkpoint %s: %v", m.cfg.ID, name, err)
-		return
+	if cm.journal != nil {
+		rec, err := json.Marshal(ckptRec{Task: name, Blob: blob})
+		if err != nil {
+			m.logf("module %s: encode checkpoint %s: %v", m.cfg.ID, name, err)
+			return
+		}
+		if err := cm.journal.Append(rec); err != nil {
+			m.logf("module %s: journal checkpoint %s: %v", m.cfg.ID, name, err)
+			m.events.Eventf(telemetry.SevError, m.cfg.ID, "checkpoint_append_failed",
+				"task", name, "error", err.Error())
+		}
 	}
-	if err := cm.journal.Append(rec); err != nil {
-		m.logf("module %s: journal checkpoint %s: %v", m.cfg.ID, name, err)
-		m.events.Eventf(telemetry.SevError, m.cfg.ID, "checkpoint_append_failed",
-			"task", name, "error", err.Error())
+	if m.cfg.CheckpointHandoff && allowHandoff {
+		if client := m.currentClient(); client != nil {
+			if err := client.Publish(CheckpointTopic(name), blob, wire.QoS1, true); err != nil {
+				m.logf("module %s: handoff checkpoint %s: %v", m.cfg.ID, name, err)
+			}
+		}
 	}
 }
 
-// checkpointAll checkpoints every enrolled learner.
+// checkpointAll checkpoints every enrolled learner. A self-fenced module
+// journals locally but skips the retained handoff publishes: its state
+// must not clobber whatever host the manager moved the tasks to.
 func (m *Module) checkpointAll() {
 	cm := m.ckpt
 	if cm == nil {
@@ -187,8 +271,9 @@ func (m *Module) checkpointAll() {
 		snapshot[name] = ck
 	}
 	cm.mu.Unlock()
+	allowHandoff := !m.outputsFenced.Load()
 	for name, ck := range snapshot {
-		m.checkpointTask(name, ck)
+		m.checkpointTask(name, ck, allowHandoff)
 	}
 }
 

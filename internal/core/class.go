@@ -21,6 +21,7 @@ type taskInstance struct {
 	name    string
 	mu      sync.Mutex
 	stopped bool
+	fenced  bool // stopped as a stale zombie: suppress the stop-time handoff
 	stopFns []func()
 }
 
@@ -28,6 +29,21 @@ func (t *taskInstance) onStop(fn func()) {
 	t.mu.Lock()
 	t.stopFns = append(t.stopFns, fn)
 	t.mu.Unlock()
+}
+
+// markFenced flags the instance as a fenced zombie before stop: its
+// stop-time checkpoint must not be handed off — the failed-over host's
+// state is authoritative.
+func (t *taskInstance) markFenced() {
+	t.mu.Lock()
+	t.fenced = true
+	t.mu.Unlock()
+}
+
+func (t *taskInstance) isFenced() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fenced
 }
 
 func (t *taskInstance) stop() {
@@ -120,6 +136,15 @@ func (m *Module) publishData(topic string, payload []byte) error {
 	client := m.currentClient()
 	if client == nil {
 		return ErrNotStarted
+	}
+	// A self-fenced module drops task outputs instead of publishing: while
+	// the manager may have failed its tasks over, duplicate decisions from
+	// the partitioned side must not reach sinks (drops are counted).
+	if m.outputsFenced.Load() {
+		if m.metrics != nil {
+			m.metrics.fencedDrops.Add(1)
+		}
+		return nil
 	}
 	return client.Publish(topic, payload, m.cfg.DataQoS, false)
 }
@@ -654,6 +679,12 @@ func (m *Module) startMixLoopDelta(inst *taskInstance, rec recipe.Recipe, sub re
 			case <-ctx.Done():
 				return
 			case <-m.cfg.Clock.After(m.cfg.MixInterval):
+				// Self-fenced: skip the round entirely. The tasks were
+				// likely failed over; stale deltas and keyframes from this
+				// side of the partition must not perturb the new host.
+				if m.outputsFenced.Load() {
+					continue
+				}
 				round++
 				now := m.now()
 				dm.ExportDeltaInto(&delta)
@@ -766,6 +797,10 @@ func (m *Module) startMixLoopJSON(inst *taskInstance, rec recipe.Recipe, sub rec
 			case <-ctx.Done():
 				return
 			case <-m.cfg.Clock.After(m.cfg.MixInterval):
+				// Self-fenced: skip the round (see the delta loop).
+				if m.outputsFenced.Load() {
+					continue
+				}
 				own := exporter.ExportWeights()
 				snap := MixSnapshot{
 					ModuleID: m.cfg.ID,

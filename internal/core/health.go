@@ -71,9 +71,19 @@ type HealthMonitor struct {
 	cfg    HealthConfig
 	events *telemetry.EventLog // may be nil
 
-	mu      sync.Mutex
-	modules map[string]*healthEntry
-	reg     *telemetry.Registry
+	mu           sync.Mutex
+	modules      map[string]*healthEntry
+	reg          *telemetry.Registry
+	onTransition func(moduleID, state string)
+}
+
+// SetOnTransition installs a callback invoked (outside the monitor's
+// lock, from the sweeping goroutine) for every sweep-driven state
+// transition — the manager's hook for acting on dead classifications.
+// Set before the sweep loop starts; not safe to change concurrently
+// with Sweep.
+func (h *HealthMonitor) SetOnTransition(fn func(moduleID, state string)) {
+	h.onTransition = fn
 }
 
 // NewHealthMonitor creates a monitor reading time from clk (nil = wall
@@ -226,6 +236,9 @@ func (h *HealthMonitor) Sweep(now time.Time) {
 		h.events.Eventf(sev, tr.id, kind,
 			"silent_for", tr.age.String(),
 			"missed_beacons", strconv.Itoa(h.missedBeacons(tr.age)))
+		if h.onTransition != nil {
+			h.onTransition(tr.id, tr.state)
+		}
 	}
 }
 

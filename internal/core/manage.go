@@ -26,6 +26,14 @@ var (
 	ErrDeployExists     = errors.New("core: recipe already deployed")
 )
 
+// Failover trigger reasons: the `reason` field of failover events and the
+// label of ifot_mgmt_failovers_total.
+const (
+	failoverLeave = "leave"
+	failoverDead  = "dead"
+	failoverDrain = "drain"
+)
+
 // ManagerConfig configures a management node.
 type ManagerConfig struct {
 	// ID is the manager's MQTT client identity (default "ifot-mgmt").
@@ -44,6 +52,11 @@ type ManagerConfig struct {
 	// hosted on modules that leave or crash (failover is on by default —
 	// the paper's dynamic join/leave future-work item).
 	DisableFailover bool
+	// DisableDeadFailover turns off failover driven by the health
+	// monitor's dead classification (beacon silence without a leave
+	// message — the partitioned-module case). On by default; also
+	// implied by DisableFailover.
+	DisableDeadFailover bool
 	// Telemetry, when set, receives manager gauges (known modules,
 	// deployments, registered streams) and is passed to the manager's
 	// MQTT client.
@@ -128,6 +141,10 @@ type Deployment struct {
 	SubTasks []recipe.SubTask
 	// Assignment maps subtask names to module IDs.
 	Assignment tasks.Assignment
+	// Epochs maps subtask names to assignment epochs: 1 at deploy,
+	// bumped on every failover/drain move. Like Assignment, guarded by
+	// the manager's mu once the deployment is registered.
+	Epochs map[string]uint64
 
 	mu      sync.Mutex
 	pending map[string]struct{}
@@ -198,12 +215,18 @@ type Manager struct {
 	modules     map[string]*moduleState
 	deployments map[string]*Deployment
 	streams     map[string]StreamInfo // keyed by topic
+	draining    map[string]bool       // modules mid-drain: out of the placement pool
 
 	collector *TraceCollector
 	journal   *store.Journal // nil without ManagerConfig.Store
 
 	events *telemetry.EventLog
 	health *HealthMonitor
+
+	// failoverCounters counts subtasks moved per trigger reason; fencedTasks
+	// counts stale instances fenced on zombie rejoin. Nil without Telemetry.
+	failoverCounters map[string]*telemetry.Counter
+	fencedTasks      *telemetry.Counter
 
 	// Cluster event-view ingestion accounting (guarded by mu):
 	// evIngested counts events accepted from module batches, evDrops
@@ -223,6 +246,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 		modules:     make(map[string]*moduleState),
 		deployments: make(map[string]*Deployment),
 		streams:     make(map[string]StreamInfo),
+		draining:    make(map[string]bool),
 		evDrops:     make(map[string]uint64),
 	}
 	mgr.collector = NewTraceCollector(mgr.cfg.Clock, mgr.cfg.TraceFlowCapacity)
@@ -234,6 +258,17 @@ func NewManager(cfg ManagerConfig) *Manager {
 		mgr.events.SetExportBuffer(mgr.cfg.EventExportBuffer)
 	}
 	mgr.health = NewHealthMonitor(mgr.cfg.Clock, mgr.cfg.Health, mgr.events)
+	mgr.health.SetOnTransition(mgr.onHealthTransition)
+	if reg := mgr.cfg.Telemetry; reg != nil {
+		mgr.failoverCounters = make(map[string]*telemetry.Counter, 3)
+		for _, reason := range []string{failoverLeave, failoverDead, failoverDrain} {
+			mgr.failoverCounters[reason] = reg.Counter("ifot_mgmt_failovers_total",
+				"subtasks moved off a module, by trigger (leave|dead|drain)",
+				telemetry.L("reason", reason))
+		}
+		mgr.fencedTasks = reg.Counter("ifot_mgmt_tasks_fenced_total",
+			"stale task instances fenced on module reconciliation")
+	}
 	if reg := mgr.cfg.Telemetry; reg != nil {
 		mgr.collector.BindRegistry(reg)
 		mgr.events.BindRegistry(reg, telemetry.L("module", mgr.cfg.ID))
@@ -307,6 +342,7 @@ func (mgr *Manager) Start() error {
 		{TopicLeavePrefix + "+", mgr.handleLeave},
 		{TopicStatusPrefix + "+", mgr.handleStatus},
 		{TopicDiscoverQuery, mgr.handleDiscover},
+		{TopicDrainPrefix + "+", mgr.handleDrain},
 	}
 	for _, s := range subs {
 		if _, err := client.Subscribe(s.filter, wire.QoS1, s.handler); err != nil {
@@ -506,10 +542,15 @@ func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
 		return nil, err
 	}
 
+	epochs := make(map[string]uint64, len(subtasks))
+	for _, s := range subtasks {
+		epochs[s.Name()] = 1
+	}
 	dep := &Deployment{
 		Recipe:     *rec,
 		SubTasks:   subtasks,
 		Assignment: assignment,
+		Epochs:     epochs,
 		pending:    make(map[string]struct{}, len(subtasks)),
 		failed:     make(map[string]string),
 		done:       make(chan struct{}),
@@ -549,13 +590,13 @@ func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
 	// matches memory order.
 	mgr.persist(mgrRec{
 		Op: mgrOpDeploy, Name: rec.Name, Recipe: rec,
-		SubTasks: subtasks, Assignment: assignment,
+		SubTasks: subtasks, Assignment: assignment, Epochs: epochs,
 	})
 	mgr.mu.Unlock()
 
 	for _, s := range subtasks {
 		moduleID := assignment[s.Name()]
-		payload := EncodeJSON(Assignment{SubTask: s, Recipe: *rec})
+		payload := EncodeJSON(Assignment{SubTask: s, Recipe: *rec, Epoch: epochs[s.Name()]})
 		if err := mgr.client.Publish(TopicAssignPrefix+moduleID, payload, wire.QoS1, false); err != nil {
 			return nil, fmt.Errorf("core: assign %s to %s: %w", s.Name(), moduleID, err)
 		}
@@ -570,6 +611,12 @@ func (mgr *Manager) Deploy(rec *recipe.Recipe) (*Deployment, error) {
 
 // Undeploy stops every subtask of a deployed recipe.
 func (mgr *Manager) Undeploy(name string) error {
+	type revokeTarget struct {
+		task   string
+		module string
+		epoch  uint64
+	}
+	var revokes []revokeTarget
 	mgr.mu.Lock()
 	dep, ok := mgr.deployments[name]
 	if ok {
@@ -579,6 +626,13 @@ func (mgr *Manager) Undeploy(name string) error {
 				delete(mgr.streams, topic)
 			}
 		}
+		// Snapshot the revocation targets under the lock: a concurrent
+		// failover may still be mutating this deployment's tables.
+		for _, s := range dep.SubTasks {
+			revokes = append(revokes, revokeTarget{
+				task: s.Name(), module: dep.Assignment[s.Name()], epoch: dep.Epochs[s.Name()],
+			})
+		}
 		mgr.persist(mgrRec{Op: mgrOpUndeploy, Name: name})
 	}
 	mgr.mu.Unlock()
@@ -586,11 +640,10 @@ func (mgr *Manager) Undeploy(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchDeployment, name)
 	}
 	mgr.events.Eventf(telemetry.SevInfo, mgr.cfg.ID, "undeploy", "recipe", name)
-	for _, s := range dep.SubTasks {
-		moduleID := dep.Assignment[s.Name()]
-		payload := EncodeJSON(Revocation{SubTaskName: s.Name()})
-		if err := mgr.client.Publish(TopicRevokePrefix+moduleID, payload, wire.QoS1, false); err != nil {
-			return fmt.Errorf("core: revoke %s on %s: %w", s.Name(), moduleID, err)
+	for _, r := range revokes {
+		payload := EncodeJSON(Revocation{SubTaskName: r.task, Reason: RevokeUndeploy, Epoch: r.epoch})
+		if err := mgr.client.Publish(TopicRevokePrefix+r.module, payload, wire.QoS1, false); err != nil {
+			return fmt.Errorf("core: revoke %s on %s: %w", r.task, r.module, err)
 		}
 	}
 	return nil
@@ -610,19 +663,49 @@ func (mgr *Manager) moduleInfos() []tasks.ModuleInfo {
 	defer mgr.mu.Unlock()
 	committed := mgr.committedLoadLocked()
 	infos := make([]tasks.ModuleInfo, 0, len(mgr.modules))
-	for _, st := range mgr.modules {
+	for id, st := range mgr.modules {
 		if now.Sub(st.lastSeen) > mgr.cfg.StaleAfter {
 			continue
 		}
-		infos = append(infos, tasks.ModuleInfo{
+		// Suspect and dead modules leave the placement pool — failover
+		// must never land tasks on another dying module — and draining
+		// modules are on their way out.
+		if mgr.draining[id] {
+			continue
+		}
+		if hs := mgr.health.State(id); hs == HealthSuspect || hs == HealthDead {
+			continue
+		}
+		info := tasks.ModuleInfo{
 			ID:           st.announce.ModuleID,
 			Capabilities: st.announce.Capabilities,
 			CapacityOps:  st.announce.CapacityOps,
 			BaseLoad:     committed[st.announce.ModuleID],
-		})
+		}
+		if rt := st.announce.Runtime; rt != nil {
+			info.TasksRunning = rt.TasksRunning
+			info.Goroutines = rt.Goroutines
+			info.HeapBytes = rt.HeapBytes
+		}
+		infos = append(infos, info)
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	return infos
+}
+
+// epochOf reads one subtask's assignment epoch under the manager lock.
+func (mgr *Manager) epochOf(dep *Deployment, task string) uint64 {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return dep.Epochs[task]
+}
+
+// countFailover bumps the per-reason failover counter (no-op without
+// telemetry).
+func (mgr *Manager) countFailover(reason string) {
+	if c := mgr.failoverCounters[reason]; c != nil {
+		c.Add(1)
+	}
 }
 
 // committedLoadLocked sums the estimated cost of every already-assigned
@@ -665,6 +748,10 @@ func (mgr *Manager) handleAnnounce(msg mqttclient.Message) {
 		return
 	}
 	now := mgr.cfg.Clock.Now()
+	// Read the prior classification BEFORE Observe refreshes it: a beacon
+	// from a module previously declared dead is a zombie rejoin, not a
+	// routine refresh.
+	rejoined := mgr.health.State(ann.ModuleID) == HealthDead
 	mgr.mu.Lock()
 	mgr.modules[ann.ModuleID] = &moduleState{announce: ann, lastSeen: now}
 	mgr.mu.Unlock()
@@ -672,6 +759,83 @@ func (mgr *Manager) handleAnnounce(msg mqttclient.Message) {
 	// collector: SentAt is stamped by the module's clock, now by ours.
 	mgr.collector.NoteAnnounce(ann.ModuleID, ann.SentAt, now)
 	mgr.health.Observe(ann, now)
+	if rejoined {
+		mgr.events.Eventf(telemetry.SevWarn, ann.ModuleID, "module_rejoined",
+			"claimed_tasks", strconv.Itoa(len(ann.RunningTasks)))
+		mgr.logf("manager: module %s rejoined after being declared dead", ann.ModuleID)
+	}
+	// Rejoining and self-fenced modules go through epoch reconciliation:
+	// the manager replies with the set of subtasks the module should be
+	// running, so stale instances (moved while it was partitioned) stop
+	// instead of silently resurrecting.
+	if rejoined || ann.Fenced {
+		mgr.reconcileModule(ann)
+	}
+}
+
+// reconcileModule answers one module's rejoin/fenced announce with a
+// Reconcile verdict: every subtask currently assigned to the module, with
+// epochs. Tasks the module claims beyond that set are counted as fenced
+// (the module stops them on receipt).
+func (mgr *Manager) reconcileModule(ann Announce) {
+	desired := make(map[string]uint64)
+	mgr.mu.Lock()
+	for _, dep := range mgr.deployments {
+		for _, s := range dep.SubTasks {
+			name := s.Name()
+			if dep.Assignment[name] != ann.ModuleID {
+				continue
+			}
+			e := dep.Epochs[name]
+			if e == 0 {
+				e = 1
+			}
+			desired[name] = e
+		}
+	}
+	mgr.mu.Unlock()
+	for _, name := range ann.RunningTasks {
+		if _, ok := desired[name]; ok {
+			continue
+		}
+		// Only manager-assigned instances (epoch > 0) count: tasks
+		// started directly via StartTask are not the manager's to fence.
+		if ann.TaskEpochs[name] == 0 {
+			continue
+		}
+		mgr.events.Eventf(telemetry.SevWarn, mgr.cfg.ID, "task_fenced",
+			"task", name, "module", ann.ModuleID)
+		if mgr.fencedTasks != nil {
+			mgr.fencedTasks.Add(1)
+		}
+		mgr.logf("manager: fencing stale task %s on %s", name, ann.ModuleID)
+	}
+	payload := EncodeJSON(Reconcile{ModuleID: ann.ModuleID, Tasks: desired, SentAt: mgr.cfg.Clock.Now()})
+	if err := mgr.client.Publish(TopicReconcilePrefix+ann.ModuleID, payload, wire.QoS1, false); err != nil {
+		mgr.logf("manager: reconcile %s: %v", ann.ModuleID, err)
+	}
+}
+
+// onHealthTransition is the HealthMonitor's sweep callback: a dead
+// classification triggers the same failover a leave message would — the
+// partitioned-module case, where the MQTT will never fires.
+func (mgr *Manager) onHealthTransition(moduleID, state string) {
+	if state != HealthDead {
+		return
+	}
+	if mgr.cfg.DisableFailover || mgr.cfg.DisableDeadFailover {
+		return
+	}
+	// The dead module leaves the known-module table (and with it the
+	// placement pool) but stays in the health table, so a later beacon
+	// is recognized as a rejoin and reconciled.
+	mgr.mu.Lock()
+	delete(mgr.modules, moduleID)
+	delete(mgr.draining, moduleID)
+	mgr.mu.Unlock()
+	mgr.events.Eventf(telemetry.SevError, mgr.cfg.ID, "failover_dead", "module", moduleID)
+	mgr.logf("manager: module %s dead, failing over its tasks", moduleID)
+	mgr.reassignFrom(moduleID, failoverDead)
 }
 
 func (mgr *Manager) handleLeave(msg mqttclient.Message) {
@@ -681,70 +845,127 @@ func (mgr *Manager) handleLeave(msg mqttclient.Message) {
 	}
 	mgr.mu.Lock()
 	delete(mgr.modules, ann.ModuleID)
+	delete(mgr.draining, ann.ModuleID)
 	mgr.mu.Unlock()
 	mgr.health.Remove(ann.ModuleID)
 	mgr.events.Eventf(telemetry.SevInfo, ann.ModuleID, "module_left")
 	mgr.logf("manager: module %s left", ann.ModuleID)
 	if !mgr.cfg.DisableFailover {
-		mgr.reassignFrom(ann.ModuleID)
+		mgr.reassignFrom(ann.ModuleID, failoverLeave)
 	}
 }
 
-// reassignFrom moves every subtask hosted on a departed module to a
-// surviving module — the middleware's failover for dynamic leave/crash.
-// Subtasks whose placement constraint no survivor satisfies (e.g. a sense
-// task whose physical sensor died with the module) stay orphaned and are
-// logged.
-func (mgr *Manager) reassignFrom(deadModuleID string) {
-	mgr.mu.Lock()
-	deps := make([]*Deployment, 0, len(mgr.deployments))
-	for _, d := range mgr.deployments {
-		deps = append(deps, d)
+// handleDrain starts a graceful drain: the module is pulled from the
+// placement pool, its subtasks are revoked (with final checkpoints) and
+// re-placed on survivors, and the module — which is watching its running
+// set — exits once it reaches zero.
+func (mgr *Manager) handleDrain(msg mqttclient.Message) {
+	var dr DrainRequest
+	if err := DecodeJSON(msg.Payload, &dr); err != nil || dr.ModuleID == "" {
+		return
 	}
+	mgr.mu.Lock()
+	already := mgr.draining[dr.ModuleID]
+	mgr.draining[dr.ModuleID] = true
 	mgr.mu.Unlock()
+	if already {
+		return
+	}
+	mgr.events.Eventf(telemetry.SevInfo, dr.ModuleID, "drain_started")
+	mgr.logf("manager: draining module %s", dr.ModuleID)
+	moved, unplaceable := mgr.reassignFrom(dr.ModuleID, failoverDrain)
+	mgr.events.Eventf(telemetry.SevInfo, dr.ModuleID, "drain_complete",
+		"moved", strconv.Itoa(moved), "unplaceable", strconv.Itoa(unplaceable))
+}
 
-	infos := mgr.moduleInfos()
-	for _, dep := range deps {
-		var orphaned []recipe.SubTask
+// reassignFrom moves every subtask hosted on a departed, dead or draining
+// module to a surviving module — the middleware's failover for dynamic
+// leave/crash/partition. Subtasks whose placement constraint no survivor
+// satisfies (e.g. a sense task whose physical sensor died with the
+// module) stay orphaned and are logged. Returns how many subtasks moved
+// and how many were unplaceable.
+func (mgr *Manager) reassignFrom(deadModuleID, reason string) (moved, unplaceable int) {
+	type orphan struct {
+		dep *Deployment
+		sub recipe.SubTask
+	}
+	// Snapshot the orphan set under the lock: deploy, undeploy and
+	// concurrent failover paths mutate dep.Assignment under mu.
+	mgr.mu.Lock()
+	var orphans []orphan
+	for _, dep := range mgr.deployments {
 		for _, s := range dep.SubTasks {
 			if dep.Assignment[s.Name()] == deadModuleID {
-				orphaned = append(orphaned, s)
+				orphans = append(orphans, orphan{dep: dep, sub: s})
 			}
-		}
-		if len(orphaned) == 0 {
-			continue
-		}
-		// Re-place each orphan individually so one unplaceable subtask
-		// (its sensor died with the module) does not block the others.
-		for _, s := range orphaned {
-			assignment, err := mgr.cfg.Strategy.Assign([]recipe.SubTask{s}, infos)
-			if err != nil {
-				mgr.logf("manager: failover: %s unplaceable after %s left: %v", s.Name(), deadModuleID, err)
-				mgr.events.Eventf(telemetry.SevError, mgr.cfg.ID, "failover_unplaceable",
-					"task", s.Name(), "from", deadModuleID, "error", err.Error())
-				continue
-			}
-			target := assignment[s.Name()]
-			mgr.mu.Lock()
-			dep.Assignment[s.Name()] = target
-			if s.Task.Output != "" {
-				if info, ok := mgr.streams[s.Task.Output]; ok {
-					info.ModuleID = target
-					mgr.streams[s.Task.Output] = info
-				}
-			}
-			mgr.persist(mgrRec{Op: mgrOpAssign, Name: dep.Recipe.Name, Task: s.Name(), Module: target})
-			mgr.mu.Unlock()
-			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe})
-			if err := mgr.client.Publish(TopicAssignPrefix+target, payload, wire.QoS1, false); err != nil {
-				mgr.logf("manager: failover publish %s to %s: %v", s.Name(), target, err)
-				continue
-			}
-			mgr.events.Eventf(telemetry.SevWarn, mgr.cfg.ID, "failover",
-				"task", s.Name(), "from", deadModuleID, "to", target)
-			mgr.logf("manager: failover: moved %s from %s to %s", s.Name(), deadModuleID, target)
 		}
 	}
+	mgr.mu.Unlock()
+	if len(orphans) == 0 {
+		return 0, 0
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].sub.Name() < orphans[j].sub.Name() })
+
+	infos := mgr.moduleInfos()
+	infoIdx := make(map[string]int, len(infos))
+	for i := range infos {
+		infoIdx[infos[i].ID] = i
+	}
+	// Re-place each orphan individually so one unplaceable subtask (its
+	// sensor died with the module) does not block the others.
+	for _, o := range orphans {
+		dep, s := o.dep, o.sub
+		assignment, err := mgr.cfg.Strategy.Assign([]recipe.SubTask{s}, infos)
+		if err != nil {
+			unplaceable++
+			mgr.logf("manager: failover: %s unplaceable after %s left: %v", s.Name(), deadModuleID, err)
+			mgr.events.Eventf(telemetry.SevError, mgr.cfg.ID, "failover_unplaceable",
+				"task", s.Name(), "from", deadModuleID, "reason", reason, "error", err.Error())
+			continue
+		}
+		target := assignment[s.Name()]
+		// Fold the placement back into the candidate loads, so a batch of
+		// orphans spreads across the survivors instead of herding onto
+		// the one that was least loaded when the batch started.
+		if i, ok := infoIdx[target]; ok {
+			infos[i].BaseLoad += tasks.CostOf(s)
+			infos[i].TasksRunning++
+		}
+		mgr.mu.Lock()
+		dep.Assignment[s.Name()] = target
+		if dep.Epochs == nil {
+			dep.Epochs = make(map[string]uint64)
+		}
+		dep.Epochs[s.Name()]++
+		epoch := dep.Epochs[s.Name()]
+		if s.Task.Output != "" {
+			if info, ok := mgr.streams[s.Task.Output]; ok {
+				info.ModuleID = target
+				mgr.streams[s.Task.Output] = info
+			}
+		}
+		mgr.persist(mgrRec{Op: mgrOpAssign, Name: dep.Recipe.Name, Task: s.Name(), Module: target, Epoch: epoch})
+		mgr.mu.Unlock()
+		if reason == failoverDrain {
+			// Revoke before re-assigning: the draining host checkpoints
+			// the learner state on stop, so the new host restores warm.
+			revoke := EncodeJSON(Revocation{SubTaskName: s.Name(), Reason: RevokeDrain, Epoch: epoch})
+			if err := mgr.client.Publish(TopicRevokePrefix+deadModuleID, revoke, wire.QoS1, false); err != nil {
+				mgr.logf("manager: drain revoke %s on %s: %v", s.Name(), deadModuleID, err)
+			}
+		}
+		payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe, Epoch: epoch})
+		if err := mgr.client.Publish(TopicAssignPrefix+target, payload, wire.QoS1, false); err != nil {
+			mgr.logf("manager: failover publish %s to %s: %v", s.Name(), target, err)
+			continue
+		}
+		moved++
+		mgr.countFailover(reason)
+		mgr.events.Eventf(telemetry.SevWarn, mgr.cfg.ID, "failover",
+			"task", s.Name(), "from", deadModuleID, "to", target, "reason", reason)
+		mgr.logf("manager: failover (%s): moved %s from %s to %s", reason, s.Name(), deadModuleID, target)
+	}
+	return moved, unplaceable
 }
 
 func (mgr *Manager) handleStatus(msg mqttclient.Message) {

@@ -38,6 +38,11 @@ type mgrRec struct {
 	Recipe     *recipe.Recipe   `json:"recipe,omitempty"`
 	SubTasks   []recipe.SubTask `json:"subTasks,omitempty"`
 	Assignment tasks.Assignment `json:"assignment,omitempty"`
+	// Epoch is the subtask's assignment epoch (assign records); Epochs is
+	// the full per-subtask epoch table (deploy records and snapshots).
+	// Absent on pre-epoch journals.
+	Epoch  uint64            `json:"epoch,omitempty"`
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
 // mgrSnapshot is the compacted journal: every live deployment.
@@ -71,12 +76,17 @@ func (mgr *Manager) captureState() ([]byte, error) {
 		for k, v := range dep.Assignment {
 			assignment[k] = v
 		}
+		epochs := make(map[string]uint64, len(dep.Epochs))
+		for k, v := range dep.Epochs {
+			epochs[k] = v
+		}
 		snap.Deployments = append(snap.Deployments, mgrRec{
 			Op:         mgrOpDeploy,
 			Name:       rec.Name,
 			Recipe:     &rec,
 			SubTasks:   dep.SubTasks,
 			Assignment: assignment,
+			Epochs:     epochs,
 		})
 	}
 	mgr.mu.Unlock()
@@ -120,12 +130,24 @@ func (mgr *Manager) applyRecovered(rec mgrRec) {
 			Recipe:     *rec.Recipe,
 			SubTasks:   rec.SubTasks,
 			Assignment: rec.Assignment,
+			Epochs:     rec.Epochs,
 			pending:    make(map[string]struct{}, len(rec.SubTasks)),
 			failed:     make(map[string]string),
 			done:       make(chan struct{}),
 		}
 		if dep.Assignment == nil {
 			dep.Assignment = make(tasks.Assignment)
+		}
+		if dep.Epochs == nil {
+			dep.Epochs = make(map[string]uint64)
+		}
+		// Pre-epoch journals carry no epoch table: every assigned subtask
+		// starts at the deploy epoch, so a later failover bump (→2) still
+		// outranks whatever instance is in the field.
+		for _, s := range rec.SubTasks {
+			if dep.Epochs[s.Name()] == 0 {
+				dep.Epochs[s.Name()] = 1
+			}
 		}
 		// Every subtask is pending again: resumeDeployments re-publishes
 		// the assignments and modules ack (idempotently when already
@@ -158,6 +180,18 @@ func (mgr *Manager) applyRecovered(rec mgrRec) {
 			return
 		}
 		dep.Assignment[rec.Task] = rec.Module
+		if dep.Epochs == nil {
+			dep.Epochs = make(map[string]uint64)
+		}
+		// Pre-epoch assign records (Epoch 0) still represent one failover
+		// move each; bumping keeps the table monotonic across upgrades.
+		e := rec.Epoch
+		if e == 0 {
+			e = dep.Epochs[rec.Task] + 1
+		}
+		if e > dep.Epochs[rec.Task] {
+			dep.Epochs[rec.Task] = e
+		}
 		for topic, info := range mgr.streams {
 			if info.Recipe == rec.Name {
 				for _, s := range dep.SubTasks {
@@ -206,7 +240,7 @@ func (mgr *Manager) resumeDeployments() {
 			if !ok {
 				continue
 			}
-			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe})
+			payload := EncodeJSON(Assignment{SubTask: s, Recipe: dep.Recipe, Epoch: mgr.epochOf(dep, s.Name())})
 			if err := mgr.client.Publish(TopicAssignPrefix+moduleID, payload, wire.QoS1, false); err != nil {
 				mgr.logf("manager: resume %s on %s: %v", s.Name(), moduleID, err)
 			}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/recipe"
@@ -43,7 +44,27 @@ const (
 	// (telemetry.EventBatch JSON, QoS 0) toward the management node's
 	// cluster event view, which subscribes TopicEventsPrefix + "#".
 	TopicEventsPrefix = "ifot/ctrl/events/"
+	// TopicDrainPrefix + moduleID carries graceful-drain requests toward
+	// the management node (which subscribes TopicDrainPrefix + "+").
+	TopicDrainPrefix = "ifot/ctrl/drain/"
+	// TopicReconcilePrefix + moduleID carries the manager's assignment
+	// reconciliation verdicts toward a fenced or rejoining module.
+	TopicReconcilePrefix = "ifot/ctrl/reconcile/"
+	// TopicCkptPrefix + escaped subtask name carries retained checkpoint
+	// handoff blobs (see CheckpointTopic).
+	TopicCkptPrefix = "ifot/ctrl/ckpt/"
 )
+
+// ckptTopicEscaper rewrites MQTT wildcard characters out of subtask
+// names: sharded subtasks are named recipe/task#shard and "#"/"+" are
+// topic wildcards, illegal in publish topics.
+var ckptTopicEscaper = strings.NewReplacer("#", ".", "+", "'")
+
+// CheckpointTopic is the retained-checkpoint handoff topic for a subtask
+// name (wildcard characters escaped).
+func CheckpointTopic(subtaskName string) string {
+	return TopicCkptPrefix + ckptTopicEscaper.Replace(subtaskName)
+}
 
 // Errors returned by the codec.
 var (
@@ -67,6 +88,14 @@ type Announce struct {
 	RunningTasks []string                `json:"runningTasks,omitempty"`
 	SentAt       time.Time               `json:"sentAt"`
 	Runtime      *telemetry.RuntimeStats `json:"runtime,omitempty"`
+	// TaskEpochs carries the assignment epoch of every manager-assigned
+	// running task, so the manager can spot stale instances on a module
+	// returning from a partition.
+	TaskEpochs map[string]uint64 `json:"taskEpochs,omitempty"`
+	// Fenced reports that the module has self-fenced its outputs
+	// (announce beacons went unacknowledged past Config.FenceAfter) and
+	// is waiting for a Reconcile before publishing again.
+	Fenced bool `json:"fenced,omitempty"`
 }
 
 // Assignment instructs a module to start one subtask.
@@ -75,11 +104,53 @@ type Assignment struct {
 	// Recipe carries the full recipe so modules can resolve task
 	// references without a second round trip.
 	Recipe recipe.Recipe `json:"recipe"`
+	// Epoch is the subtask's assignment epoch: bumped on every failover
+	// or drain move, journaled with the assignment, and used to fence
+	// stale instances. Zero on messages from pre-epoch managers.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
+
+// Revocation reasons; the module's final-checkpoint and handoff behavior
+// differ per reason (see Module.stopTask).
+const (
+	// RevokeUndeploy: the recipe is gone — the retained handoff
+	// checkpoint is cleared.
+	RevokeUndeploy = "undeploy"
+	// RevokeDrain: the subtask moves to another host — stop with a final
+	// checkpoint so the new host resumes warm.
+	RevokeDrain = "drain"
+	// RevokeFence: this instance is stale (the subtask was reassigned
+	// while the module was partitioned) — stop WITHOUT publishing a
+	// handoff checkpoint, which would clobber the new host's state.
+	RevokeFence = "fence"
+)
 
 // Revocation instructs a module to stop a subtask.
 type Revocation struct {
 	SubTaskName string `json:"subTaskName"`
+	// Reason is one of the Revoke* constants ("" from pre-epoch managers
+	// behaves like RevokeUndeploy).
+	Reason string `json:"reason,omitempty"`
+	// Epoch is the current assignment epoch at the manager.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// DrainRequest asks the management node to move every subtask off the
+// sending module (graceful leave: drain, then Close).
+type DrainRequest struct {
+	ModuleID string    `json:"moduleId"`
+	SentAt   time.Time `json:"sentAt"`
+}
+
+// Reconcile is the manager's answer to a fenced or rejoining module's
+// announce: the complete set of subtasks the module SHOULD be running,
+// with current epochs. The module stops manager-assigned tasks absent
+// from the set (they were moved while it was partitioned), adopts the
+// epochs of the rest, and lifts its output fence.
+type Reconcile struct {
+	ModuleID string            `json:"moduleId"`
+	Tasks    map[string]uint64 `json:"tasks,omitempty"`
+	SentAt   time.Time         `json:"sentAt"`
 }
 
 // StatusKind enumerates task status transitions.

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ifot-middleware/ifot/internal/clock"
@@ -148,6 +151,27 @@ type Config struct {
 	// CheckpointSnapshotBytes bounds checkpoint-WAL growth between
 	// snapshot compactions (default 4 MiB).
 	CheckpointSnapshotBytes int64
+	// CheckpointHandoff, when set, publishes each subtask's latest model
+	// checkpoint as a retained blob on CheckpointTopic(name), and fetches
+	// that blob when a task starts without local checkpoint state — so the
+	// new host of a failed-over learner resumes warm even though it never
+	// saw the dead module's store. Orthogonal to Store: a module can hand
+	// off without journaling locally and vice versa.
+	CheckpointHandoff bool
+	// CheckpointFetchTimeout bounds the start-time wait for a retained
+	// handoff blob (default 2s). Only used with CheckpointHandoff.
+	CheckpointFetchTimeout time.Duration
+	// AckTimeout bounds QoS1 acknowledgement waits on the module's broker
+	// session (default mqttclient's 10s). Announce beacons are QoS1, so
+	// this is also how quickly a silent partition surfaces as a publish
+	// error — size it below FenceAfter.
+	AckTimeout time.Duration
+	// FenceAfter, when positive, arms self-fencing: once the broker has
+	// not acknowledged an announce for longer than this bound the module
+	// assumes it is partitioned, stops publishing task outputs (drops are
+	// counted) and marks its beacons Fenced until the manager's Reconcile
+	// clears the fence. Zero disables self-fencing.
+	FenceAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +199,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointSnapshotBytes <= 0 {
 		c.CheckpointSnapshotBytes = 4 << 20
 	}
+	if c.CheckpointFetchTimeout <= 0 {
+		c.CheckpointFetchTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -200,7 +227,14 @@ type Module struct {
 	metrics  *moduleMetrics
 	exporter *telemetry.SpanExporter
 	events   *telemetry.EventLog
-	ckpt     *ckptManager // nil without Config.Store
+	ckpt     *ckptManager // nil without Config.Store/CheckpointHandoff
+
+	// Self-fencing state: lastAnnounceAck is the last instant the broker
+	// acknowledged an announce beacon (guarded by fenceMu); outputsFenced
+	// gates every data-plane publish once the silence exceeds FenceAfter.
+	fenceMu         sync.Mutex
+	lastAnnounceAck time.Time
+	outputsFenced   atomic.Bool
 
 	// laneDropLast rate-limits lane_drop events per filter: the drop
 	// callback fires on the dispatch hot path, the counter already counts
@@ -215,6 +249,9 @@ type Module struct {
 type taskSpec struct {
 	rec recipe.Recipe
 	sub recipe.SubTask
+	// epoch is the assignment epoch the manager stamped; 0 marks tasks
+	// started directly via StartTask, which reconciliation never fences.
+	epoch uint64
 }
 
 // NewModule creates an unstarted module.
@@ -247,6 +284,8 @@ func NewModule(cfg Config) *Module {
 				"MIX peers evicted for exceeding the staleness bound", id),
 			mixStaleness: reg.Gauge("ifot_mix_peer_staleness_seconds",
 				"age of the oldest live MIX peer's last payload", id),
+			fencedDrops: reg.Counter("ifot_module_fenced_drops_total",
+				"data-plane publishes dropped while outputs were fenced", id),
 			stageLat: make(map[string]*telemetry.Histogram),
 			reg:      reg,
 		}
@@ -278,6 +317,7 @@ type moduleMetrics struct {
 	mixBytes     *telemetry.Counter
 	mixEvictions *telemetry.Counter
 	mixStaleness *telemetry.Gauge
+	fencedDrops  *telemetry.Counter
 	reg          *telemetry.Registry
 	mu           sync.Mutex
 	stageLat     map[string]*telemetry.Histogram
@@ -393,11 +433,14 @@ func (m *Module) Start() error {
 	m.client = client
 	m.mu.Unlock()
 
+	m.fenceMu.Lock()
+	m.lastAnnounceAck = m.now()
+	m.fenceMu.Unlock()
 	m.announce()
 	m.wg.Add(2)
 	go m.heartbeatLoop()
 	go m.watchConnection(client)
-	if m.ckpt != nil {
+	if m.ckpt != nil && (m.ckpt.journal != nil || m.cfg.CheckpointHandoff) {
 		m.wg.Add(1)
 		go m.checkpointLoop()
 	}
@@ -539,6 +582,9 @@ func (m *Module) connect() (*mqttclient.Client, error) {
 	opts := mqttclient.NewOptions(m.cfg.ID)
 	opts.KeepAlive = 30 * time.Second
 	opts.Registry = m.cfg.Telemetry
+	if m.cfg.AckTimeout > 0 {
+		opts.AckTimeout = m.cfg.AckTimeout
+	}
 	if m.exporter != nil || m.cfg.EventExportInterval > 0 {
 		opts.OnBeforeDisconnect = m.flushTelemetry
 	}
@@ -560,6 +606,10 @@ func (m *Module) connect() (*mqttclient.Client, error) {
 	if _, err := client.Subscribe(TopicRevokePrefix+m.cfg.ID, wire.QoS1, m.handleRevoke); err != nil {
 		_ = client.Close()
 		return nil, fmt.Errorf("core: module %s subscribe revoke: %w", m.cfg.ID, err)
+	}
+	if _, err := client.Subscribe(TopicReconcilePrefix+m.cfg.ID, wire.QoS1, m.handleReconcile); err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("core: module %s subscribe reconcile: %w", m.cfg.ID, err)
 	}
 	return client, nil
 }
@@ -668,7 +718,7 @@ func (m *Module) Close() error {
 		inst.stop()
 	}
 	m.wg.Wait()
-	if m.ckpt != nil {
+	if m.ckpt != nil && m.ckpt.journal != nil {
 		// Final checkpoints were journaled as each task stopped; the
 		// store itself is closed (and synced) by whoever opened it.
 		m.ckpt.journal.Close()
@@ -726,8 +776,15 @@ func (m *Module) Subscribe(filter string, handler mqttclient.Handler) error {
 }
 
 // StartTask launches a subtask directly (bypassing the management node);
-// the same path handleAssign uses.
+// the same path handleAssign uses, minus the assignment epoch.
 func (m *Module) StartTask(rec recipe.Recipe, sub recipe.SubTask) error {
+	return m.startTask(rec, sub, 0)
+}
+
+// startTask launches one subtask. epoch is the manager's assignment
+// epoch (0 for direct starts); it rides on the spec so reconciliation
+// and stale-assignment checks can compare generations.
+func (m *Module) startTask(rec recipe.Recipe, sub recipe.SubTask, epoch uint64) error {
 	m.mu.Lock()
 	if !m.started || m.closed {
 		m.mu.Unlock()
@@ -751,7 +808,7 @@ func (m *Module) StartTask(rec recipe.Recipe, sub recipe.SubTask) error {
 		return ErrNotStarted
 	}
 	m.running[sub.Name()] = inst
-	m.specs[sub.Name()] = taskSpec{rec: rec, sub: sub}
+	m.specs[sub.Name()] = taskSpec{rec: rec, sub: sub, epoch: epoch}
 	m.mu.Unlock()
 	m.reportStatus(sub.Name(), StatusStarted, "")
 	m.logf("module %s started task %s (%s)", m.cfg.ID, sub.Name(), sub.Task.Kind)
@@ -760,6 +817,15 @@ func (m *Module) StartTask(rec recipe.Recipe, sub recipe.SubTask) error {
 
 // StopTask stops a running subtask by name.
 func (m *Module) StopTask(name string) error {
+	return m.stopTask(name, "")
+}
+
+// stopTask stops one subtask; reason distinguishes undeploy (the retained
+// handoff checkpoint is cleared — the pipeline is gone), drain (the final
+// stop-time checkpoint hands state to the next host) and fence (the
+// stop-time handoff publish is suppressed — a zombie's stale state must
+// not clobber the new host's).
+func (m *Module) stopTask(name, reason string) error {
 	m.mu.Lock()
 	inst, ok := m.running[name]
 	delete(m.running, name)
@@ -768,8 +834,19 @@ func (m *Module) StopTask(name string) error {
 	if !ok {
 		return fmt.Errorf("core: task %s not running", name)
 	}
+	if reason == RevokeFence {
+		inst.markFenced()
+		m.events.Eventf(telemetry.SevWarn, m.cfg.ID, "task_fenced", "task", name)
+	}
 	inst.stop()
-	m.reportStatus(name, StatusStopped, "")
+	m.reportStatus(name, StatusStopped, reason)
+	if reason == RevokeUndeploy && m.cfg.CheckpointHandoff {
+		// The pipeline is gone: clear the retained handoff blob so a
+		// future deployment of the same name starts fresh.
+		if client := m.currentClient(); client != nil {
+			_ = client.Publish(CheckpointTopic(name), nil, wire.QoS1, true)
+		}
+	}
 	return nil
 }
 
@@ -779,14 +856,31 @@ func (m *Module) handleAssign(msg mqttclient.Message) {
 		m.logf("module %s: bad assignment: %v", m.cfg.ID, err)
 		return
 	}
-	if err := m.StartTask(a.Recipe, a.SubTask); err != nil {
+	name := a.SubTask.Name()
+	m.mu.Lock()
+	if spec, ok := m.specs[name]; ok {
+		// Epoch fencing: an assignment from an older generation (a
+		// delayed or replayed publish) must not disturb the newer one.
+		if a.Epoch != 0 && a.Epoch < spec.epoch {
+			m.mu.Unlock()
+			m.logf("module %s: ignoring stale assignment %s (epoch %d < %d)",
+				m.cfg.ID, name, a.Epoch, spec.epoch)
+			return
+		}
+		if a.Epoch > spec.epoch {
+			spec.epoch = a.Epoch
+			m.specs[name] = spec
+		}
+	}
+	m.mu.Unlock()
+	if err := m.startTask(a.Recipe, a.SubTask, a.Epoch); err != nil {
 		if errors.Is(err, ErrTaskExists) {
 			// A restarted manager re-publishes recovered assignments;
 			// acknowledge so its pending set drains.
-			m.reportStatus(a.SubTask.Name(), StatusStarted, "already running")
+			m.reportStatus(name, StatusStarted, "already running")
 			return
 		}
-		m.logf("module %s: start %s: %v", m.cfg.ID, a.SubTask.Name(), err)
+		m.logf("module %s: start %s: %v", m.cfg.ID, name, err)
 	}
 }
 
@@ -796,7 +890,15 @@ func (m *Module) handleRevoke(msg mqttclient.Message) {
 		m.logf("module %s: bad revocation: %v", m.cfg.ID, err)
 		return
 	}
-	if err := m.StopTask(r.SubTaskName); err != nil {
+	m.mu.Lock()
+	if spec, ok := m.specs[r.SubTaskName]; ok && r.Epoch != 0 && spec.epoch > r.Epoch {
+		m.mu.Unlock()
+		m.logf("module %s: ignoring stale revocation %s (epoch %d < %d)",
+			m.cfg.ID, r.SubTaskName, r.Epoch, spec.epoch)
+		return
+	}
+	m.mu.Unlock()
+	if err := m.stopTask(r.SubTaskName, r.Reason); err != nil {
 		m.logf("module %s: revoke %s: %v", m.cfg.ID, r.SubTaskName, err)
 	}
 }
@@ -821,22 +923,155 @@ func (m *Module) reportStatus(name string, kind StatusKind, detail string) {
 	_ = client.Publish(TopicStatusPrefix+m.cfg.ID, EncodeJSON(status), wire.QoS1, false)
 }
 
+// taskSnapshot reports the running task names and their assignment epochs
+// in one locked pass, for announce beacons. Epoch-0 (directly started)
+// tasks carry no epoch entry.
+func (m *Module) taskSnapshot() ([]string, map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.running))
+	var epochs map[string]uint64
+	for name := range m.running {
+		names = append(names, name)
+		if spec, ok := m.specs[name]; ok && spec.epoch > 0 {
+			if epochs == nil {
+				epochs = make(map[string]uint64, len(m.running))
+			}
+			epochs[name] = spec.epoch
+		}
+	}
+	return names, epochs
+}
+
 func (m *Module) announce() {
 	client := m.currentClient()
 	if client == nil {
 		return
 	}
+	names, epochs := m.taskSnapshot()
 	ann := Announce{
 		ModuleID:     m.cfg.ID,
 		Capabilities: m.capabilities(),
 		CapacityOps:  m.cfg.CapacityOps,
-		RunningTasks: m.RunningTasks(),
+		RunningTasks: names,
+		TaskEpochs:   epochs,
+		Fenced:       m.outputsFenced.Load(),
 		SentAt:       m.now(),
 	}
 	rt := telemetry.SampleRuntime()
 	rt.TasksRunning = len(ann.RunningTasks)
 	ann.Runtime = &rt
-	_ = client.Publish(TopicAnnounce, EncodeJSON(ann), wire.QoS1, false)
+	// QoS1: the PUBACK doubles as a liveness probe of the broker path —
+	// self-fencing keys off how long acks have been missing.
+	if err := client.Publish(TopicAnnounce, EncodeJSON(ann), wire.QoS1, false); err != nil {
+		m.logf("module %s announce: %v", m.cfg.ID, err)
+		return
+	}
+	m.fenceMu.Lock()
+	m.lastAnnounceAck = m.now()
+	m.fenceMu.Unlock()
+}
+
+// maybeSelfFence flips the output fence when the broker has not
+// acknowledged an announce for longer than FenceAfter — the module-side
+// symptom of a network partition. Fenced outputs are dropped (counted)
+// until a manager Reconcile clears the fence, so a zombie on the far side
+// of a partition cannot double-publish decisions for tasks that were
+// failed over to a surviving module.
+func (m *Module) maybeSelfFence() {
+	if m.cfg.FenceAfter <= 0 || m.outputsFenced.Load() {
+		return
+	}
+	m.fenceMu.Lock()
+	silent := m.now().Sub(m.lastAnnounceAck)
+	m.fenceMu.Unlock()
+	if silent <= m.cfg.FenceAfter {
+		return
+	}
+	if m.outputsFenced.CompareAndSwap(false, true) {
+		m.events.Eventf(telemetry.SevError, m.cfg.ID, "self_fenced", "unacked_for", silent.String())
+		m.logf("module %s self-fenced: no announce ack for %s", m.cfg.ID, silent)
+	}
+}
+
+// handleReconcile applies the manager's verdict after a rejoin or
+// self-fence: manager-owned tasks absent from the desired set stop
+// (fenced — their stop-time checkpoints are NOT handed off, the new
+// host's state is authoritative), kept tasks adopt the manager's epochs,
+// and the output fence lifts.
+func (m *Module) handleReconcile(msg mqttclient.Message) {
+	var rc Reconcile
+	if err := DecodeJSON(msg.Payload, &rc); err != nil || rc.ModuleID != m.cfg.ID {
+		return
+	}
+	var stale []string
+	m.mu.Lock()
+	for name, spec := range m.specs {
+		if spec.epoch == 0 {
+			continue // started directly by the application, not the manager's to fence
+		}
+		e, ok := rc.Tasks[name]
+		if !ok {
+			stale = append(stale, name)
+			continue
+		}
+		if e > spec.epoch {
+			spec.epoch = e
+			m.specs[name] = spec
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(stale)
+	for _, name := range stale {
+		if err := m.stopTask(name, RevokeFence); err != nil {
+			m.logf("module %s: fence %s: %v", m.cfg.ID, name, err)
+		}
+	}
+	if m.outputsFenced.CompareAndSwap(true, false) {
+		m.events.Eventf(telemetry.SevInfo, m.cfg.ID, "fence_cleared",
+			"fenced_tasks", strconv.Itoa(len(stale)))
+		m.logf("module %s fence cleared (%d stale tasks stopped)", m.cfg.ID, len(stale))
+	}
+}
+
+// Drain asks the management node to move this module's assigned subtasks
+// elsewhere (each with a final checkpoint handed off), then waits until
+// no manager-assigned task is left running or ctx expires. Directly
+// started tasks (StartTask) are not the manager's to move and do not
+// block the drain. The module stays connected — call Close afterwards
+// for the clean leave.
+func (m *Module) Drain(ctx context.Context) error {
+	client := m.currentClient()
+	if client == nil {
+		return ErrNotStarted
+	}
+	m.events.Eventf(telemetry.SevInfo, m.cfg.ID, "drain_requested")
+	m.logf("module %s requesting drain", m.cfg.ID)
+	payload := EncodeJSON(DrainRequest{ModuleID: m.cfg.ID, SentAt: m.now()})
+	if err := client.Publish(TopicDrainPrefix+m.cfg.ID, payload, wire.QoS1, false); err != nil {
+		return fmt.Errorf("core: module %s drain request: %w", m.cfg.ID, err)
+	}
+	for {
+		m.mu.Lock()
+		n := 0
+		for name := range m.running {
+			if spec, ok := m.specs[name]; ok && spec.epoch > 0 {
+				n++
+			}
+		}
+		m.mu.Unlock()
+		if n == 0 {
+			m.logf("module %s drained", m.cfg.ID)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: module %s drain: %d tasks still running: %w", m.cfg.ID, n, ctx.Err())
+		case <-m.ctx.Done():
+			return ErrNotStarted
+		case <-m.cfg.Clock.After(20 * time.Millisecond):
+		}
+	}
 }
 
 func (m *Module) heartbeatLoop() {
@@ -846,7 +1081,12 @@ func (m *Module) heartbeatLoop() {
 		case <-m.ctx.Done():
 			return
 		case <-m.cfg.Clock.After(m.cfg.HeartbeatInterval):
+			// Announce first, then judge silence: the fence must key off
+			// how long announce *attempts* have gone unacknowledged, not
+			// the gap between heartbeats — otherwise any FenceAfter below
+			// the heartbeat interval fences on every tick.
 			m.announce()
+			m.maybeSelfFence()
 		}
 	}
 }

@@ -30,6 +30,13 @@ type ModuleInfo struct {
 	CapacityOps float64
 	// BaseLoad is pre-existing load in the same units.
 	BaseLoad float64
+	// TasksRunning, Goroutines and HeapBytes mirror the module's last
+	// announce beacon's runtime sample (zero when the beacon carried
+	// none). LeastLoaded breaks estimated-load ties on TasksRunning;
+	// RuntimeAware folds all three into its score.
+	TasksRunning int
+	Goroutines   int
+	HeapBytes    uint64
 }
 
 func (m ModuleInfo) hasCapability(c string) bool {
@@ -152,6 +159,10 @@ func (LeastLoaded) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assi
 	copy(ordered, subtasks)
 	sort.SliceStable(ordered, func(i, j int) bool { return CostOf(ordered[i]) > CostOf(ordered[j]) })
 
+	tasksRunning := make(map[string]int, len(modules))
+	for _, m := range modules {
+		tasksRunning[m.ID] = m.TasksRunning
+	}
 	out := make(Assignment, len(subtasks))
 	for _, s := range ordered {
 		cands := eligible(s, modules)
@@ -161,8 +172,88 @@ func (LeastLoaded) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assi
 		best := cands[0].ID
 		bestLoad := (loads[best] + CostOf(s)) / caps[best]
 		for _, m := range cands[1:] {
-			if l := (loads[m.ID] + CostOf(s)) / caps[m.ID]; l < bestLoad {
+			l := (loads[m.ID] + CostOf(s)) / caps[m.ID]
+			// Estimated loads tie when modules are symmetric; the beacon's
+			// observed running-task count breaks the tie toward the
+			// genuinely idler module.
+			if l < bestLoad || (l == bestLoad && tasksRunning[m.ID] < tasksRunning[best]) {
 				best, bestLoad = m.ID, l
+			}
+		}
+		loads[best] += CostOf(s)
+		tasksRunning[best]++
+		out[s.Name()] = best
+	}
+	return out, nil
+}
+
+// RuntimeAware is LeastLoaded with observed runtime pressure folded in:
+// the relative-load score of each candidate is scaled by the heap,
+// goroutine and running-task pressure its last announce beacon reported,
+// each normalized against the highest value among the candidates. A
+// module whose process is visibly strained (heap ballooning, goroutines
+// piling up) attracts fewer placements even when its estimated assigned
+// cost says it has headroom — the estimate-vs-reality gap the beacons
+// exist to close.
+type RuntimeAware struct{}
+
+var _ Strategy = RuntimeAware{}
+
+// Assign implements Strategy.
+func (RuntimeAware) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assignment, error) {
+	if len(modules) == 0 {
+		return nil, ErrNoModules
+	}
+	loads := make(map[string]float64, len(modules))
+	caps := make(map[string]float64, len(modules))
+	pressure := make(map[string]float64, len(modules))
+	var maxHeap, maxGor, maxTasks float64
+	for _, m := range modules {
+		if h := float64(m.HeapBytes); h > maxHeap {
+			maxHeap = h
+		}
+		if g := float64(m.Goroutines); g > maxGor {
+			maxGor = g
+		}
+		if t := float64(m.TasksRunning); t > maxTasks {
+			maxTasks = t
+		}
+	}
+	for _, m := range modules {
+		loads[m.ID] = m.BaseLoad
+		capacity := m.CapacityOps
+		if capacity <= 0 {
+			capacity = 1
+		}
+		caps[m.ID] = capacity
+		p := 1.0
+		if maxHeap > 0 {
+			p += float64(m.HeapBytes) / maxHeap
+		}
+		if maxGor > 0 {
+			p += float64(m.Goroutines) / maxGor
+		}
+		if maxTasks > 0 {
+			p += float64(m.TasksRunning) / maxTasks
+		}
+		pressure[m.ID] = p
+	}
+
+	ordered := make([]recipe.SubTask, len(subtasks))
+	copy(ordered, subtasks)
+	sort.SliceStable(ordered, func(i, j int) bool { return CostOf(ordered[i]) > CostOf(ordered[j]) })
+
+	out := make(Assignment, len(subtasks))
+	for _, s := range ordered {
+		cands := eligible(s, modules)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: subtask %s (placement %+v)", ErrUnplaceable, s.Name(), s.Task.Placement)
+		}
+		best := cands[0].ID
+		bestScore := (loads[best] + CostOf(s)) / caps[best] * pressure[best]
+		for _, m := range cands[1:] {
+			if sc := (loads[m.ID] + CostOf(s)) / caps[m.ID] * pressure[m.ID]; sc < bestScore {
+				best, bestScore = m.ID, sc
 			}
 		}
 		loads[best] += CostOf(s)
@@ -171,13 +262,16 @@ func (LeastLoaded) Assign(subtasks []recipe.SubTask, modules []ModuleInfo) (Assi
 	return out, nil
 }
 
-// NewStrategy returns a Strategy by name: "round-robin" or "least-loaded".
+// NewStrategy returns a Strategy by name: "round-robin", "least-loaded"
+// or "runtime-aware".
 func NewStrategy(name string) (Strategy, error) {
 	switch name {
 	case "round-robin":
 		return RoundRobin{}, nil
 	case "least-loaded", "":
 		return LeastLoaded{}, nil
+	case "runtime-aware":
+		return RuntimeAware{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}

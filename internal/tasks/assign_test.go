@@ -182,3 +182,77 @@ func TestBaseLoadConsidered(t *testing.T) {
 		t.Fatalf("assigned to %q, want idle module", a["r/t"])
 	}
 }
+
+// TestLeastLoadedTieBreaksOnTasksRunning: with symmetric capacity and
+// estimated load, the observed running-task count from the beacons picks
+// the genuinely idler module.
+func TestLeastLoadedTieBreaksOnTasksRunning(t *testing.T) {
+	mods := []ModuleInfo{
+		{ID: "m1", CapacityOps: 100, TasksRunning: 4},
+		{ID: "m2", CapacityOps: 100, TasksRunning: 1},
+	}
+	a, err := LeastLoaded{}.Assign([]recipe.SubTask{sub("t", recipe.KindTrain)}, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["r/t"] != "m2" {
+		t.Fatalf("assigned to %q, want m2 (fewer running tasks)", a["r/t"])
+	}
+	// The tie-break folds placements back in: a second equal-cost task
+	// must go to the other module, not herd onto m2.
+	a2, err := LeastLoaded{}.Assign([]recipe.SubTask{
+		sub("t1", recipe.KindTrain), sub("t2", recipe.KindTrain),
+	}, []ModuleInfo{
+		{ID: "m1", CapacityOps: 100},
+		{ID: "m2", CapacityOps: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2["r/t1"] == a2["r/t2"] {
+		t.Fatalf("both tasks herded onto %q", a2["r/t1"])
+	}
+}
+
+// TestRuntimeAwareAvoidsStrainedModule: equal estimated load, but one
+// module's beacon shows heavy heap/goroutine pressure — placements go to
+// the calm one.
+func TestRuntimeAwareAvoidsStrainedModule(t *testing.T) {
+	mods := []ModuleInfo{
+		{ID: "strained", CapacityOps: 100, HeapBytes: 512 << 20, Goroutines: 900, TasksRunning: 9},
+		{ID: "calm", CapacityOps: 100, HeapBytes: 32 << 20, Goroutines: 40, TasksRunning: 1},
+	}
+	a, err := RuntimeAware{}.Assign([]recipe.SubTask{sub("t", recipe.KindTrain)}, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["r/t"] != "calm" {
+		t.Fatalf("assigned to %q, want calm module", a["r/t"])
+	}
+}
+
+// TestRuntimeAwareFallsBackToLoad: with no runtime stats at all (fresh
+// cluster, pre-upgrade beacons) RuntimeAware must degrade to pure
+// relative-load placement, not divide by zero.
+func TestRuntimeAwareFallsBackToLoad(t *testing.T) {
+	mods := []ModuleInfo{
+		{ID: "busy", CapacityOps: 100, BaseLoad: 90},
+		{ID: "idle", CapacityOps: 100},
+	}
+	a, err := RuntimeAware{}.Assign([]recipe.SubTask{sub("t", recipe.KindTrain)}, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["r/t"] != "idle" {
+		t.Fatalf("assigned to %q, want idle module", a["r/t"])
+	}
+	if _, err := (RuntimeAware{}).Assign([]recipe.SubTask{sub("t", recipe.KindSense)}, nil); !errors.Is(err, ErrNoModules) {
+		t.Fatalf("err = %v, want ErrNoModules", err)
+	}
+}
+
+func TestNewStrategyRuntimeAware(t *testing.T) {
+	if _, err := NewStrategy("runtime-aware"); err != nil {
+		t.Fatal(err)
+	}
+}
